@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``benchmarks/test_table_*.py`` regenerates one paper table/figure at a
+reduced scale (fewer instances, tighter wall-clock budget) so the whole
+suite stays in the minutes range. Full-scale regeneration is the CLI's job::
+
+    sdp-bench all --instances 30
+
+The ``settings`` fixture is session-scoped and the experiment layer memoizes
+workload-cell comparisons, so tables sharing a cell (e.g. 1.1/1.2) measure
+the shared work only once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.common import ExperimentSettings
+
+#: Reduced-scale settings used by every benchmark.
+BENCH_SETTINGS = ExperimentSettings(
+    instances=2,
+    heavy_instances=1,
+    max_seconds=15.0,
+)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return BENCH_SETTINGS

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 1.2 (quality vs effort trade-off)."""
+
+from repro.bench.experiments import figure_1_2
+
+
+def test_figure_1_2(benchmark, settings):
+    report = benchmark.pedantic(
+        figure_1_2.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "rho" in report and "effort" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 2.2 (SDP iteration walk-through)."""
+
+from repro.bench.experiments import figure_2_2
+
+
+def test_figure_2_2(benchmark, settings):
+    report = benchmark.pedantic(
+        figure_2_2.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "hubs" in report and "Survivors" in report

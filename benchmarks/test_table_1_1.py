@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1.1 (Star-Chain-15 plan quality)."""
+
+from repro.bench.experiments import table_1_1
+
+
+def test_table_1_1(benchmark, settings):
+    report = benchmark.pedantic(
+        table_1_1.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Table 1.1" in report
+    assert "SDP" in report and "IDP(7)" in report

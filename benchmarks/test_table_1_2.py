@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1.2 (Star-Chain-15 overheads)."""
+
+from repro.bench.experiments import table_1_2
+
+
+def test_table_1_2(benchmark, settings):
+    report = benchmark.pedantic(
+        table_1_2.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Memory" in report and "Costing" in report

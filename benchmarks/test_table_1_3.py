@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1.3 (Star-Chain-23 scaled quality)."""
+
+from repro.bench.experiments import table_1_3
+
+
+def test_table_1_3(benchmark, settings):
+    report = benchmark.pedantic(
+        table_1_3.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Star-Chain-23" in report or "star-chain-23" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1.4 (Star-Chain-23 scaled overheads)."""
+
+from repro.bench.experiments import table_1_4
+
+
+def test_table_1_4(benchmark, settings):
+    report = benchmark.pedantic(
+        table_1_4.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Costing" in report

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 2.1 (DP overheads, chain vs star).
+
+Reduced sweep: chains to 20 relations and stars to 12, so the benchmark
+stays fast; the CLI regenerates the full 28/16 sweep.
+"""
+
+from repro.bench.experiments import table_2_1
+
+
+def test_table_2_1(benchmark, settings, monkeypatch):
+    monkeypatch.setattr(table_2_1, "CHAIN_SIZES", (4, 8, 12, 16, 20))
+    monkeypatch.setattr(table_2_1, "STAR_SIZES", (4, 8, 12))
+    report = benchmark.pedantic(
+        table_2_1.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Chain Time" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2.2 (multi-way skyline worked example)."""
+
+from repro.bench.experiments import table_2_2
+
+
+def test_table_2_2(benchmark, settings):
+    report = benchmark.pedantic(
+        table_2_2.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "matches the paper" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2.3 (skyline Option 1 vs Option 2)."""
+
+from repro.bench.experiments import table_2_3
+
+
+def test_table_2_3(benchmark, settings):
+    report = benchmark.pedantic(
+        table_2_3.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Option 1" in report and "Option 2" in report

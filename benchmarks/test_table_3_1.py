@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.1 (star plan quality, 15/20/23)."""
+
+from repro.bench.experiments import table_3_1
+
+
+def test_table_3_1(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_1.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "star-15" in report and "star-23" in report

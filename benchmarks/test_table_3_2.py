@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.2 (star overheads, 15/20/23)."""
+
+from repro.bench.experiments import table_3_2
+
+
+def test_table_3_2(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_2.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Costing" in report

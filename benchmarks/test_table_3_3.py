@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 3.3 (maximum star scale-up).
+
+Reduced search ranges bound the benchmark's runtime; the CLI runs the full
+frontier search.
+"""
+
+from repro.bench.experiments import table_3_3
+
+BENCH_RANGES = (
+    ("DP", 8, 14),
+    ("IDP(7)", 10, 18),
+    ("IDP(4)", 12, 26),
+    ("SDP", 16, 40),
+)
+
+
+def test_table_3_3(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_3.run,
+        args=(settings,),
+        kwargs={"ranges": BENCH_RANGES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report)
+    assert "Max star relations" in report

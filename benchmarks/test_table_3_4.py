@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.4 (ordered star plan quality)."""
+
+from repro.bench.experiments import table_3_4
+
+
+def test_table_3_4(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_4.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Ordered Star" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.5 (ordered star-chain plan quality)."""
+
+from repro.bench.experiments import table_3_5
+
+
+def test_table_3_5(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_5.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "Ordered Star-Chain" in report

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3.6 (local vs global pruning)."""
+
+from repro.bench.experiments import table_3_6
+
+
+def test_table_3_6(benchmark, settings):
+    report = benchmark.pedantic(
+        table_3_6.run, args=(settings,), rounds=1, iterations=1
+    )
+    print("\n" + report)
+    assert "SDP/Global" in report

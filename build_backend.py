@@ -1,0 +1,169 @@
+"""Minimal, stdlib-only PEP 517/660 build backend.
+
+This repository targets fully offline environments where the ``wheel``
+distribution may be unavailable, which breaks setuptools' editable-wheel
+path (``error: invalid command 'bdist_wheel'``). This backend builds the
+(simple: pure-Python, src-layout) wheels itself so that::
+
+    pip install -e .
+    pip install .
+
+work with no network and no build dependencies beyond the standard library.
+
+It is intentionally specific to this project: metadata is read from
+``pyproject.toml`` via :mod:`tomllib`, the package tree is ``src/repro``,
+and the only entry point is the ``sdp-bench`` console script.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import tomllib
+import zipfile
+
+_TAG = "py3-none-any"
+
+
+def _project() -> dict:
+    with open(os.path.join(os.path.dirname(__file__), "pyproject.toml"), "rb") as f:
+        return tomllib.load(f)["project"]
+
+
+def _dist_info_name(project: dict) -> str:
+    return f"{project['name']}-{project['version']}.dist-info"
+
+
+def _metadata(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    lines.append(f"Requires-Python: {project.get('requires-python', '>=3.10')}")
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_file(editable: bool) -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro-build-backend 1.0\n"
+        f"Root-Is-Purelib: true\n"
+        f"Tag: {_TAG}\n"
+    )
+
+
+def _entry_points(project: dict) -> str:
+    scripts = project.get("scripts", {})
+    if not scripts:
+        return ""
+    lines = ["[console_scripts]"]
+    lines.extend(f"{name} = {target}" for name, target in scripts.items())
+    return "\n".join(lines) + "\n"
+
+
+def _record_entry(name: str, data: bytes) -> tuple[str, str, int]:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return name, f"sha256={digest.decode()}", len(data)
+
+
+class _WheelWriter:
+    """Accumulates files and writes a spec-compliant wheel."""
+
+    def __init__(self, project: dict):
+        self.project = project
+        self.dist_info = _dist_info_name(project)
+        self._files: list[tuple[str, bytes]] = []
+
+    def add(self, name: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._files.append((name, data))
+
+    def add_tree(self, root: str, prefix: str) -> None:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if filename.endswith((".pyc", ".pyo")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, "rb") as f:
+                    self.add(f"{prefix}{rel}", f.read())
+
+    def finish(self, wheel_directory: str, editable: bool) -> str:
+        project = self.project
+        self.add(f"{self.dist_info}/METADATA", _metadata(project))
+        self.add(f"{self.dist_info}/WHEEL", _wheel_file(editable))
+        entry_points = _entry_points(project)
+        if entry_points:
+            self.add(f"{self.dist_info}/entry_points.txt", entry_points)
+        self.add(f"{self.dist_info}/top_level.txt", "repro\n")
+
+        record = io.StringIO()
+        writer = csv.writer(record, lineterminator="\n")
+        for name, data in self._files:
+            writer.writerow(_record_entry(name, data))
+        writer.writerow((f"{self.dist_info}/RECORD", "", ""))
+
+        wheel_name = f"{project['name']}-{project['version']}-{_TAG}.whl"
+        os.makedirs(wheel_directory, exist_ok=True)
+        path = os.path.join(wheel_directory, wheel_name)
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+            for name, data in self._files:
+                zf.writestr(name, data)
+            zf.writestr(f"{self.dist_info}/RECORD", record.getvalue())
+        return wheel_name
+
+
+# -- PEP 517 hooks ---------------------------------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel by packaging ``src/repro``."""
+    project = _project()
+    writer = _WheelWriter(project)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src", "repro")
+    writer.add_tree(src, "repro/")
+    return writer.finish(wheel_directory, editable=False)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a PEP 660 editable wheel (a ``.pth`` pointing at ``src``)."""
+    project = _project()
+    writer = _WheelWriter(project)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+    writer.add(f"_{project['name']}_editable.pth", src + "\n")
+    return writer.finish(wheel_directory, editable=True)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a source distribution (tar.gz of the repository sources)."""
+    import tarfile
+
+    project = _project()
+    base = f"{project['name']}-{project['version']}"
+    os.makedirs(sdist_directory, exist_ok=True)
+    path = os.path.join(sdist_directory, f"{base}.tar.gz")
+    root = os.path.dirname(os.path.abspath(__file__))
+    include = ("pyproject.toml", "README.md", "build_backend.py", "setup.py")
+    with tarfile.open(path, "w:gz") as tf:
+        for name in include:
+            full = os.path.join(root, name)
+            if os.path.exists(full):
+                tf.add(full, arcname=f"{base}/{name}")
+        tf.add(os.path.join(root, "src"), arcname=f"{base}/src")
+    return f"{base}.tar.gz"

@@ -1,0 +1,59 @@
+"""Scaling study: how far can each optimizer push a star join?
+
+Reproduces the flavor of the paper's Table 3.3 interactively: walk star
+sizes upward under a memory/time budget and watch DP, then IDP, drop out
+while SDP keeps going.
+
+Run with::
+
+    python examples/scaling_study.py [max-size]
+"""
+
+import sys
+
+from repro import SearchBudget, analyze, make_optimizer
+from repro.catalog import SchemaBuilder
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.errors import OptimizationBudgetExceeded
+
+TECHNIQUES = ["DP", "IDP(7)", "IDP(4)", "SDP"]
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    schema = SchemaBuilder(seed=0, relation_count=50, name="scaleup").build()
+    stats = analyze(schema)
+    budget = SearchBudget(max_memory_bytes=1_000_000_000, max_seconds=30)
+
+    alive = {name: True for name in TECHNIQUES}
+    header = "size " + "".join(f"{name:>22s}" for name in TECHNIQUES)
+    print(header)
+    print("-" * len(header))
+
+    for size in range(8, max_size + 1, 2):
+        spec = WorkloadSpec(topology="star", relation_count=size, seed=0)
+        query = make_query(spec, schema, 0)
+        cells = []
+        for name in TECHNIQUES:
+            if not alive[name]:
+                cells.append(f"{'*':>22s}")
+                continue
+            optimizer = make_optimizer(name, budget=budget)
+            try:
+                result = optimizer.optimize(query, stats)
+            except OptimizationBudgetExceeded as exc:
+                alive[name] = False
+                cells.append(f"{'* (' + exc.resource + ')':>22s}")
+                continue
+            cells.append(
+                f"{result.elapsed_seconds:8.2f}s/"
+                f"{result.modeled_memory_mb:7.1f}MB    "
+            )
+        print(f"{size:4d} " + "".join(cells))
+
+    survivors = [name for name, ok in alive.items() if ok]
+    print(f"\nstill feasible at star-{max_size}: {', '.join(survivors)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy entry point so editable installs work without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``) in
+offline environments whose pip cannot build editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""repro — Skyline Dynamic Programming for complex SQL query optimization.
+
+A complete, pure-Python reproduction of *"Robust Heuristics for Scalable
+Optimization of Complex SQL Queries"* (ICDE 2007): the SDP pruning strategy,
+the DP and IDP references it is evaluated against, and every substrate the
+evaluation needs — a synthetic relational catalog, a PostgreSQL-style cost
+model, join-graph machinery, a skyline engine, and the full benchmark
+harness regenerating the paper's tables and figures.
+
+Quickstart::
+
+    from repro import (
+        paper_schema, analyze, Query, JoinGraph, star_joins,
+        SDPOptimizer, DynamicProgrammingOptimizer,
+    )
+
+    schema = paper_schema(seed=0)
+    stats = analyze(schema)
+    hub = schema.largest_relation().name
+    spokes = [n for n in schema.relation_names if n != hub][:9]
+    graph = JoinGraph([hub, *spokes], star_joins(schema, hub, spokes))
+    query = Query(schema, graph, label="star-10")
+
+    sdp = SDPOptimizer().optimize(query, stats)
+    dp = DynamicProgrammingOptimizer().optimize(query, stats)
+    print(sdp.cost / dp.cost, sdp.plans_costed, dp.plans_costed)
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.catalog import (
+    Column,
+    Index,
+    Relation,
+    Schema,
+    SchemaBuilder,
+    analyze,
+    paper_schema,
+)
+from repro.core import (
+    DynamicProgrammingOptimizer,
+    GeneticConfig,
+    GeneticOptimizer,
+    GreedyOptimizer,
+    IDP2Config,
+    IDP2Optimizer,
+    IDPConfig,
+    IDPOptimizer,
+    IterativeImprovementOptimizer,
+    Optimizer,
+    OptimizerResult,
+    SDPConfig,
+    SDPOptimizer,
+    RandomizedConfig,
+    SearchBudget,
+    TwoPhaseOptimizer,
+    available_techniques,
+    make_optimizer,
+)
+from repro.compare import compare_techniques
+from repro.cost import DEFAULT_COST_MODEL, CostModel
+from repro.errors import (
+    OptimizationBudgetExceeded,
+    OptimizationError,
+    ReproError,
+)
+from repro.plans import PlanNode, explain
+from repro.query import (
+    JoinGraph,
+    Query,
+    chain_joins,
+    clique_joins,
+    cycle_joins,
+    parse_sql,
+    render_sql,
+    star_chain_joins,
+    star_joins,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # catalog
+    "Column",
+    "Index",
+    "Relation",
+    "Schema",
+    "SchemaBuilder",
+    "paper_schema",
+    "analyze",
+    # query
+    "JoinGraph",
+    "Query",
+    "render_sql",
+    "parse_sql",
+    "chain_joins",
+    "star_joins",
+    "cycle_joins",
+    "clique_joins",
+    "star_chain_joins",
+    # cost
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    # optimizers
+    "Optimizer",
+    "OptimizerResult",
+    "SearchBudget",
+    "DynamicProgrammingOptimizer",
+    "IDPOptimizer",
+    "IDPConfig",
+    "IDP2Optimizer",
+    "IDP2Config",
+    "SDPOptimizer",
+    "SDPConfig",
+    "GreedyOptimizer",
+    "IterativeImprovementOptimizer",
+    "TwoPhaseOptimizer",
+    "RandomizedConfig",
+    "GeneticOptimizer",
+    "GeneticConfig",
+    "make_optimizer",
+    "available_techniques",
+    "compare_techniques",
+    # plans
+    "PlanNode",
+    "explain",
+    # errors
+    "ReproError",
+    "OptimizationError",
+    "OptimizationBudgetExceeded",
+]

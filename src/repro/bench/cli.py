@@ -1,0 +1,121 @@
+"""``sdp-bench`` — regenerate the paper's tables and figures from the CLI.
+
+Usage::
+
+    sdp-bench list                 # available experiments
+    sdp-bench table-1.1            # one experiment
+    sdp-bench all                  # every experiment, in paper order
+    sdp-bench table-3.1 --instances 30 --seed 7
+
+Each experiment prints a paper-style plain-text table; EXPERIMENTS.md
+records a reference run against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.experiments.common import ExperimentSettings
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sdp-bench",
+        description="Regenerate the SDP paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. table-1.1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="query instances per workload cell (default 10; env "
+        "REPRO_BENCH_INSTANCES)",
+    )
+    parser.add_argument(
+        "--heavy-instances",
+        type=int,
+        default=None,
+        help="instances for expensive cells (default 6)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="per-optimization wall-clock budget (default 60)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="also write each report to DIR/<experiment>.txt",
+    )
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings.from_env()
+    overrides = {}
+    if args.instances is not None:
+        overrides["instances"] = args.instances
+    if args.heavy_instances is not None:
+        overrides["heavy_instances"] = args.heavy_instances
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_seconds is not None:
+        overrides["max_seconds"] = args.max_seconds
+    if overrides:
+        from dataclasses import replace
+
+        settings = replace(settings, **overrides)
+    return settings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            print(f"{name:12s} {module.TITLE}")
+        return 0
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"try 'sdp-bench list'",
+            file=sys.stderr,
+        )
+        return 2
+    settings = _settings(args)
+    if args.output is not None:
+        os.makedirs(args.output, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        print(f"== {name} ==")
+        report = EXPERIMENTS[name].run(settings)
+        print(report)
+        print(f"[{name} done in {time.perf_counter() - started:.1f}s]\n")
+        if args.output is not None:
+            path = os.path.join(args.output, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

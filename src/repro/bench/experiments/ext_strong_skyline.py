@@ -1,0 +1,84 @@
+"""Extension — "strong skyline" pruning (the paper's stated future work).
+
+The conclusion closes with: "Our future research plans include
+investigating the impact of using 'strong skyline' functions [12] on the
+optimization process." This extension does that investigation: SDP with a
+2-dominant (strong) skyline pruning function versus the shipped Option 2
+(pairwise disjunctive) and Option 1 (full RCS) skylines, measured by JCRs
+processed, plans costed, and plan quality against the DP optimum on
+Star-Chain-15.
+
+Expected shape: the strong skyline prunes at least as hard as Option 2
+(k-dominance dominates more objects) at a small quality cost — quantifying
+whether the future-work direction is attractive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments.common import ExperimentSettings, paper_catalog
+from repro.bench.workloads import WorkloadSpec, generate_queries
+from repro.core.dp import DynamicProgrammingOptimizer
+from repro.core.sdp import SDPConfig, SDPOptimizer
+from repro.util.tables import TextTable
+
+TITLE = "Extension: Strong (k-dominant) Skyline Pruning (Star-Chain-15)"
+
+OPTIONS = {
+    "Option 1 (full RCS)": SDPConfig(skyline_option=1),
+    "Option 2 (pairwise)": SDPConfig(skyline_option=2),
+    "Strong (2-dominant)": SDPConfig(skyline_option=3),
+}
+
+
+def run(settings: ExperimentSettings | None = None) -> str:
+    """Run the ablation; returns the rendered report."""
+    if settings is None:
+        settings = ExperimentSettings.from_env()
+    schema, stats = paper_catalog(settings)
+    spec = WorkloadSpec(
+        topology="star-chain", relation_count=15, seed=settings.seed
+    )
+    budget = settings.budget()
+    dp = DynamicProgrammingOptimizer(budget=budget)
+
+    jcrs: dict[str, list[int]] = {name: [] for name in OPTIONS}
+    plans: dict[str, list[int]] = {name: [] for name in OPTIONS}
+    ratios: dict[str, list[float]] = {name: [] for name in OPTIONS}
+    for query in generate_queries(spec, schema, settings.instances):
+        reference = dp.optimize(query, stats)
+        for name, config in OPTIONS.items():
+            result = SDPOptimizer(config=config, budget=budget).optimize(
+                query, stats
+            )
+            jcrs[name].append(result.jcrs_created)
+            plans[name].append(result.plans_costed)
+            ratios[name].append(result.cost / reference.cost)
+
+    table = TextTable(
+        ["Pruning", "JCRs processed", "Plans costed", "Worst", "rho"],
+        title=TITLE,
+    )
+    for name in OPTIONS:
+        rho = math.exp(
+            sum(math.log(r) for r in ratios[name]) / len(ratios[name])
+        )
+        table.add_row(
+            [
+                name,
+                f"{sum(jcrs[name]) / len(jcrs[name]):.0f}",
+                f"{sum(plans[name]) / len(plans[name]):.2E}",
+                f"{max(ratios[name]):.3f}",
+                f"{rho:.4f}",
+            ]
+        )
+    return table.render()
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Persist benchmark results as JSON.
+
+Comparison results can be archived and re-rendered (or diffed across code
+versions) without re-running the optimizers::
+
+    result = run_comparison(...)
+    save_comparison(result, "runs/star-chain-15.json")
+    later = load_comparison("runs/star-chain-15.json")
+
+The format is a stable, versioned, human-readable JSON document holding
+exactly what :class:`~repro.bench.runner.ComparisonResult` holds — the raw
+per-instance ratios and overheads, not just the aggregates — so any future
+metric can be recomputed from an archived run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench.runner import ComparisonResult, TechniqueOutcome
+from repro.errors import BenchmarkError
+
+__all__ = ["save_comparison", "load_comparison", "comparison_to_dict", "comparison_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def comparison_to_dict(result: ComparisonResult) -> dict:
+    """A JSON-serializable representation of a comparison result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "label": result.label,
+        "reference": result.reference,
+        "instances": result.instances,
+        "outcomes": {
+            name: {
+                "technique": outcome.technique,
+                "ratios": list(outcome.ratios),
+                "plans_costed": list(outcome.plans_costed),
+                "memory_mb": list(outcome.memory_mb),
+                "seconds": list(outcome.seconds),
+                "infeasible_count": outcome.infeasible_count,
+                "skipped": outcome.skipped,
+            }
+            for name, outcome in result.outcomes.items()
+        },
+    }
+
+
+def comparison_from_dict(payload: dict) -> ComparisonResult:
+    """Rebuild a comparison result from :func:`comparison_to_dict` output.
+
+    Raises:
+        BenchmarkError: on version mismatch or missing fields.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BenchmarkError(
+            f"unsupported comparison format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        outcomes = {
+            name: TechniqueOutcome(
+                technique=data["technique"],
+                ratios=list(data["ratios"]),
+                plans_costed=list(data["plans_costed"]),
+                memory_mb=list(data["memory_mb"]),
+                seconds=list(data["seconds"]),
+                infeasible_count=data["infeasible_count"],
+                skipped=data["skipped"],
+            )
+            for name, data in payload["outcomes"].items()
+        }
+        return ComparisonResult(
+            label=payload["label"],
+            reference=payload["reference"],
+            instances=payload["instances"],
+            outcomes=outcomes,
+        )
+    except KeyError as exc:
+        raise BenchmarkError(f"comparison document missing field {exc}") from None
+
+
+def save_comparison(result: ComparisonResult, path: str) -> None:
+    """Write ``result`` to ``path`` as JSON (directories created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(comparison_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_comparison(path: str) -> ComparisonResult:
+    """Read a comparison result written by :func:`save_comparison`."""
+    with open(path, encoding="utf-8") as handle:
+        return comparison_from_dict(json.load(handle))

@@ -1,0 +1,96 @@
+"""Plan-quality metrics: the I/G/A/B classification, worst case, and rho.
+
+The paper refines the Good/Acceptable/Bad classification of [10] with an
+*Ideal* class (Section 1.1):
+
+* **I** (Ideal): within 1 % of the reference optimum;
+* **G** (Good): within a factor of 2;
+* **A** (Acceptable): within an order of magnitude;
+* **B** (Bad): more than 10x the optimum.
+
+``W`` is the worst-case cost ratio over the instance set, and the overall
+plan-quality factor ``rho`` is the geometric mean of the normalized plan
+costs (ideal value 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+__all__ = ["PLAN_CLASSES", "classify_ratio", "QualityStats"]
+
+PLAN_CLASSES = ("I", "G", "A", "B")
+
+_IDEAL_BOUND = 1.01
+_GOOD_BOUND = 2.0
+_ACCEPTABLE_BOUND = 10.0
+
+
+def classify_ratio(ratio: float) -> str:
+    """Classify a cost ratio (technique / reference optimum).
+
+    >>> [classify_ratio(r) for r in (1.0, 1.5, 5.0, 50.0)]
+    ['I', 'G', 'A', 'B']
+    """
+    if ratio < 0:
+        raise BenchmarkError(f"cost ratio must be non-negative, got {ratio}")
+    if ratio <= _IDEAL_BOUND:
+        return "I"
+    if ratio <= _GOOD_BOUND:
+        return "G"
+    if ratio <= _ACCEPTABLE_BOUND:
+        return "A"
+    return "B"
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """Aggregated plan quality of one technique over an instance set.
+
+    Attributes:
+        counts: Instance counts per class, keyed ``"I"/"G"/"A"/"B"``.
+        worst: Worst-case cost ratio (``W`` in the tables).
+        rho: Geometric mean of the cost ratios.
+        instances: Number of instances aggregated.
+    """
+
+    counts: dict[str, int]
+    worst: float
+    rho: float
+    instances: int
+
+    @classmethod
+    def from_ratios(cls, ratios: list[float]) -> "QualityStats":
+        """Aggregate a list of per-instance cost ratios.
+
+        Raises:
+            BenchmarkError: on an empty list.
+        """
+        if not ratios:
+            raise BenchmarkError("cannot aggregate zero instances")
+        counts = {label: 0 for label in PLAN_CLASSES}
+        for ratio in ratios:
+            counts[classify_ratio(ratio)] += 1
+        rho = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        return cls(
+            counts=counts,
+            worst=max(ratios),
+            rho=rho,
+            instances=len(ratios),
+        )
+
+    def percent(self, label: str) -> float:
+        """Share of instances in class ``label``, in percent."""
+        if label not in self.counts:
+            raise BenchmarkError(f"unknown plan class {label!r}")
+        return 100.0 * self.counts[label] / self.instances
+
+    def row(self) -> list[str]:
+        """The table cells ``I G A B W rho`` the paper prints."""
+        cells = [f"{self.percent(label):.0f}" for label in PLAN_CLASSES]
+        cells.append(f"{self.worst:.2f}")
+        cells.append(f"{self.rho:.2f}")
+        return cells

@@ -1,0 +1,77 @@
+"""Paper-style table rendering for comparison results."""
+
+from __future__ import annotations
+
+from repro.bench.runner import ComparisonResult
+from repro.util.tables import TextTable
+
+__all__ = ["quality_table", "overhead_table", "INFEASIBLE"]
+
+#: The paper's marker for an infeasible (budget-exceeding) configuration.
+INFEASIBLE = "*"
+
+
+def quality_table(
+    results: list[ComparisonResult],
+    techniques: list[str],
+    title: str,
+) -> TextTable:
+    """A plan-quality table in the paper's layout.
+
+    Columns: workload, technique, I/G/A/B percentages, worst-case ratio W,
+    and the geometric-mean quality factor rho. Infeasible techniques show
+    ``*`` in every cell, exactly like the paper's tables.
+    """
+    table = TextTable(
+        ["Query Join Graph", "Technique", "I", "G", "A", "B", "W", "rho"],
+        title=title,
+    )
+    for block, result in enumerate(results):
+        if block:
+            table.add_separator()
+        for technique in techniques:
+            outcome = result.outcome(technique)
+            quality = outcome.quality
+            if quality is None:
+                cells = [INFEASIBLE] * 6
+            else:
+                cells = quality.row()
+            table.add_row([result.label, technique, *cells])
+    return table
+
+
+def overhead_table(
+    results: list[ComparisonResult],
+    techniques: list[str],
+    title: str,
+) -> TextTable:
+    """An optimization-overheads table in the paper's layout.
+
+    Columns: memory (modeled MB), time (measured seconds), and the number
+    of plans costed.
+    """
+    table = TextTable(
+        [
+            "Query Join Graph",
+            "Technique",
+            "Memory (MB)",
+            "Time (s)",
+            "Costing (plans)",
+        ],
+        title=title,
+    )
+    for block, result in enumerate(results):
+        if block:
+            table.add_separator()
+        for technique in techniques:
+            outcome = result.outcome(technique)
+            if not outcome.feasible:
+                cells = [INFEASIBLE] * 3
+            else:
+                cells = [
+                    f"{outcome.mean_memory_mb:.2f}",
+                    f"{outcome.mean_seconds:.3f}",
+                    f"{outcome.mean_plans_costed:.2E}",
+                ]
+            table.add_row([result.label, technique, *cells])
+    return table

@@ -1,0 +1,190 @@
+"""Run a technique grid over a workload cell and aggregate the results.
+
+Mirrors the paper's protocol:
+
+* every instance is optimized by every (feasible) technique;
+* plan quality is measured against **DP** where DP is feasible; where it is
+  not, **SDP is treated as the ideal** (Tables 1.3, 3.1) — the runner picks
+  the reference per cell by trying the reference candidates in order on the
+  first instance;
+* a technique that exceeds its budget is *infeasible* — reported as ``*`` —
+  and is skipped for the remaining instances once it has failed
+  ``skip_after_failures`` times (budget trips are deterministic in the
+  modeled-memory world, so one failure usually settles the cell).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.bench.quality import QualityStats
+from repro.bench.workloads import WorkloadSpec, generate_queries
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import CatalogStatistics, analyze
+from repro.core.base import SearchBudget
+from repro.core.registry import make_optimizer
+from repro.cost.model import CostModel
+from repro.errors import BenchmarkError, OptimizationBudgetExceeded
+from repro.query.query import Query
+
+__all__ = ["TechniqueOutcome", "ComparisonResult", "run_comparison"]
+
+
+@dataclass
+class TechniqueOutcome:
+    """Per-technique aggregation over a workload cell."""
+
+    technique: str
+    ratios: list[float] = field(default_factory=list)
+    plans_costed: list[int] = field(default_factory=list)
+    memory_mb: list[float] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+    infeasible_count: int = 0
+    skipped: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        """True if the technique completed at least one instance."""
+        return bool(self.ratios)
+
+    @property
+    def quality(self) -> QualityStats | None:
+        if not self.ratios:
+            return None
+        return QualityStats.from_ratios(self.ratios)
+
+    def _mean(self, values: list[float]) -> float:
+        if not values:
+            raise BenchmarkError(f"{self.technique} has no feasible runs")
+        return statistics.fmean(values)
+
+    @property
+    def mean_plans_costed(self) -> float:
+        return self._mean([float(v) for v in self.plans_costed])
+
+    @property
+    def mean_memory_mb(self) -> float:
+        return self._mean(self.memory_mb)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self._mean(self.seconds)
+
+
+@dataclass
+class ComparisonResult:
+    """All techniques' outcomes for one workload cell."""
+
+    label: str
+    reference: str
+    instances: int
+    outcomes: dict[str, TechniqueOutcome]
+
+    def outcome(self, technique: str) -> TechniqueOutcome:
+        try:
+            return self.outcomes[technique]
+        except KeyError:
+            raise BenchmarkError(
+                f"technique {technique!r} was not part of this comparison"
+            ) from None
+
+
+def _pick_reference(
+    query: Query,
+    stats: CatalogStatistics,
+    candidates: tuple[str, ...],
+    budget: SearchBudget,
+    cost_model: CostModel | None,
+) -> str:
+    """First reference candidate that is feasible on the cell's first query."""
+    for name in candidates:
+        optimizer = make_optimizer(name, budget=budget, cost_model=cost_model)
+        try:
+            optimizer.optimize(query, stats)
+        except OptimizationBudgetExceeded:
+            continue
+        return name
+    raise BenchmarkError(
+        f"no reference candidate in {candidates} is feasible for {query.label}"
+    )
+
+
+def run_comparison(
+    spec: WorkloadSpec,
+    schema: Schema,
+    techniques: list[str],
+    instances: int,
+    stats: CatalogStatistics | None = None,
+    budget: SearchBudget | None = None,
+    cost_model: CostModel | None = None,
+    reference_candidates: tuple[str, ...] = ("DP", "SDP"),
+    skip_after_failures: int = 1,
+) -> ComparisonResult:
+    """Optimize ``instances`` queries of ``spec`` with every technique.
+
+    Args:
+        spec: The workload cell.
+        schema: Catalog to draw relations from.
+        techniques: Technique names (see
+            :func:`repro.core.available_techniques`).
+        instances: Number of query instances.
+        stats: Shared statistics snapshot (computed once when omitted).
+        budget: Per-optimization budget (paper default: 1 GB modeled RAM).
+        cost_model: Cost constants override.
+        reference_candidates: Quality reference preference order.
+        skip_after_failures: Stop retrying a technique after this many
+            budget failures.
+
+    Returns:
+        A :class:`ComparisonResult`; techniques absent from
+        ``reference_candidates`` and infeasible everywhere have
+        ``feasible == False`` (the ``*`` rows).
+    """
+    if stats is None:
+        stats = analyze(schema)
+    if budget is None:
+        budget = SearchBudget()
+    queries = list(generate_queries(spec, schema, instances))
+    reference = _pick_reference(
+        queries[0], stats, reference_candidates, budget, cost_model
+    )
+
+    outcomes = {name: TechniqueOutcome(technique=name) for name in techniques}
+    if reference not in outcomes:
+        outcomes[reference] = TechniqueOutcome(technique=reference)
+
+    run_order = list(outcomes)
+    optimizers = {
+        name: make_optimizer(name, budget=budget, cost_model=cost_model)
+        for name in run_order
+    }
+
+    for query in queries:
+        results = {}
+        for name in run_order:
+            outcome = outcomes[name]
+            if outcome.skipped:
+                continue
+            try:
+                results[name] = optimizers[name].optimize(query, stats)
+            except OptimizationBudgetExceeded:
+                outcome.infeasible_count += 1
+                if outcome.infeasible_count >= skip_after_failures:
+                    outcome.skipped = True
+        reference_result = results.get(reference)
+        if reference_result is None:
+            continue  # the reference itself tripped on this instance
+        for name, result in results.items():
+            outcome = outcomes[name]
+            outcome.ratios.append(result.cost / reference_result.cost)
+            outcome.plans_costed.append(result.plans_costed)
+            outcome.memory_mb.append(result.modeled_memory_mb)
+            outcome.seconds.append(result.elapsed_seconds)
+
+    return ComparisonResult(
+        label=spec.label,
+        reference=reference,
+        instances=instances,
+        outcomes=outcomes,
+    )

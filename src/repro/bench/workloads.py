@@ -1,0 +1,166 @@
+"""Workload generation: seeded sampling of the paper's query grids.
+
+Section 3.1 generates queries "through a combinatorial enumeration of the
+relational choices" — e.g. all ``C(24, 14)`` spoke selections for the
+15-relation star. Running millions of optimizations is a grid-size choice,
+not an algorithmic one, so this module *samples* the same grid with an
+explicit seed: instance ``i`` of a workload is fully determined by
+``(schema seed, workload seed, i)``.
+
+Topology conventions (matching the paper):
+
+* **star-N**: hub plus ``N - 1`` spokes. The hub is the largest relation
+  ("as is usually the case in data warehousing") unless ``vary_hub``.
+* **star-chain-N** (Figure 1.1): hub, ``N - 5`` spokes, and a 4-relation
+  chain hanging off the last spoke — for N=15 this is exactly the paper's
+  R1 star-joining R2..R11 with R11..R15 chained. Relations for all slots
+  are drawn at random ("various combinations of relations for R1 through
+  R15").
+* **chain-N / cycle-N / clique-N**: the relations drawn at random.
+
+The *ordered* variant of any instance adds an ORDER BY on a randomly chosen
+join column (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.catalog.schema import Schema
+from repro.errors import BenchmarkError
+from repro.query.joingraph import JoinGraph
+from repro.query.query import Query
+from repro.query.topology import (
+    chain_joins,
+    clique_joins,
+    cycle_joins,
+    star_chain_joins,
+    star_joins,
+)
+from repro.util.rng import derive_rng
+
+__all__ = ["WorkloadSpec", "generate_queries", "TOPOLOGIES"]
+
+TOPOLOGIES = ("star", "chain", "cycle", "clique", "star-chain")
+
+#: Length of the chain segment in star-chain graphs (R12..R15 in Fig. 1.1).
+STAR_CHAIN_TAIL = 4
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload cell of the paper's evaluation grid.
+
+    Attributes:
+        topology: One of :data:`TOPOLOGIES`.
+        relation_count: Number of relations per query.
+        ordered: Generate the ordered variant (ORDER BY a join column).
+        vary_hub: Stars only — draw the hub at random instead of using the
+            largest relation (star-chain always varies all slots, as the
+            paper does for Figure 1.1's grid).
+        shared_hub_column: Stars only — all spokes join one hub column,
+            creating a shared join column (interesting orders, implied
+            edges).
+        seed: Workload seed; combined with the instance index.
+    """
+
+    topology: str
+    relation_count: int
+    ordered: bool = False
+    vary_hub: bool = False
+    shared_hub_column: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise BenchmarkError(
+                f"unknown topology {self.topology!r}; known: {TOPOLOGIES}"
+            )
+        minimum = {"star": 3, "chain": 2, "cycle": 3, "clique": 2, "star-chain": 7}
+        if self.relation_count < minimum[self.topology]:
+            raise BenchmarkError(
+                f"{self.topology} needs >= {minimum[self.topology]} relations, "
+                f"got {self.relation_count}"
+            )
+
+    @property
+    def label(self) -> str:
+        name = f"{self.topology}-{self.relation_count}"
+        if self.ordered:
+            name += "-ordered"
+        return name
+
+
+def _build_graph(spec: WorkloadSpec, schema: Schema, names: list[str]) -> JoinGraph:
+    if spec.topology == "chain":
+        return JoinGraph(names, chain_joins(schema, names))
+    if spec.topology == "cycle":
+        return JoinGraph(names, cycle_joins(schema, names))
+    if spec.topology == "clique":
+        return JoinGraph(names, clique_joins(schema, names))
+    if spec.topology == "star":
+        hub, spokes = names[0], names[1:]
+        return JoinGraph(
+            names,
+            star_joins(
+                schema, hub, spokes, shared_hub_column=spec.shared_hub_column
+            ),
+        )
+    hub = names[0]
+    spokes = names[1 : spec.relation_count - STAR_CHAIN_TAIL]
+    chain = names[spec.relation_count - STAR_CHAIN_TAIL :]
+    return JoinGraph(
+        names,
+        star_chain_joins(
+            schema, hub, spokes, chain, shared_hub_column=spec.shared_hub_column
+        ),
+    )
+
+
+def _choose_order_by(
+    graph: JoinGraph, query_names: list[str], rng
+) -> tuple[str, str]:
+    """A random join column of the instance, for the ordered variant."""
+    candidates: list[tuple[str, str]] = []
+    for index, name in enumerate(query_names):
+        for column in graph.join_columns_of(index):
+            candidates.append((name, column))
+    if not candidates:
+        raise BenchmarkError("instance has no join columns to order by")
+    return rng.choice(candidates)
+
+
+def make_query(spec: WorkloadSpec, schema: Schema, instance: int) -> Query:
+    """Materialize instance ``instance`` of the workload cell ``spec``."""
+    if spec.relation_count > len(schema):
+        raise BenchmarkError(
+            f"{spec.label} needs {spec.relation_count} relations but the "
+            f"schema has {len(schema)}"
+        )
+    rng = derive_rng(spec.seed, "workload", spec.label, instance)
+    all_names = list(schema.relation_names)
+    if spec.topology == "star" and not spec.vary_hub:
+        hub = schema.largest_relation().name
+        rest = [n for n in all_names if n != hub]
+        names = [hub] + rng.sample(rest, spec.relation_count - 1)
+    else:
+        names = rng.sample(all_names, spec.relation_count)
+    graph = _build_graph(spec, schema, names)
+    order_by = _choose_order_by(graph, names, rng) if spec.ordered else None
+    return Query(
+        schema,
+        graph,
+        order_by=order_by,
+        label=f"{spec.label}#{instance}",
+    )
+
+
+def generate_queries(
+    spec: WorkloadSpec, schema: Schema, count: int
+) -> Iterator[Query]:
+    """Yield ``count`` seeded instances of the workload cell."""
+    if count < 1:
+        raise BenchmarkError(f"count must be >= 1, got {count}")
+    for instance in range(count):
+        yield make_query(spec, schema, instance)

@@ -1,0 +1,52 @@
+"""Relational catalog simulator.
+
+The paper evaluates on a 1.5 GB PostgreSQL database: 25 relations with a
+geometric distribution (parameter ~1.5) of cardinalities from 100 to 2.5
+million rows, 24 columns per relation with geometrically distributed domain
+sizes, one randomly chosen indexed column per relation, and uniform or
+exponentially skewed data.
+
+A cost-based optimizer never touches the data itself — it consumes *catalog
+statistics*. This package therefore generates the statistics directly from
+the same generative model, which yields the same optimizer-visible inputs as
+materializing the data and running ``ANALYZE`` (the substitution is recorded
+in ``DESIGN.md``).
+
+Public API:
+    :class:`Column`, :class:`Index`, :class:`Relation`, :class:`Schema` —
+    the catalog objects.
+    :class:`SchemaBuilder`, :func:`paper_schema` — generators for the paper's
+    schema (and arbitrarily scaled variants).
+    :class:`ColumnStats`, :class:`TableStats`, :func:`analyze` — the
+    ``ANALYZE`` equivalent producing optimizer statistics.
+    :class:`UniformDistribution`, :class:`ExponentialDistribution` — value
+    distribution models.
+"""
+
+from repro.catalog.column import Column, Index
+from repro.catalog.distributions import (
+    ExponentialDistribution,
+    UniformDistribution,
+    ValueDistribution,
+    geometric_steps,
+)
+from repro.catalog.relation import Relation
+from repro.catalog.schema import Schema, SchemaBuilder, paper_schema
+from repro.catalog.statistics import CatalogStatistics, ColumnStats, TableStats, analyze
+
+__all__ = [
+    "Column",
+    "Index",
+    "Relation",
+    "Schema",
+    "SchemaBuilder",
+    "paper_schema",
+    "ColumnStats",
+    "TableStats",
+    "CatalogStatistics",
+    "analyze",
+    "ValueDistribution",
+    "UniformDistribution",
+    "ExponentialDistribution",
+    "geometric_steps",
+]

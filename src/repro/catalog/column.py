@@ -1,0 +1,64 @@
+"""Column and index catalog objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.distributions import UniformDistribution, ValueDistribution
+from repro.errors import CatalogError
+
+__all__ = ["Column", "Index"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A relation column.
+
+    Attributes:
+        name: Column name, unique within its relation.
+        domain_size: Number of values in the column's domain; join
+            selectivities derive from the distinct counts this induces.
+        width: Average stored width in bytes (drives page counts and hence
+            I/O costs).
+        distribution: Value-distribution model (uniform by default,
+            exponential for the paper's skewed configuration).
+    """
+
+    name: str
+    domain_size: int
+    width: int = 4
+    distribution: ValueDistribution = field(default_factory=UniformDistribution)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+        if self.domain_size < 1:
+            raise CatalogError(
+                f"column {self.name!r}: domain_size must be >= 1, "
+                f"got {self.domain_size}"
+            )
+        if self.width < 1:
+            raise CatalogError(
+                f"column {self.name!r}: width must be >= 1, got {self.width}"
+            )
+
+
+@dataclass(frozen=True)
+class Index:
+    """A single-column B-tree index.
+
+    The paper's schema builds one index on a randomly chosen column of each
+    relation; star and chain joins are arranged to hit indexed columns.
+
+    Attributes:
+        column_name: The indexed column.
+        unique: Whether the index enforces uniqueness (the synthetic schema
+            never does, but the cost model supports it).
+    """
+
+    column_name: str
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.column_name:
+            raise CatalogError("index column_name must be non-empty")

@@ -1,0 +1,156 @@
+"""Value-distribution models and geometric sequences.
+
+Two things live here:
+
+* :func:`geometric_steps` — the geometric progression the paper uses for both
+  relation cardinalities and column domain sizes ("a geometric distribution
+  (parameter 1.5) ... ranging from 100 to 2.5 million").
+* :class:`ValueDistribution` subclasses — models of how column values are
+  distributed over their domain. The paper experiments with uniform and
+  skewed (exponential) data. The optimizer sees distributions only through
+  the statistics they induce: the number of distinct values actually present
+  and the frequency of the most common value, both of which feed join
+  selectivity estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import CatalogError
+
+__all__ = [
+    "geometric_steps",
+    "ValueDistribution",
+    "UniformDistribution",
+    "ExponentialDistribution",
+]
+
+
+def geometric_steps(low: int, high: int, count: int) -> list[int]:
+    """A geometric progression of ``count`` integers from ``low`` to ``high``.
+
+    The ratio is ``(high / low) ** (1 / (count - 1))``; for the paper's
+    parameters (100 → 2.5 M over 25 steps) this is ~1.524, i.e. the
+    "parameter 1.5" geometric distribution of the paper.
+
+    >>> geometric_steps(100, 100000, 4)
+    [100, 1000, 10000, 100000]
+    """
+    if count < 1:
+        raise CatalogError(f"count must be >= 1, got {count}")
+    if low < 1 or high < low:
+        raise CatalogError(f"need 1 <= low <= high, got low={low}, high={high}")
+    if count == 1:
+        return [low]
+    ratio = (high / low) ** (1.0 / (count - 1))
+    steps = [round(low * ratio**i) for i in range(count)]
+    steps[0], steps[-1] = low, high
+    return steps
+
+
+class ValueDistribution(ABC):
+    """How the values of a column are spread over its domain.
+
+    Concrete distributions answer the two questions the statistics collector
+    asks: how many *distinct* values appear in ``row_count`` draws from a
+    domain of ``domain_size`` values, and what fraction of rows the most
+    common value accounts for.
+    """
+
+    @abstractmethod
+    def distinct_count(self, domain_size: int, row_count: int) -> int:
+        """Expected number of distinct values among ``row_count`` rows."""
+
+    @abstractmethod
+    def most_common_fraction(self, domain_size: int, row_count: int) -> float:
+        """Fraction of rows holding the single most common value."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier (``"uniform"``, ``"exponential"``)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformDistribution(ValueDistribution):
+    """Each row draws its value uniformly at random from the domain.
+
+    The expected number of distinct values among ``n`` uniform draws from a
+    domain of ``d`` values is the classic occupancy formula
+    ``d * (1 - (1 - 1/d) ** n)``.
+    """
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+    def distinct_count(self, domain_size: int, row_count: int) -> int:
+        self._check(domain_size, row_count)
+        if row_count == 0:
+            return 0
+        if domain_size == 1:
+            return 1
+        # Occupancy: computed in log space to stay stable for huge domains.
+        expected = domain_size * -math.expm1(row_count * math.log1p(-1.0 / domain_size))
+        return max(1, min(domain_size, row_count, round(expected)))
+
+    def most_common_fraction(self, domain_size: int, row_count: int) -> float:
+        self._check(domain_size, row_count)
+        if row_count == 0:
+            return 0.0
+        return max(1.0 / row_count, 1.0 / domain_size)
+
+    @staticmethod
+    def _check(domain_size: int, row_count: int) -> None:
+        if domain_size < 1:
+            raise CatalogError(f"domain_size must be >= 1, got {domain_size}")
+        if row_count < 0:
+            raise CatalogError(f"row_count must be >= 0, got {row_count}")
+
+
+class ExponentialDistribution(ValueDistribution):
+    """Exponentially skewed values: value ``i`` has probability ``~ q**i``.
+
+    This models the paper's "skewed (exponential) distribution". With decay
+    ``q`` (0 < q < 1), value probabilities are ``p_i = (1 - q) q^i``
+    (truncated and renormalized over the domain). Only values whose expected
+    count among ``row_count`` draws is at least one materialize, which caps
+    the distinct count well below the domain size — exactly the effect skew
+    has on real ``ANALYZE`` statistics.
+    """
+
+    def __init__(self, decay: float = 0.5):
+        if not 0.0 < decay < 1.0:
+            raise CatalogError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+
+    @property
+    def name(self) -> str:
+        return "exponential"
+
+    def distinct_count(self, domain_size: int, row_count: int) -> int:
+        UniformDistribution._check(domain_size, row_count)
+        if row_count == 0:
+            return 0
+        # Value i is expected to appear iff row_count * (1-q) q^i >= 1, i.e.
+        # i <= log(row_count * (1-q)) / log(1/q).
+        head = row_count * (1.0 - self.decay)
+        if head < 1.0:
+            return 1
+        visible = int(math.log(head) / -math.log(self.decay)) + 1
+        return max(1, min(domain_size, row_count, visible))
+
+    def most_common_fraction(self, domain_size: int, row_count: int) -> float:
+        UniformDistribution._check(domain_size, row_count)
+        if row_count == 0:
+            return 0.0
+        # The head value holds the (1 - q) mass of the (renormalized) series.
+        tail_mass = self.decay**domain_size
+        return min(1.0, (1.0 - self.decay) / (1.0 - tail_mass))
+
+    def __repr__(self) -> str:
+        return f"ExponentialDistribution(decay={self.decay})"

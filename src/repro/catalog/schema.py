@@ -1,0 +1,210 @@
+"""Schema container and the paper's synthetic-schema generator.
+
+:func:`paper_schema` reproduces the evaluation database of Section 3.1:
+
+* twenty-five relations with a geometric distribution (parameter ~1.5) of
+  cardinalities ranging from 100 to 2.5 million rows;
+* twenty-four columns per relation with geometrically distributed domain
+  sizes over the same range;
+* one index on a randomly chosen column of each relation;
+* uniform or skewed (exponential) value distributions.
+
+:class:`SchemaBuilder` exposes all of those as parameters so the maximum
+scale-up experiment (Table 3.3, "extended database schema") and tests can
+build larger or smaller catalogs from the same generative model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column, Index
+from repro.catalog.distributions import (
+    ExponentialDistribution,
+    UniformDistribution,
+    ValueDistribution,
+    geometric_steps,
+)
+from repro.catalog.relation import Relation
+from repro.errors import CatalogError
+from repro.util.rng import derive_rng
+
+__all__ = ["Schema", "SchemaBuilder", "paper_schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable set of relations forming a database schema."""
+
+    relations: tuple[Relation, ...]
+    name: str = "schema"
+    _by_name: dict[str, Relation] = field(init=False, repr=False, compare=False, hash=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise CatalogError("schema must contain at least one relation")
+        by_name: dict[str, Relation] = {}
+        for rel in self.relations:
+            if rel.name in by_name:
+                raise CatalogError(f"duplicate relation name {rel.name!r}")
+            by_name[rel.name] = rel
+        object.__setattr__(self, "_by_name", by_name)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name.
+
+        Raises:
+            CatalogError: if no such relation exists.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"schema has no relation {name!r}") from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def largest_relation(self) -> Relation:
+        """The relation with the most rows (the paper's star-hub choice)."""
+        return max(self.relations, key=lambda r: r.row_count)
+
+    def total_bytes(self) -> int:
+        """Approximate on-disk size of the schema's heap data."""
+        return sum(r.page_count * 8192 for r in self.relations)
+
+
+class SchemaBuilder:
+    """Seeded generator for synthetic schemas following the paper's model.
+
+    Example:
+        >>> schema = SchemaBuilder(seed=7, relation_count=5).build()
+        >>> len(schema)
+        5
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        relation_count: int = 25,
+        column_count: int = 24,
+        min_cardinality: int = 100,
+        max_cardinality: int = 2_500_000,
+        min_domain: int = 100,
+        max_domain: int = 2_500_000,
+        indexes_per_relation: int = 1,
+        key_indexed_columns: bool = True,
+        skewed: bool = False,
+        skew_decay: float = 0.5,
+        name: str = "paper-25",
+    ):
+        """Configure the generator.
+
+        Args:
+            seed: Root seed; everything downstream derives from it.
+            relation_count: Number of relations (25 in the paper; larger for
+                the extended scale-up schema).
+            column_count: Columns per relation (24 in the paper).
+            min_cardinality: Smallest relation row count.
+            max_cardinality: Largest relation row count.
+            min_domain: Smallest column domain size.
+            max_domain: Largest column domain size.
+            indexes_per_relation: Indexes built on random distinct columns.
+            key_indexed_columns: Give each indexed column a domain equal to
+                its relation's row count, making it key-like. This is the
+                warehouse PK/FK pattern the paper's own worked example
+                exhibits (Figure 2.3's cardinalities imply per-join
+                selectivities of roughly 1/|dimension|, i.e. joins that
+                preserve the fact-side cardinality). Without it, joins on
+                huge random domains collapse every intermediate to ~1 row
+                and join order stops mattering.
+            skewed: Use exponential value distributions instead of uniform.
+            skew_decay: Decay parameter of the exponential distribution.
+            name: Schema name.
+        """
+        if relation_count < 1:
+            raise CatalogError(f"relation_count must be >= 1, got {relation_count}")
+        if column_count < 1:
+            raise CatalogError(f"column_count must be >= 1, got {column_count}")
+        if not 0 <= indexes_per_relation <= column_count:
+            raise CatalogError(
+                "indexes_per_relation must be between 0 and column_count, "
+                f"got {indexes_per_relation}"
+            )
+        self.seed = seed
+        self.relation_count = relation_count
+        self.column_count = column_count
+        self.min_cardinality = min_cardinality
+        self.max_cardinality = max_cardinality
+        self.min_domain = min_domain
+        self.max_domain = max_domain
+        self.indexes_per_relation = indexes_per_relation
+        self.key_indexed_columns = key_indexed_columns
+        self.skewed = skewed
+        self.skew_decay = skew_decay
+        self.name = name
+
+    def _distribution(self) -> ValueDistribution:
+        if self.skewed:
+            return ExponentialDistribution(decay=self.skew_decay)
+        return UniformDistribution()
+
+    def build(self) -> Schema:
+        """Generate the schema."""
+        cardinalities = geometric_steps(
+            self.min_cardinality, self.max_cardinality, self.relation_count
+        )
+        domain_ladder = geometric_steps(
+            self.min_domain, self.max_domain, self.column_count
+        )
+        distribution = self._distribution()
+        relations = []
+        for rel_index, row_count in enumerate(cardinalities):
+            rng = derive_rng(self.seed, "relation", rel_index)
+            rel_name = f"R{rel_index + 1}"
+            # Shuffle the domain ladder so each relation assigns domain sizes
+            # to column positions differently, as random generation would.
+            domains = list(domain_ladder)
+            rng.shuffle(domains)
+            indexed = sorted(
+                rng.sample(range(self.column_count), self.indexes_per_relation)
+            )
+            if self.key_indexed_columns:
+                for col_index in indexed:
+                    domains[col_index] = row_count
+            columns = tuple(
+                Column(
+                    name=f"c{col_index + 1}",
+                    domain_size=domains[col_index],
+                    width=rng.choice((4, 4, 4, 8, 8, 16)),
+                    distribution=distribution,
+                )
+                for col_index in range(self.column_count)
+            )
+            indexes = tuple(Index(column_name=f"c{i + 1}") for i in indexed)
+            relations.append(
+                Relation(
+                    name=rel_name,
+                    row_count=row_count,
+                    columns=columns,
+                    indexes=indexes,
+                )
+            )
+        return Schema(relations=tuple(relations), name=self.name)
+
+
+def paper_schema(seed: int = 0, skewed: bool = False) -> Schema:
+    """The paper's 25-relation evaluation schema (Section 3.1).
+
+    Args:
+        seed: Root seed for the randomized parts (index placement, widths,
+            per-relation domain assignment).
+        skewed: Use the paper's skewed (exponential) data configuration.
+    """
+    return SchemaBuilder(seed=seed, skewed=skewed).build()

@@ -1,0 +1,141 @@
+"""Optimizer statistics — the ``ANALYZE`` equivalent.
+
+The paper runs PostgreSQL's ``Analyze`` command to populate the statistics the
+optimizer consumes. Here, :func:`analyze` derives the same quantities
+analytically from the schema's generative model: per-column distinct counts
+and most-common-value fractions (from the value-distribution models), row
+counts, page counts, and index availability.
+
+The cost and selectivity models consume only :class:`CatalogStatistics`;
+they never see the schema objects directly. That separation mirrors a real
+engine, where the planner reads ``pg_statistic``, not the heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.relation import Relation
+from repro.catalog.schema import Schema
+from repro.errors import CatalogError
+
+__all__ = ["ColumnStats", "TableStats", "CatalogStatistics", "analyze"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column.
+
+    Attributes:
+        name: Column name.
+        n_distinct: Estimated number of distinct values present.
+        most_common_frac: Fraction of rows holding the most common value
+            (drives skew-aware join selectivity).
+        width: Average width in bytes.
+        has_index: Whether a B-tree index covers the column.
+        domain_size: Size of the underlying value domain.
+    """
+
+    name: str
+    n_distinct: int
+    most_common_frac: float
+    width: int
+    has_index: bool
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_distinct < 0:
+            raise CatalogError(
+                f"column {self.name!r}: n_distinct must be >= 0, "
+                f"got {self.n_distinct}"
+            )
+        if not 0.0 <= self.most_common_frac <= 1.0:
+            raise CatalogError(
+                f"column {self.name!r}: most_common_frac must be in [0, 1], "
+                f"got {self.most_common_frac}"
+            )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one relation."""
+
+    name: str
+    row_count: int
+    page_count: int
+    row_width: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        """Look up column statistics.
+
+        Raises:
+            CatalogError: if no statistics exist for ``name``.
+        """
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"no statistics for column {self.name}.{name}"
+            ) from None
+
+
+class CatalogStatistics:
+    """The full statistics snapshot an optimizer plans against."""
+
+    def __init__(self, tables: dict[str, TableStats]):
+        if not tables:
+            raise CatalogError("statistics snapshot must cover some relations")
+        self._tables = dict(tables)
+
+    def table(self, name: str) -> TableStats:
+        """Look up table statistics.
+
+        Raises:
+            CatalogError: if ``name`` was not analyzed.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no statistics for relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+
+def _analyze_relation(rel: Relation) -> TableStats:
+    columns = {}
+    for col in rel.columns:
+        columns[col.name] = ColumnStats(
+            name=col.name,
+            n_distinct=col.distribution.distinct_count(col.domain_size, rel.row_count),
+            most_common_frac=col.distribution.most_common_fraction(
+                col.domain_size, rel.row_count
+            ),
+            width=col.width,
+            has_index=rel.has_index_on(col.name),
+            domain_size=col.domain_size,
+        )
+    return TableStats(
+        name=rel.name,
+        row_count=rel.row_count,
+        page_count=rel.page_count,
+        row_width=rel.row_width,
+        columns=columns,
+    )
+
+
+def analyze(schema: Schema) -> CatalogStatistics:
+    """Collect optimizer statistics for every relation of ``schema``.
+
+    This is the library's ``ANALYZE``: deterministic, derived from the
+    generative model rather than sampled from materialized data.
+    """
+    return CatalogStatistics({rel.name: _analyze_relation(rel) for rel in schema.relations})

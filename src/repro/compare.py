@@ -1,0 +1,109 @@
+"""One-call technique comparison for a single query.
+
+:func:`compare_techniques` is API sugar for the common interactive loop —
+"optimize this query every way and show me the differences" — without
+setting up the benchmark harness:
+
+    >>> from repro import paper_schema, analyze, compare_techniques
+    >>> from tests.conftest import make_star_query  # doctest: +SKIP
+    >>> print(compare_techniques(query))            # doctest: +SKIP
+    +-----------+... cost ratio, plans costed, memory, time per technique
+"""
+
+from __future__ import annotations
+
+from repro.catalog.statistics import CatalogStatistics, analyze
+from repro.core.base import OptimizerResult, SearchBudget
+from repro.core.registry import make_optimizer
+from repro.cost.model import CostModel
+from repro.errors import OptimizationBudgetExceeded
+from repro.query.query import Query
+from repro.util.tables import TextTable
+
+__all__ = ["compare_techniques", "ComparisonRow"]
+
+DEFAULT_TECHNIQUES = ("DP", "IDP(7)", "IDP(4)", "SDP", "GOO")
+
+
+class ComparisonRow:
+    """One technique's outcome in a single-query comparison.
+
+    Attributes:
+        technique: Technique name.
+        result: The full :class:`OptimizerResult`, or None if infeasible.
+        ratio: Cost ratio against the cheapest feasible technique.
+    """
+
+    __slots__ = ("technique", "result", "ratio")
+
+    def __init__(self, technique: str, result: OptimizerResult | None):
+        self.technique = technique
+        self.result = result
+        self.ratio: float | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+
+def compare_techniques(
+    query: Query,
+    techniques: tuple[str, ...] | list[str] = DEFAULT_TECHNIQUES,
+    stats: CatalogStatistics | None = None,
+    budget: SearchBudget | None = None,
+    cost_model: CostModel | None = None,
+    render: bool = True,
+) -> str | list[ComparisonRow]:
+    """Optimize ``query`` with each technique and tabulate the outcomes.
+
+    Args:
+        query: The query to optimize.
+        techniques: Technique names (see
+            :func:`repro.core.available_techniques`).
+        stats: Statistics snapshot; computed once when omitted.
+        budget: Per-optimization budget (default: 1 GB modeled memory).
+        cost_model: Cost constants.
+        render: Return a ready-to-print table (default); pass False for the
+            raw :class:`ComparisonRow` list.
+
+    The cost ratio column is normalized to the *cheapest feasible* plan, so
+    it reads as "how much worse than the best technique tried" — which is
+    the DP optimum whenever DP is in the list and feasible.
+    """
+    if stats is None:
+        stats = analyze(query.schema)
+    rows: list[ComparisonRow] = []
+    for technique in techniques:
+        optimizer = make_optimizer(technique, budget=budget, cost_model=cost_model)
+        try:
+            result = optimizer.optimize(query, stats)
+        except OptimizationBudgetExceeded:
+            result = None
+        rows.append(ComparisonRow(technique, result))
+    feasible = [row.result.cost for row in rows if row.result is not None]
+    if feasible:
+        best = min(feasible)
+        for row in rows:
+            if row.result is not None:
+                row.ratio = row.result.cost / best
+    if not render:
+        return rows
+
+    table = TextTable(
+        ["Technique", "Cost ratio", "Plans costed", "Memory (MB)", "Time (s)"],
+        title=f"Techniques on {query.label!r} ({query.relation_count} relations)",
+    )
+    for row in rows:
+        if row.result is None:
+            table.add_row([row.technique, "*", "*", "*", "*"])
+            continue
+        table.add_row(
+            [
+                row.technique,
+                f"{row.ratio:.4f}",
+                f"{row.result.plans_costed:,}",
+                f"{row.result.modeled_memory_mb:.2f}",
+                f"{row.result.elapsed_seconds:.3f}",
+            ]
+        )
+    return table.render()

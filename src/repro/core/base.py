@@ -1,0 +1,287 @@
+"""Shared optimizer infrastructure: budgets, counters, results, base class.
+
+Overheads in the paper are reported as three metrics — memory (MB), time
+(seconds) and "costing" (number of plans costed). Plans costed and time are
+measured directly; memory is **modeled**, because a pure-Python reproduction
+cannot observe a C engine's allocator. The model mirrors PostgreSQL's
+planner arena (``palloc`` memory that is not freed until planning ends):
+
+``arena = plans_costed * BYTES_PER_COSTED_PLAN
+        + retained_slots * BYTES_PER_RETAINED_PLAN
+        + enumerated_pairs * BYTES_PER_PAIR``
+
+IDP resets its arena between iterations (the restart discards the DP table);
+DP and SDP never do. Exceeding the memory budget — 1 GB by default, the
+paper's physical-memory limit — raises
+:class:`~repro.errors.OptimizationBudgetExceeded`, which benchmarks report
+as the paper's ``*`` (infeasible) entries. The byte constants are calibrated
+in one place below so the feasibility frontier lands where the paper's does
+(DP stars infeasible past ~17 relations, IDP(7) past ~21; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.catalog.statistics import CatalogStatistics, analyze
+from repro.cost.model import DEFAULT_COST_MODEL, CostModel
+from repro.errors import OptimizationBudgetExceeded, OptimizationError
+from repro.plans.nodes import PlanNode, build_plan_tree
+from repro.plans.records import PlanRecord
+from repro.query.query import Query
+from repro.util.timer import Timer
+
+__all__ = [
+    "SearchBudget",
+    "SearchCounters",
+    "OptimizerResult",
+    "Optimizer",
+    "BYTES_PER_COSTED_PLAN",
+    "BYTES_PER_RETAINED_PLAN",
+    "BYTES_PER_PAIR",
+]
+
+#: Modeled planner-arena bytes charged per costed plan alternative.
+#: Calibrated against the paper's reported footprints: DP on Star-Chain-15
+#: costs ~1.5E5 plans for ~32 MB there (~200 B/plan), and 200 B/plan places
+#: the feasibility frontier where the paper's is (DP stars die at ~17
+#: relations under 1 GB, IDP(7) at ~22).
+BYTES_PER_COSTED_PLAN = 200
+
+#: Modeled bytes per retained JCR plan slot (DP-table entry).
+BYTES_PER_RETAINED_PLAN = 400
+
+#: Modeled bytes per enumerated csg-cmp pair (search bookkeeping).
+BYTES_PER_PAIR = 24
+
+#: How many counter events pass between budget checks.
+_CHECK_INTERVAL = 2048
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Resource limits for one ``optimize()`` call.
+
+    Attributes:
+        max_memory_bytes: Modeled planner-arena ceiling (paper: 1 GB RAM).
+        max_plans_costed: Optional hard cap on costed plans.
+        max_seconds: Optional wall-clock cap.
+    """
+
+    max_memory_bytes: int | None = 1_000_000_000
+    max_plans_costed: int | None = None
+    max_seconds: float | None = None
+
+    @classmethod
+    def unlimited(cls) -> "SearchBudget":
+        """A budget that never trips (for small tests)."""
+        return cls(max_memory_bytes=None, max_plans_costed=None, max_seconds=None)
+
+
+class SearchCounters:
+    """Overhead accounting for one optimizer run.
+
+    Counters are cumulative for reporting; the *arena* component is the
+    modeled memory, which phase-oriented optimizers (IDP) may reset.
+    """
+
+    __slots__ = (
+        "plans_costed",
+        "jcrs_created",
+        "jcrs_pruned",
+        "retained_slots",
+        "enumerated_pairs",
+        "_arena_bytes",
+        "peak_arena_bytes",
+        "_budget",
+        "_timer",
+        "_countdown",
+    )
+
+    def __init__(self, budget: SearchBudget, timer: Timer):
+        self.plans_costed = 0
+        self.jcrs_created = 0
+        self.jcrs_pruned = 0
+        self.retained_slots = 0
+        self.enumerated_pairs = 0
+        self._arena_bytes = 0
+        self.peak_arena_bytes = 0
+        self._budget = budget
+        self._timer = timer
+        self._countdown = _CHECK_INTERVAL
+
+    # -- event notification ----------------------------------------------------
+
+    def note_plans_costed(self, count: int = 1) -> None:
+        self.plans_costed += count
+        self._charge(count * BYTES_PER_COSTED_PLAN, count)
+
+    def note_retained(self, count: int = 1) -> None:
+        self.retained_slots += count
+        self._charge(count * BYTES_PER_RETAINED_PLAN, count)
+
+    def note_pairs(self, count: int = 1) -> None:
+        self.enumerated_pairs += count
+        self._charge(count * BYTES_PER_PAIR, count)
+
+    def note_jcr_created(self) -> None:
+        self.jcrs_created += 1
+
+    def note_jcrs_pruned(self, count: int = 1) -> None:
+        # Pruned JCRs stop participating in the search but their arena bytes
+        # stay allocated (palloc semantics).
+        self.jcrs_pruned += count
+
+    def reset_arena(self, carry_bytes: int = 0) -> None:
+        """Drop the arena to ``carry_bytes`` (IDP's between-iteration reset)."""
+        if self._arena_bytes > self.peak_arena_bytes:
+            self.peak_arena_bytes = self._arena_bytes
+        self._arena_bytes = carry_bytes
+
+    # -- budget enforcement ------------------------------------------------------
+
+    def _charge(self, bytes_used: int, events: int) -> None:
+        self._arena_bytes += bytes_used
+        self._countdown -= events
+        if self._countdown <= 0:
+            self._countdown = _CHECK_INTERVAL
+            self.check_budget()
+
+    def check_budget(self) -> None:
+        """Raise :class:`OptimizationBudgetExceeded` if any limit is crossed."""
+        budget = self._budget
+        if (
+            budget.max_memory_bytes is not None
+            and self._arena_bytes > budget.max_memory_bytes
+        ):
+            raise OptimizationBudgetExceeded(
+                "memory", budget.max_memory_bytes, self._arena_bytes
+            )
+        if (
+            budget.max_plans_costed is not None
+            and self.plans_costed > budget.max_plans_costed
+        ):
+            raise OptimizationBudgetExceeded(
+                "costing", budget.max_plans_costed, self.plans_costed
+            )
+        if budget.max_seconds is not None:
+            elapsed = self._timer.peek()
+            if elapsed > budget.max_seconds:
+                raise OptimizationBudgetExceeded("time", budget.max_seconds, elapsed)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def arena_bytes(self) -> int:
+        return self._arena_bytes
+
+    @property
+    def modeled_memory_bytes(self) -> int:
+        """Peak modeled planner memory over the whole run."""
+        return max(self.peak_arena_bytes, self._arena_bytes)
+
+    @property
+    def modeled_memory_mb(self) -> float:
+        return self.modeled_memory_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """The outcome of one ``optimize()`` call.
+
+    Attributes:
+        technique: Optimizer name (``"DP"``, ``"IDP(7)"``, ``"SDP"``, ...).
+        plan: The chosen plan (internal record form; use :meth:`tree`).
+        cost: Estimated cost of ``plan`` (final sort included, if any).
+        rows: Estimated result cardinality.
+        plans_costed: Number of plan alternatives costed.
+        modeled_memory_mb: Peak modeled planner memory.
+        elapsed_seconds: Wall-clock optimization time.
+        jcrs_created: JCRs materialized during the search.
+        jcrs_pruned: JCRs discarded by pruning (SDP) or restarts (IDP).
+    """
+
+    technique: str
+    plan: PlanRecord
+    cost: float
+    rows: float
+    plans_costed: int
+    modeled_memory_mb: float
+    elapsed_seconds: float
+    jcrs_created: int
+    jcrs_pruned: int
+
+    def tree(self, query: Query) -> PlanNode:
+        """The plan as a public, validated tree."""
+        return build_plan_tree(self.plan, query.graph)
+
+
+class Optimizer(ABC):
+    """Base class for join-order optimizers.
+
+    Subclasses implement :meth:`_search`, returning the final plan record;
+    the base class handles statistics, timing, counters and result assembly.
+    """
+
+    #: Display name; subclasses override (e.g. ``"IDP(7)"``).
+    name: str = "optimizer"
+
+    def __init__(
+        self,
+        budget: SearchBudget | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.budget = budget if budget is not None else SearchBudget()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+
+    def optimize(
+        self,
+        query: Query,
+        stats: CatalogStatistics | None = None,
+    ) -> OptimizerResult:
+        """Optimize ``query`` and return the chosen plan with overheads.
+
+        Args:
+            query: The query to optimize.
+            stats: Pre-collected catalog statistics; computed via
+                :func:`repro.catalog.analyze` when omitted. Benchmarks pass
+                a shared snapshot so statistics collection is not charged to
+                any single optimizer.
+
+        Raises:
+            OptimizationBudgetExceeded: if the search outgrows its budget.
+            OptimizationError: if no complete plan exists (should not happen
+                for connected join graphs).
+        """
+        if stats is None:
+            stats = analyze(query.schema)
+        timer = Timer().start()
+        counters = SearchCounters(self.budget, timer)
+        plan = self._search(query, stats, counters, timer)
+        elapsed = timer.stop()
+        if plan is None:
+            raise OptimizationError(
+                f"{self.name} produced no plan for {query.label!r}"
+            )
+        return OptimizerResult(
+            technique=self.name,
+            plan=plan,
+            cost=plan.cost,
+            rows=plan.rows,
+            plans_costed=counters.plans_costed,
+            modeled_memory_mb=counters.modeled_memory_mb,
+            elapsed_seconds=elapsed,
+            jcrs_created=counters.jcrs_created,
+            jcrs_pruned=counters.jcrs_pruned,
+        )
+
+    @abstractmethod
+    def _search(
+        self,
+        query: Query,
+        stats: CatalogStatistics,
+        counters: SearchCounters,
+        timer: Timer,
+    ) -> PlanRecord:
+        """Run the search and return the finished plan record."""

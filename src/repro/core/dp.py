@@ -1,0 +1,70 @@
+"""Exhaustive dynamic-programming optimizer (the DP baseline).
+
+The classical System-R-style bottom-up search, bushy trees included,
+cartesian products excluded, interesting orders retained — the optimal
+reference every heuristic in the paper is judged against. Enumeration uses
+DPccp (:mod:`repro.core.dpccp`); pairs are bucketed by result size so all
+sub-JCRs exist before a pair is costed.
+
+Like PostgreSQL's planner on the paper's 1 GB machines, DP simply runs out
+of memory on dense graphs: the search charges every enumerated pair and
+costed plan against its :class:`~repro.core.base.SearchBudget`, and raises
+:class:`~repro.errors.OptimizationBudgetExceeded` (reported as ``*``) when
+the modeled arena exceeds it.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.statistics import CatalogStatistics
+from repro.core.base import Optimizer, SearchCounters
+from repro.core.dpccp import csg_cmp_pairs
+from repro.core.planspace import PlanSpace
+from repro.core.table import JCRTable
+from repro.errors import OptimizationError
+from repro.plans.records import PlanRecord
+from repro.query.query import Query
+from repro.util.timer import Timer
+
+__all__ = ["DynamicProgrammingOptimizer"]
+
+
+class DynamicProgrammingOptimizer(Optimizer):
+    """Exhaustive bushy DP over connected subgraphs."""
+
+    name = "DP"
+
+    def _search(
+        self,
+        query: Query,
+        stats: CatalogStatistics,
+        counters: SearchCounters,
+        timer: Timer,
+    ) -> PlanRecord:
+        graph = query.graph
+        space = PlanSpace(query, stats, self.cost_model, counters)
+        table = JCRTable(space.est)
+        for index in range(graph.n):
+            space.base_jcr(table, index)
+        if graph.n == 1:
+            return space.finalize(table.require(graph.all_mask))
+
+        neighbors = [graph.neighbor_mask(i) for i in range(graph.n)]
+        buckets: dict[int, list[tuple[int, int]]] = {}
+        for s1, s2 in csg_cmp_pairs(neighbors):
+            counters.note_pairs()
+            buckets.setdefault((s1 | s2).bit_count(), []).append((s1, s2))
+
+        for level in sorted(buckets):
+            for s1, s2 in buckets[level]:
+                left = table.get(s1)
+                right = table.get(s2)
+                if left is None or right is None:
+                    raise OptimizationError(
+                        "DP enumeration order violated: missing sub-JCR"
+                    )
+                space.join(table, left, right)
+
+        full = table.get(graph.all_mask)
+        if full is None:
+            raise OptimizationError("DP failed to build a complete plan")
+        return space.finalize(full)

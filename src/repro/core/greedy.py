@@ -1,0 +1,65 @@
+"""Greedy Operator Ordering (GOO) — an extra baseline beyond the paper.
+
+GOO (Fegaras) repeatedly joins the pair of current composites whose result
+cardinality is smallest until one composite remains. It bounds optimization
+cost at the price of plan quality, making it a useful context point below
+IDP in the quality-vs-effort trade-off of Figure 1.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.statistics import CatalogStatistics
+from repro.core.base import Optimizer, SearchCounters
+from repro.core.planspace import PlanSpace
+from repro.core.table import JCRTable
+from repro.errors import OptimizationError
+from repro.plans.records import PlanRecord
+from repro.query.query import Query
+from repro.util.timer import Timer
+
+__all__ = ["GreedyOptimizer"]
+
+
+class GreedyOptimizer(Optimizer):
+    """Minimum-intermediate-result greedy join ordering."""
+
+    name = "GOO"
+
+    def _search(
+        self,
+        query: Query,
+        stats: CatalogStatistics,
+        counters: SearchCounters,
+        timer: Timer,
+    ) -> PlanRecord:
+        graph = query.graph
+        space = PlanSpace(query, stats, self.cost_model, counters)
+        table = JCRTable(space.est)
+        nodes = [space.base_jcr(table, index) for index in range(graph.n)]
+
+        while len(nodes) > 1:
+            best_pair: tuple[int, int] | None = None
+            best_rows = math.inf
+            for i, a in enumerate(nodes):
+                a_neighbors = graph.neighbors(a.mask)
+                for j in range(i + 1, len(nodes)):
+                    b = nodes[j]
+                    if not a_neighbors & b.mask:
+                        continue
+                    rows = space.rows(a.mask | b.mask)
+                    if rows < best_rows:
+                        best_rows = rows
+                        best_pair = (i, j)
+            if best_pair is None:
+                raise OptimizationError("greedy search stuck: no joinable pair")
+            i, j = best_pair
+            joined = space.join(table, nodes[i], nodes[j])
+            if joined is None:
+                raise OptimizationError("greedy join unexpectedly failed")
+            nodes = [
+                node for k, node in enumerate(nodes) if k not in (i, j)
+            ] + [joined]
+
+        return space.finalize(nodes[0])

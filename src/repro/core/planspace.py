@@ -1,0 +1,419 @@
+"""The plan space: access paths, join alternatives, finishing touches.
+
+:class:`PlanSpace` is the glue between the search strategies and the cost
+model. Every optimizer (DP, IDP, SDP, greedy, randomized, genetic) drives
+the *same* plan space, so their results differ only by which JCR
+combinations they explore — the experimental control the paper has by
+implementing all techniques inside one PostgreSQL engine.
+
+For a pair of input JCRs the space costs, per direction where asymmetric:
+
+* a hash join of the cheapest input plans (unordered output);
+* a (materialized) nested loop per retained outer plan (outer order is
+  preserved, so ordered outers yield ordered outputs);
+* an index nested loop when the inner side is a base relation with an index
+  on a connecting join column;
+* a merge join per connecting equivalence class, sorting whichever inputs
+  lack the order (output sorted on that class).
+
+Every costed alternative is charged to the search counters (the paper's
+"Costing (in plans)" overhead). Because the exhaustive DP costs hundreds of
+thousands of alternatives per query, the hot path avoids materializing a
+:class:`~repro.plans.PlanRecord` unless :meth:`repro.plans.JCR.improves`
+says the candidate would actually be retained.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.statistics import CatalogStatistics, ColumnStats, TableStats
+from repro.core.base import SearchCounters
+from repro.core.table import JCRTable
+from repro.cost.cardinality import CardinalityEstimator
+from repro.cost.joins import (
+    hash_join_cost,
+    index_nestloop_cost,
+    merge_join_cost,
+    nestloop_cost,
+)
+from repro.cost.model import CostModel
+from repro.cost.scans import index_lookup_cost, index_scan_full_cost, seq_scan_cost
+from repro.cost.sorts import sort_cost
+from repro.errors import OptimizationError
+from repro.plans.jcr import JCR
+from repro.plans.ordering import useful_orders
+from repro.plans.records import (
+    HASH_JOIN,
+    INDEX_NESTLOOP,
+    INDEX_SCAN,
+    MERGE_JOIN,
+    NESTLOOP,
+    SEQ_SCAN,
+    SORT,
+    PlanRecord,
+)
+from repro.query.query import Query
+
+__all__ = ["PlanSpace"]
+
+
+class PlanSpace:
+    """Costing engine shared by all search strategies.
+
+    Args:
+        query: The query being optimized.
+        stats: Catalog statistics snapshot.
+        cost_model: Cost constants.
+        counters: Overhead accounting (plans costed, retained slots, ...).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        stats: CatalogStatistics,
+        cost_model: CostModel,
+        counters: SearchCounters,
+    ):
+        self.query = query
+        self.graph = query.graph
+        self.cm = cost_model
+        self.counters = counters
+        self.est = CardinalityEstimator(self.graph, stats)
+        self.order_by_eclass = query.order_by_eclass
+
+        graph = self.graph
+        self._tables: list[TableStats] = [
+            stats.table(name) for name in graph.relation_names
+        ]
+        # Per relation: [(eclass, column stats)] for indexed join columns.
+        self._indexed_join_columns: list[list[tuple[int, ColumnStats]]] = []
+        for index, table in enumerate(self._tables):
+            entries = []
+            for column in graph.join_columns_of(index):
+                col_stats = table.column(column)
+                if not col_stats.has_index:
+                    continue
+                eclass = graph.eclass_of_column(index, column)
+                if eclass is not None:
+                    entries.append((eclass, col_stats))
+            self._indexed_join_columns.append(entries)
+        self._useful_cache: dict[int, set[int]] = {}
+        self._sort_cost_cache: dict[int, float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def useful(self, mask: int) -> set[int]:
+        """Useful order keys for ``mask`` (cached)."""
+        cached = self._useful_cache.get(mask)
+        if cached is None:
+            cached = useful_orders(self.graph, mask, self.order_by_eclass)
+            self._useful_cache[mask] = cached
+        return cached
+
+    def _sort_cost(self, jcr: JCR) -> float:
+        """Cost of sorting ``jcr``'s output (cached per relation set)."""
+        cached = self._sort_cost_cache.get(jcr.mask)
+        if cached is None:
+            cached = sort_cost(jcr.rows, self.est.width(jcr.mask), self.cm)
+            self._sort_cost_cache[jcr.mask] = cached
+        return cached
+
+    def _offer(self, jcr: JCR, plan: PlanRecord, useful: set[int]) -> None:
+        slots_before = len(jcr.plans)
+        jcr.add(plan, useful)
+        if len(jcr.plans) > slots_before:
+            self.counters.note_retained()
+
+    # -- level 1: access paths ---------------------------------------------------
+
+    def base_jcr(self, table: JCRTable, relation_index: int) -> JCR:
+        """Build the access-path JCR for one base relation."""
+        mask = 1 << relation_index
+        jcr, created = table.get_or_create(mask)
+        if created:
+            self.counters.note_jcr_created()
+        useful = self.useful(mask)
+        stats_table = self._tables[relation_index]
+        cm = self.cm
+
+        seq = PlanRecord(
+            mask,
+            jcr.rows,
+            seq_scan_cost(stats_table, cm),
+            SEQ_SCAN,
+            rel=relation_index,
+        )
+        self.counters.note_plans_costed()
+        self._offer(jcr, seq, useful)
+
+        for eclass, _col_stats in self._indexed_join_columns[relation_index]:
+            if eclass not in useful:
+                continue
+            idx = PlanRecord(
+                mask,
+                jcr.rows,
+                index_scan_full_cost(stats_table, cm),
+                INDEX_SCAN,
+                order=eclass,
+                rel=relation_index,
+                eclass=eclass,
+            )
+            self.counters.note_plans_costed()
+            self._offer(jcr, idx, useful)
+        return jcr
+
+    # -- joins ---------------------------------------------------------------------
+
+    def join(self, table: JCRTable, left: JCR, right: JCR) -> JCR | None:
+        """Cost all join alternatives for ``left`` x ``right``.
+
+        Returns the (created or updated) output JCR, or None when the inputs
+        overlap or are not connected (cartesian products are not explored).
+        """
+        if left.mask & right.mask:
+            return None
+        preds = self.graph.connecting(left.mask, right.mask)
+        if not preds:
+            return None
+        union = left.mask | right.mask
+        jcr, created = table.get_or_create(union)
+        if created:
+            self.counters.note_jcr_created()
+        useful = self.useful(union)
+        out_rows = jcr.rows
+        cm = self.cm
+        costed = 0
+        slots_before = len(jcr.plans)
+
+        for outer, inner in ((left, right), (right, left)):
+            inner_best = inner.best
+            inner_best_cost = inner_best.cost
+            outer_rows = outer.rows
+            inner_rows = inner.rows
+
+            # Hash join: cheapest inputs, order destroyed.
+            cost = hash_join_cost(
+                outer_rows,
+                outer.best.cost,
+                inner_rows,
+                inner_best_cost,
+                self.est.width(inner.mask),
+                out_rows,
+                cm,
+            )
+            costed += 1
+            if jcr.improves(None, cost):
+                jcr.add(
+                    PlanRecord(
+                        union,
+                        out_rows,
+                        cost,
+                        HASH_JOIN,
+                        left=outer.best,
+                        right=inner_best,
+                    ),
+                    useful,
+                )
+
+            # Nested loop per retained outer plan (outer order preserved).
+            for outer_plan in outer.plans.values():
+                cost = nestloop_cost(
+                    outer_rows,
+                    outer_plan.cost,
+                    inner_rows,
+                    inner_best_cost,
+                    out_rows,
+                    cm,
+                )
+                costed += 1
+                order = outer_plan.order
+                key = order if order in useful else None
+                if jcr.improves(key, cost):
+                    jcr.add(
+                        PlanRecord(
+                            union,
+                            out_rows,
+                            cost,
+                            NESTLOOP,
+                            order=order,
+                            left=outer_plan,
+                            right=inner_best,
+                        ),
+                        useful,
+                    )
+
+            # Index nested loop: inner must be a base relation with an index
+            # on a join column connecting to the outer.
+            if inner.level == 1:
+                costed += self._index_nestloops(
+                    jcr, outer, inner, preds, out_rows, useful
+                )
+
+        # Merge joins, one per connecting equivalence class (symmetric).
+        for eclass in {p.eclass for p in preds}:
+            left_plan, left_cost = self._sorted_input(left, eclass)
+            right_plan, right_cost = self._sorted_input(right, eclass)
+            cost = merge_join_cost(
+                left.rows, left_cost, right.rows, right_cost, out_rows, cm
+            )
+            costed += 1
+            key = eclass if eclass in useful else None
+            if jcr.improves(key, cost):
+                jcr.add(
+                    PlanRecord(
+                        union,
+                        out_rows,
+                        cost,
+                        MERGE_JOIN,
+                        order=eclass,
+                        left=self._materialize_sorted(left, eclass, left_plan),
+                        right=self._materialize_sorted(right, eclass, right_plan),
+                        eclass=eclass,
+                    ),
+                    useful,
+                )
+
+        self.counters.note_plans_costed(costed)
+        new_slots = len(jcr.plans) - slots_before
+        if new_slots > 0:
+            self.counters.note_retained(new_slots)
+        return jcr
+
+    def _index_nestloops(
+        self,
+        jcr: JCR,
+        outer: JCR,
+        inner: JCR,
+        preds,
+        out_rows: float,
+        useful: set[int],
+    ) -> int:
+        """Cost index-NL candidates; returns how many were costed."""
+        inner_index = (inner.mask & -inner.mask).bit_length() - 1
+        inner_table = self._tables[inner_index]
+        cm = self.cm
+        costed = 0
+        seen_eclasses: set[int] = set()
+        for pred in preds:
+            if pred.left == inner_index:
+                column = pred.left_column
+            elif pred.right == inner_index:
+                column = pred.right_column
+            else:
+                continue
+            if pred.eclass in seen_eclasses:
+                continue
+            seen_eclasses.add(pred.eclass)
+            col_stats = inner_table.column(column)
+            if not col_stats.has_index:
+                continue
+            per_probe_rows = out_rows / max(1.0, outer.rows)
+            probe = index_lookup_cost(inner_table, col_stats, per_probe_rows, cm)
+            # The inner child of an index NL is a per-probe index access,
+            # not a full scan of the inner relation.
+            probe_record = PlanRecord(
+                inner.mask,
+                per_probe_rows,
+                probe,
+                INDEX_SCAN,
+                rel=inner_index,
+                eclass=pred.eclass,
+            )
+            for outer_plan in outer.plans.values():
+                cost = index_nestloop_cost(
+                    outer.rows, outer_plan.cost, probe, out_rows, cm
+                )
+                costed += 1
+                order = outer_plan.order
+                key = order if order in useful else None
+                if jcr.improves(key, cost):
+                    jcr.add(
+                        PlanRecord(
+                            jcr.mask,
+                            out_rows,
+                            cost,
+                            INDEX_NESTLOOP,
+                            order=order,
+                            left=outer_plan,
+                            right=probe_record,
+                            eclass=pred.eclass,
+                        ),
+                        useful,
+                    )
+        return costed
+
+    def _sorted_input(self, jcr: JCR, eclass: int) -> tuple[PlanRecord, float]:
+        """The cheapest way to feed ``jcr`` sorted on ``eclass``.
+
+        Returns ``(plan, cost)`` where ``plan`` is either an already-ordered
+        retained plan, or the unordered best — in which case ``cost``
+        includes a sort that :meth:`_materialize_sorted` will wrap lazily.
+        """
+        base = jcr.best
+        sorted_cost = base.cost + self._sort_cost(jcr)
+        ordered = jcr.plans.get(eclass)
+        if ordered is not None and ordered.cost <= sorted_cost:
+            return ordered, ordered.cost
+        return base, sorted_cost
+
+    def _materialize_sorted(
+        self, jcr: JCR, eclass: int, plan: PlanRecord
+    ) -> PlanRecord:
+        """Wrap ``plan`` in a Sort node if it lacks the ``eclass`` order."""
+        if plan.order == eclass:
+            return plan
+        return PlanRecord(
+            jcr.mask,
+            jcr.rows,
+            plan.cost + self._sort_cost(jcr),
+            SORT,
+            order=eclass,
+            left=plan,
+            eclass=eclass,
+        )
+
+    # -- finishing --------------------------------------------------------------
+
+    def finalize(self, jcr: JCR) -> PlanRecord:
+        """Pick the final plan, appending the ORDER BY sort when required.
+
+        With an ORDER BY on a join column, a retained plan already sorted on
+        that column skips the sort — the interesting-order payoff.
+        """
+        if jcr.mask != self.graph.all_mask:
+            raise OptimizationError(
+                f"finalize() called on incomplete JCR {jcr.mask:#x}"
+            )
+        if self.query.order_by is None:
+            return jcr.best
+        final_sort = self._sort_cost(jcr)
+        best: PlanRecord | None = None
+        for plan in jcr.plans.values():
+            if (
+                self.order_by_eclass is not None
+                and plan.order == self.order_by_eclass
+            ):
+                candidate = plan
+            else:
+                candidate = PlanRecord(
+                    jcr.mask,
+                    jcr.rows,
+                    plan.cost + final_sort,
+                    SORT,
+                    order=self.order_by_eclass,
+                    left=plan,
+                    eclass=self.order_by_eclass,
+                )
+            self.counters.note_plans_costed()
+            if best is None or candidate.cost < best.cost:
+                best = candidate
+        if best is None:
+            raise OptimizationError("JCR has no plans to finalize")
+        return best
+
+    # -- estimation passthroughs ---------------------------------------------------
+
+    def rows(self, mask: int) -> float:
+        return self.est.rows(mask)
+
+    def log_selectivity(self, mask: int) -> float:
+        return self.est.log_selectivity(mask)

@@ -1,0 +1,142 @@
+"""Consistent cardinality estimation for relation sets.
+
+Dynamic programming requires that every join order of the same relation set
+produce the *same* estimated output cardinality — otherwise plan comparison
+inside a JCR is meaningless. :class:`CardinalityEstimator` therefore
+estimates rows per *set* (bitmask), not per join tree:
+
+``rows(S) = prod(rows of members) * prod(eclass selectivity factors)``
+
+where each join equivalence class with ``t >= 2`` members inside ``S``
+contributes one factor (see :mod:`repro.cost.selectivity`). Estimates are
+memoized per mask for the lifetime of the estimator (one optimizer run).
+
+The estimator also produces the JCR feature-vector ingredients the SDP
+pruner needs: the (log-space) output selectivity ``S`` — the ratio of the
+JCR's output to the cartesian product of its base relations (Section 2.1.3).
+Log space keeps 45-relation products inside float range.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.statistics import CatalogStatistics, ColumnStats
+from repro.cost.selectivity import eclass_selectivity
+from repro.errors import CatalogError
+from repro.query.joingraph import JoinGraph
+
+__all__ = ["CardinalityEstimator"]
+
+
+class CardinalityEstimator:
+    """Memoizing per-relation-set cardinality estimator.
+
+    Args:
+        graph: The query's join graph.
+        stats: Catalog statistics for every graph relation.
+        min_rows: Lower clamp on any estimate (PostgreSQL clamps to 1).
+    """
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        stats: CatalogStatistics,
+        min_rows: float = 1.0,
+    ):
+        self._graph = graph
+        self._min_rows = min_rows
+
+        n = graph.n
+        self._base_rows: list[float] = [0.0] * n
+        self._base_log_rows: list[float] = [0.0] * n
+        self._base_width: list[int] = [0] * n
+        for index, name in enumerate(graph.relation_names):
+            table = stats.table(name)
+            if table.row_count < 1:
+                raise CatalogError(
+                    f"relation {name!r} has no rows; cannot estimate joins"
+                )
+            self._base_rows[index] = float(table.row_count)
+            self._base_log_rows[index] = math.log(table.row_count)
+            self._base_width[index] = table.row_width
+
+        # Pre-resolve, per eclass: (relation mask, [(relation bit, stats)]).
+        self._eclass_info: list[tuple[int, list[tuple[int, ColumnStats]]]] = []
+        for eclass, points in graph.eclasses.items():
+            mask = 0
+            members: list[tuple[int, ColumnStats]] = []
+            for rel_index, column in points:
+                name = graph.relation_names[rel_index]
+                members.append((1 << rel_index, stats.table(name).column(column)))
+                mask |= 1 << rel_index
+            self._eclass_info.append((mask, members))
+
+        self._rows_cache: dict[int, float] = {}
+        self._logsel_cache: dict[int, float] = {}
+        self._width_cache: dict[int, int] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def rows(self, mask: int) -> float:
+        """Estimated output rows of joining the relation set ``mask``."""
+        cached = self._rows_cache.get(mask)
+        if cached is not None:
+            return cached
+        if mask == 0:
+            raise CatalogError("cannot estimate the empty relation set")
+        log_rows = self._log_base_product(mask) + self._log_selectivity(mask)
+        rows = max(self._min_rows, math.exp(log_rows) if log_rows < 700 else math.inf)
+        self._rows_cache[mask] = rows
+        return rows
+
+    def log_selectivity(self, mask: int) -> float:
+        """Natural log of the JCR selectivity feature.
+
+        ``S = rows(mask) / prod(base rows)``; returned in log space
+        (always <= 0 up to the min-rows clamp).
+        """
+        return math.log(self.rows(mask)) - self._log_base_product(mask)
+
+    def width(self, mask: int) -> int:
+        """Estimated row width (bytes) of the join output for ``mask``."""
+        cached = self._width_cache.get(mask)
+        if cached is None:
+            cached = 0
+            remaining = mask
+            while remaining:
+                bit = remaining & -remaining
+                cached += self._base_width[bit.bit_length() - 1]
+                remaining ^= bit
+            self._width_cache[mask] = cached
+        return cached
+
+    def base_rows(self, index: int) -> float:
+        """Row count of base relation ``index``."""
+        return self._base_rows[index]
+
+    # -- internals -------------------------------------------------------------
+
+    def _log_base_product(self, mask: int) -> float:
+        total = 0.0
+        remaining = mask
+        while remaining:
+            bit = remaining & -remaining
+            total += self._base_log_rows[bit.bit_length() - 1]
+            remaining ^= bit
+        return total
+
+    def _log_selectivity(self, mask: int) -> float:
+        cached = self._logsel_cache.get(mask)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for eclass_mask, members in self._eclass_info:
+            inside = eclass_mask & mask
+            if inside == 0 or inside & (inside - 1) == 0:
+                continue  # fewer than two member relations inside the set
+            present = [stats for bit, stats in members if bit & mask]
+            if len(present) >= 2:
+                total += math.log(eclass_selectivity(present))
+        self._logsel_cache[mask] = total
+        return total

@@ -1,0 +1,100 @@
+"""Join-method costing.
+
+All functions take the already-estimated input/output cardinalities plus the
+input plans' costs and return the total cost of the join plan. They are pure
+float arithmetic — the planner glue (``repro.core.planspace``) decides which
+methods are applicable and what the output ordering is.
+
+Shapes follow PostgreSQL's ``costsize.c``:
+
+* **nested loop** — outer cost + one inner execution + discounted inner
+  rescans (models a materialized inner), plus per-pair qual evaluation;
+* **index nested loop** — outer cost + one index probe per outer row
+  (costed via :func:`repro.cost.scans.index_lookup_cost`);
+* **hash join** — build the smaller side into a hash table, probe with the
+  other, spill penalty when the build side exceeds ``work_mem``;
+* **merge join** — one interleaved pass over both (sorted) inputs; input
+  sort costs are charged by the caller when an input lacks the order.
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+
+__all__ = [
+    "nestloop_cost",
+    "index_nestloop_cost",
+    "hash_join_cost",
+    "merge_join_cost",
+]
+
+
+def nestloop_cost(
+    outer_rows: float,
+    outer_cost: float,
+    inner_rows: float,
+    inner_cost: float,
+    out_rows: float,
+    cm: CostModel,
+) -> float:
+    """Materialized nested-loop join (no index on the inner)."""
+    rescans = max(0.0, outer_rows - 1.0)
+    rescan_cost = inner_rows * cm.cpu_tuple_cost * cm.rescan_discount
+    qual = outer_rows * inner_rows * cm.cpu_operator_cost
+    return (
+        outer_cost
+        + inner_cost
+        + rescans * rescan_cost
+        + qual
+        + out_rows * cm.cpu_tuple_cost
+    )
+
+
+def index_nestloop_cost(
+    outer_rows: float,
+    outer_cost: float,
+    probe_cost: float,
+    out_rows: float,
+    cm: CostModel,
+) -> float:
+    """Index nested-loop join: one index probe per outer row.
+
+    Args:
+        probe_cost: Per-probe cost from
+            :func:`repro.cost.scans.index_lookup_cost`.
+    """
+    return outer_cost + outer_rows * probe_cost + out_rows * cm.cpu_tuple_cost
+
+
+def hash_join_cost(
+    outer_rows: float,
+    outer_cost: float,
+    inner_rows: float,
+    inner_cost: float,
+    inner_width: int,
+    out_rows: float,
+    cm: CostModel,
+) -> float:
+    """Hash join with the inner as the build side."""
+    build = inner_rows * (cm.cpu_operator_cost + cm.cpu_tuple_cost)
+    probe = outer_rows * cm.cpu_operator_cost * 1.5
+    total = outer_cost + inner_cost + build + probe + out_rows * cm.cpu_tuple_cost
+    build_bytes = inner_rows * max(1, inner_width)
+    if build_bytes > cm.work_mem_bytes:
+        # Grace/hybrid hash: both sides written out and read back once.
+        spill_pages = (build_bytes + outer_rows * max(1, inner_width)) / cm.page_size
+        total += 2.0 * spill_pages * cm.seq_page_cost
+    return total
+
+
+def merge_join_cost(
+    left_rows: float,
+    left_cost: float,
+    right_rows: float,
+    right_cost: float,
+    out_rows: float,
+    cm: CostModel,
+) -> float:
+    """Merge join over inputs already sorted on the join key."""
+    merge = (left_rows + right_rows) * cm.cpu_operator_cost
+    return left_cost + right_cost + merge + out_rows * cm.cpu_tuple_cost

@@ -1,0 +1,31 @@
+"""Explicit sort costing."""
+
+from __future__ import annotations
+
+import math
+
+from repro.cost.model import CostModel
+
+__all__ = ["sort_cost"]
+
+
+def sort_cost(rows: float, width: int, cm: CostModel) -> float:
+    """Cost of sorting ``rows`` tuples of ``width`` bytes.
+
+    In-memory: ``2 * cpu_operator_cost * rows * log2(rows)`` comparisons
+    (PostgreSQL's ``cost_sort`` shape). If the data exceeds ``work_mem``,
+    an external merge adds one read+write pass over the spilled pages.
+    The returned cost covers sorting plus emitting the rows.
+    """
+    if rows <= 0:
+        return 0.0
+    effective_rows = max(rows, 2.0)
+    compare = 2.0 * cm.cpu_operator_cost * effective_rows * math.log2(effective_rows)
+    emit = rows * cm.cpu_tuple_cost
+    data_bytes = rows * max(1, width)
+    if data_bytes <= cm.work_mem_bytes:
+        return compare + emit
+    pages = data_bytes / cm.page_size
+    # One external merge pass: write all runs, read them back.
+    spill_io = 2.0 * pages * cm.seq_page_cost
+    return compare + emit + spill_io

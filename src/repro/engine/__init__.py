@@ -1,0 +1,36 @@
+"""A small columnar execution engine for optimizer plans.
+
+The paper runs inside a real engine (PostgreSQL 8.1.2), so every plan it
+costs could also be *executed*. This package restores that ability to the
+reproduction: it materializes the synthetic catalog's data (seeded, scaled),
+executes the optimizers' plan trees — sequential/index scans, nested-loop /
+index-NL / hash / merge joins, sorts — and reports per-operator actual
+cardinalities next to the optimizer's estimates.
+
+That closes the loop the paper's testbed closes implicitly: the cardinality
+and cost models can be validated against ground truth (see the
+``ext-estimation`` experiment), and any plan returned by any optimizer is
+demonstrably runnable.
+
+The engine is deliberately columnar-and-simple: relations are NumPy column
+arrays, intermediate results are per-relation row-id vectors, and all join
+methods produce identical relational results (they differ in how a real
+system would spend time, which the *cost model* captures — the engine's job
+is semantics and actual row counts, not microbenchmarking Python).
+
+Public API:
+    :class:`Database`, :func:`materialize` — seeded data generation.
+    :class:`Executor`, :class:`ExecutionResult`, :class:`OperatorActual` —
+    plan execution with per-operator actuals.
+"""
+
+from repro.engine.database import Database, materialize
+from repro.engine.executor import ExecutionResult, Executor, OperatorActual
+
+__all__ = [
+    "Database",
+    "materialize",
+    "Executor",
+    "ExecutionResult",
+    "OperatorActual",
+]

@@ -1,0 +1,296 @@
+"""Plan execution over a materialized :class:`~repro.engine.Database`.
+
+The executor walks the optimizer's internal plan records (which carry
+relation indices, masks and join eclasses) and produces the actual result
+rows, collecting an :class:`OperatorActual` per operator — estimated versus
+actual cardinality — which is what the estimate-validation experiment
+consumes.
+
+Intermediate results are *row-id vectors per base relation*, all aligned:
+row ``i`` of the intermediate is the combination of
+``relation[r].row(rows[r][i])`` for every participating relation ``r``.
+Every join method computes the same relational result (an equi-join over
+the predicates connecting its input sets); method choice is a cost-model
+concern, not a semantics one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.errors import PlanError
+from repro.plans.records import (
+    INDEX_NESTLOOP,
+    INDEX_SCAN,
+    JOIN_METHODS,
+    SEQ_SCAN,
+    SORT,
+    PlanRecord,
+)
+from repro.query.query import Query
+
+__all__ = ["Executor", "ExecutionResult", "OperatorActual"]
+
+#: Safety cap on intermediate result size (expanding joins at full scale).
+MAX_INTERMEDIATE_ROWS = 20_000_000
+
+
+@dataclass(frozen=True)
+class OperatorActual:
+    """Estimated vs actual output cardinality of one plan operator."""
+
+    method: str
+    relations: tuple[str, ...]
+    estimated_rows: float
+    actual_rows: int
+
+    @property
+    def q_error(self) -> float:
+        """Symmetric estimation error ``max(est/act, act/est)`` (>= 1)."""
+        estimated = max(self.estimated_rows, 1.0)
+        actual = max(float(self.actual_rows), 1.0)
+        return max(estimated / actual, actual / estimated)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one plan."""
+
+    row_count: int
+    actuals: tuple[OperatorActual, ...]
+
+    @property
+    def max_q_error(self) -> float:
+        return max((a.q_error for a in self.actuals), default=1.0)
+
+    def join_actuals(self) -> list[OperatorActual]:
+        """Actuals for join operators only (scans are exact by design)."""
+        return [a for a in self.actuals if a.method in JOIN_METHODS]
+
+
+class _Intermediate:
+    """Aligned row-id vectors per relation index."""
+
+    __slots__ = ("rows", "order")
+
+    def __init__(self, rows: dict[int, np.ndarray], order: int | None):
+        self.rows = rows
+        self.order = order
+
+    def __len__(self) -> int:
+        first = next(iter(self.rows.values()))
+        return len(first)
+
+    def take(self, positions: np.ndarray) -> "_Intermediate":
+        return _Intermediate(
+            {rel: ids[positions] for rel, ids in self.rows.items()}, None
+        )
+
+
+def _densify(values: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map values to dense ranks [0, k); returns (ranks, k)."""
+    _unique, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64), len(_unique)
+
+
+def _combine_keys(arrays: list[np.ndarray]) -> np.ndarray:
+    """Combine several key columns into one collision-free int64 key."""
+    combined, cardinality = _densify(arrays[0])
+    for array in arrays[1:]:
+        ranks, k = _densify(array)
+        combined, cardinality = _densify(combined * k + ranks)
+    return combined
+
+
+class Executor:
+    """Executes optimizer plan records against a database.
+
+    Args:
+        query: The query the plan belongs to (provides the join graph; the
+            query's schema must match ``database.schema``).
+        database: Materialized data.
+    """
+
+    def __init__(self, query: Query, database: Database):
+        self.query = query
+        self.graph = query.graph
+        self.db = database
+        self._actuals: list[OperatorActual] = []
+
+    # -- public -----------------------------------------------------------------
+
+    def run(self, plan: PlanRecord) -> ExecutionResult:
+        """Execute ``plan`` and return actual cardinalities."""
+        self._actuals = []
+        result = self._execute(plan)
+        return ExecutionResult(
+            row_count=len(result), actuals=tuple(self._actuals)
+        )
+
+    # -- operators -----------------------------------------------------------------
+
+    def _execute(self, plan: PlanRecord) -> _Intermediate:
+        if plan.method == SEQ_SCAN:
+            result = self._scan(plan, ordered=False)
+        elif plan.method == INDEX_SCAN:
+            result = self._scan(plan, ordered=True)
+        elif plan.method == SORT:
+            result = self._sort(plan)
+        elif plan.method in JOIN_METHODS:
+            result = self._join(plan)
+        else:
+            raise PlanError(f"executor cannot run method {plan.method!r}")
+        self._actuals.append(
+            OperatorActual(
+                method=plan.method,
+                relations=tuple(self.graph.relations_of(plan.mask)),
+                estimated_rows=plan.rows,
+                actual_rows=len(result),
+            )
+        )
+        return result
+
+    def _scan(self, plan: PlanRecord, ordered: bool) -> _Intermediate:
+        if plan.rel is None:
+            raise PlanError("scan record without relation")
+        name = self.graph.relation_names[plan.rel]
+        count = self.db.row_count(name)
+        if ordered:
+            column = self._eclass_column(plan.rel, plan.eclass)
+            try:
+                ids = self.db.index_order(name, column)
+            except Exception:
+                ids = np.argsort(self.db.column(name, column), kind="stable")
+            return _Intermediate({plan.rel: ids.copy()}, plan.order)
+        return _Intermediate({plan.rel: np.arange(count)}, None)
+
+    def _sort(self, plan: PlanRecord) -> _Intermediate:
+        if plan.left is None:
+            raise PlanError("Sort record without input")
+        child = self._execute(plan.left)
+        if plan.order is None:
+            return child
+        keys = self._order_keys(child, plan.order)
+        if keys is None:
+            return child
+        positions = np.argsort(keys, kind="stable")
+        sorted_result = child.take(positions)
+        sorted_result.order = plan.order
+        return sorted_result
+
+    def _join(self, plan: PlanRecord) -> _Intermediate:
+        if plan.left is None or plan.right is None:
+            raise PlanError("join record missing children")
+        left = self._execute(plan.left)
+        right = self._execute(plan.right)
+        preds = self.graph.connecting(plan.left.mask, plan.right.mask)
+        if not preds:
+            raise PlanError("executing a cartesian product is not supported")
+
+        left_keys, right_keys = [], []
+        for pred in preds:
+            if (1 << pred.left) & plan.left.mask:
+                l_rel, l_col = pred.left, pred.left_column
+                r_rel, r_col = pred.right, pred.right_column
+            else:
+                l_rel, l_col = pred.right, pred.right_column
+                r_rel, r_col = pred.left, pred.left_column
+            left_keys.append(self._values(left, l_rel, l_col))
+            right_keys.append(self._values(right, r_rel, r_col))
+        if len(left_keys) == 1:
+            lk, rk = left_keys[0], right_keys[0]
+        else:
+            # Multi-predicate join: rank the key *tuples* jointly so equal
+            # tuples on either side share one combined key.
+            joint = [
+                np.concatenate([lcol, rcol])
+                for lcol, rcol in zip(left_keys, right_keys)
+            ]
+            combined = _combine_keys(joint)
+            lk = combined[: len(left_keys[0])]
+            rk = combined[len(left_keys[0]) :]
+
+        l_pos, r_pos = _match_pairs(lk, rk)
+        if len(l_pos) > MAX_INTERMEDIATE_ROWS:
+            raise PlanError(
+                f"intermediate result exceeds {MAX_INTERMEDIATE_ROWS} rows"
+            )
+        rows: dict[int, np.ndarray] = {}
+        for rel, ids in left.rows.items():
+            rows[rel] = ids[l_pos]
+        for rel, ids in right.rows.items():
+            rows[rel] = ids[r_pos]
+        return _Intermediate(rows, plan.order)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _values(
+        self, intermediate: _Intermediate, rel: int, column: str
+    ) -> np.ndarray:
+        name = self.graph.relation_names[rel]
+        ids = intermediate.rows.get(rel)
+        if ids is None:
+            raise PlanError(
+                f"join predicate references {name} outside its input"
+            )
+        return self.db.column(name, column)[ids]
+
+    def _eclass_column(self, rel: int, eclass: int | None) -> str:
+        if eclass is not None:
+            for member_rel, column in self.graph.eclasses.get(eclass, ()):
+                if member_rel == rel:
+                    return column
+        indexed = self.db.schema.relation(
+            self.graph.relation_names[rel]
+        ).indexed_columns
+        if indexed:
+            return indexed[0]
+        raise PlanError(
+            f"cannot determine scan column for relation index {rel}"
+        )
+
+    def _order_keys(
+        self, intermediate: _Intermediate, eclass: int
+    ) -> np.ndarray | None:
+        for rel, column in self.graph.eclasses.get(eclass, ()):
+            if rel in intermediate.rows:
+                return self._values(intermediate, rel, column)
+        return None
+
+
+def _match_pairs(lk: np.ndarray, rk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (left position, right position) pairs with equal keys."""
+    if len(lk) == 0 or len(rk) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    l_order = np.argsort(lk, kind="stable")
+    r_order = np.argsort(rk, kind="stable")
+    l_sorted = lk[l_order]
+    r_sorted = rk[r_order]
+    common, l_first, r_first = np.intersect1d(
+        l_sorted, r_sorted, assume_unique=False, return_indices=True
+    )
+    if len(common) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    # run lengths of each common value on both sides
+    l_counts = np.searchsorted(l_sorted, common, side="right") - np.searchsorted(
+        l_sorted, common, side="left"
+    )
+    r_counts = np.searchsorted(r_sorted, common, side="right") - np.searchsorted(
+        r_sorted, common, side="left"
+    )
+    l_starts = np.searchsorted(l_sorted, common, side="left")
+    r_starts = np.searchsorted(r_sorted, common, side="left")
+
+    l_parts: list[np.ndarray] = []
+    r_parts: list[np.ndarray] = []
+    for i in range(len(common)):
+        l_block = l_order[l_starts[i] : l_starts[i] + l_counts[i]]
+        r_block = r_order[r_starts[i] : r_starts[i] + r_counts[i]]
+        l_parts.append(np.repeat(l_block, len(r_block)))
+        r_parts.append(np.tile(r_block, len(l_block)))
+    return np.concatenate(l_parts), np.concatenate(r_parts)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch everything the library signals with a single ``except`` clause while
+still being able to discriminate the precise failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CatalogError(ReproError):
+    """The schema or statistics definition is invalid or inconsistent."""
+
+
+class JoinGraphError(ReproError):
+    """A join graph is malformed (unknown relation, self-edge, disconnected)."""
+
+
+class QueryError(ReproError):
+    """The query specification is invalid (bad ORDER BY, empty graph, ...)."""
+
+
+class PlanError(ReproError):
+    """A physical plan is malformed or fails validation."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan for a well-formed query."""
+
+
+class OptimizationBudgetExceeded(OptimizationError):
+    """The optimizer exceeded its memory or plan-costing budget.
+
+    Benchmarks report queries that raise this as infeasible — the ``*``
+    entries of the paper's tables.
+
+    Attributes:
+        resource: Which budget was exhausted, ``"memory"`` or ``"costing"``
+            or ``"time"``.
+        limit: The configured budget value.
+        used: The value observed when the budget tripped.
+    """
+
+    def __init__(self, resource: str, limit: float, used: float):
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"optimization exceeded its {resource} budget "
+            f"(limit={limit:g}, used={used:g})"
+        )
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was configured inconsistently."""

@@ -1,0 +1,54 @@
+"""Plan representation.
+
+Two tiers:
+
+* **Search-time records** (:class:`PlanRecord`) — tiny ``__slots__`` objects
+  the optimizers allocate by the hundreds of thousands. A record carries the
+  relation-set bitmask, estimated rows/cost, the physical operator, its
+  output ordering (a join-column equivalence class id, or None) and child
+  references.
+* **Public plan trees** (:class:`PlanNode`) — the friendly, named,
+  validated structure returned to users, with an EXPLAIN-style renderer.
+
+:class:`JCR` (Join-Composite-Relation, the paper's term after [7]) groups the
+retained plans for one relation set: the cheapest plan overall plus the
+cheapest plan per interesting order, and exposes the ``[Rows, Cost,
+Selectivity]`` feature vector SDP prunes on.
+"""
+
+from repro.plans.explain import explain
+from repro.plans.jcr import JCR
+from repro.plans.nodes import PlanNode, build_plan_tree
+from repro.plans.ordering import useful_orders
+from repro.plans.records import (
+    HASH_JOIN,
+    INDEX_NESTLOOP,
+    INDEX_SCAN,
+    JOIN_METHODS,
+    MERGE_JOIN,
+    NESTLOOP,
+    SCAN_METHODS,
+    SEQ_SCAN,
+    SORT,
+    PlanRecord,
+)
+from repro.plans.validate import validate_plan
+
+__all__ = [
+    "PlanRecord",
+    "PlanNode",
+    "JCR",
+    "build_plan_tree",
+    "explain",
+    "validate_plan",
+    "useful_orders",
+    "SEQ_SCAN",
+    "INDEX_SCAN",
+    "SORT",
+    "NESTLOOP",
+    "INDEX_NESTLOOP",
+    "HASH_JOIN",
+    "MERGE_JOIN",
+    "JOIN_METHODS",
+    "SCAN_METHODS",
+]

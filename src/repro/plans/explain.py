@@ -1,0 +1,35 @@
+"""EXPLAIN-style plan rendering."""
+
+from __future__ import annotations
+
+from repro.plans.nodes import PlanNode
+
+__all__ = ["explain"]
+
+
+def explain(node: PlanNode) -> str:
+    """Render a plan tree in a PostgreSQL-EXPLAIN-like indented format.
+
+    Example output::
+
+        HashJoin  (rows=1840 cost=612.4)
+          SeqScan on R3  (rows=225 cost=5.5)
+          IndexNestLoop  (rows=981 cost=410.2) [sorted on R1.c4]
+            ...
+    """
+    lines: list[str] = []
+    _render(node, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    label = node.method
+    if node.relation is not None:
+        label += f" on {node.relation}"
+    suffix = f"  (rows={node.rows:.0f} cost={node.cost:.1f})"
+    if node.order_column:
+        suffix += f" [sorted on {node.order_column}]"
+    lines.append(indent + label + suffix)
+    for child in node.children:
+        _render(child, depth + 1, lines)

@@ -1,0 +1,124 @@
+"""Join-Composite-Relations (JCRs).
+
+A JCR is "any group of relations that are joined together during the
+optimization process" (Section 2.1, following [7]). Each JCR carries a set
+of plans: the lowest-cost plan plus the incomparable plans that produce
+interesting orders, and — for SDP — the feature vector
+``[Rows, Cost, Selectivity]`` the skyline pruner operates on.
+
+Selectivity is stored in natural-log space (a strictly monotone transform,
+hence skyline-equivalent) so that the cartesian products of 40+-relation
+composites stay inside float range; see
+:meth:`repro.cost.CardinalityEstimator.log_selectivity`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.plans.records import PlanRecord
+
+__all__ = ["JCR"]
+
+
+class JCR:
+    """The retained plans and feature vector for one relation set.
+
+    Attributes:
+        mask: Bitmask of member base relations.
+        level: Number of member relations.
+        rows: Estimated output cardinality (shared by all plans).
+        log_sel: Output selectivity (natural log), the S feature.
+        plans: Retained plans keyed by order (None = cheapest unordered).
+    """
+
+    __slots__ = ("mask", "level", "rows", "log_sel", "plans", "_best")
+
+    def __init__(self, mask: int, rows: float, log_sel: float):
+        if mask == 0:
+            raise PlanError("JCR mask must be non-empty")
+        self.mask = mask
+        self.level = mask.bit_count()
+        self.rows = rows
+        self.log_sel = log_sel
+        self.plans: dict[int | None, PlanRecord] = {}
+        self._best: PlanRecord | None = None
+
+    def improves(self, key: int | None, cost: float) -> bool:
+        """Would a plan with order slot ``key`` and ``cost`` be retained?
+
+        The hot search path calls this *before* materializing a
+        :class:`PlanRecord`, skipping the allocation for the large majority
+        of costed alternatives that lose to an incumbent.
+
+        Args:
+            key: The order slot, already demoted to None if not useful.
+            cost: The candidate's total cost.
+        """
+        incumbent = self.plans.get(key)
+        return incumbent is None or cost < incumbent.cost
+
+    def add(self, plan: PlanRecord, useful: set[int] | None = None) -> bool:
+        """Offer a plan; keep it if it improves its order slot.
+
+        Args:
+            plan: Candidate plan (``plan.mask`` must equal the JCR's mask).
+            useful: Order keys worth retaining; orders outside the set are
+                demoted to None (unordered). ``None`` means keep any order.
+
+        Returns:
+            True if the plan was retained.
+        """
+        if plan.mask != self.mask:
+            raise PlanError(
+                f"plan mask {plan.mask:#x} does not match JCR {self.mask:#x}"
+            )
+        key = plan.order
+        if key is not None and useful is not None and key not in useful:
+            key = None
+        incumbent = self.plans.get(key)
+        improved = False
+        if incumbent is None or plan.cost < incumbent.cost:
+            self.plans[key] = plan
+            improved = True
+        if self._best is None or plan.cost < self._best.cost:
+            self._best = plan
+            improved = True
+        return improved
+
+    @property
+    def best(self) -> PlanRecord:
+        """The cheapest retained plan.
+
+        Raises:
+            PlanError: if no plan has been added yet.
+        """
+        if self._best is None:
+            raise PlanError(f"JCR {self.mask:#x} has no plans")
+        return self._best
+
+    @property
+    def best_cost(self) -> float:
+        return self.best.cost
+
+    def plan_for_order(self, eclass: int | None) -> PlanRecord | None:
+        """Cheapest retained plan sorted on ``eclass`` (None = unordered)."""
+        return self.plans.get(eclass)
+
+    @property
+    def plan_count(self) -> int:
+        """Number of retained plan slots (the modeled-memory unit)."""
+        return len(self.plans)
+
+    def feature_vector(self) -> tuple[float, float, float]:
+        """The SDP feature vector ``(R, C, S)``, all minimized.
+
+        R = estimated rows, C = cost of the cheapest plan, S = output
+        selectivity in log space.
+        """
+        return (self.rows, self.best.cost, self.log_sel)
+
+    def __repr__(self) -> str:
+        return (
+            f"JCR(mask={self.mask:#x}, level={self.level}, rows={self.rows:.0f}, "
+            f"plans={len(self.plans)})"
+        )

@@ -1,0 +1,113 @@
+"""Public plan trees.
+
+The optimizers return :class:`PlanNode` trees — immutable, name-resolved and
+printable — built from the internal :class:`repro.plans.PlanRecord` chain by
+:func:`build_plan_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.plans.records import PlanRecord, SCAN_METHODS, SORT
+from repro.query.joingraph import JoinGraph
+
+__all__ = ["PlanNode", "build_plan_tree"]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator of a finished physical plan.
+
+    Attributes:
+        method: Operator name (``SeqScan``, ``HashJoin``, ...).
+        relations: Names of the base relations this subtree produces.
+        rows: Estimated output rows.
+        cost: Estimated total cost of the subtree.
+        order_column: ``"Rel.col"`` the output is sorted on, if any.
+        children: Child operators (0 for scans, 1 for Sort, 2 for joins).
+        relation: For scans, the scanned relation's name.
+    """
+
+    method: str
+    relations: tuple[str, ...]
+    rows: float
+    cost: float
+    order_column: str | None
+    children: tuple["PlanNode", ...]
+    relation: str | None = None
+
+    @property
+    def is_scan(self) -> bool:
+        return self.method in SCAN_METHODS
+
+    def leaf_relations(self) -> list[str]:
+        """Base relation names, left to right."""
+        if not self.children:
+            return [self.relation] if self.relation else []
+        leaves: list[str] = []
+        for child in self.children:
+            leaves.extend(child.leaf_relations())
+        return leaves
+
+    def walk(self):
+        """Yield every node of the subtree, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _order_label(graph: JoinGraph, eclass: int | None) -> str | None:
+    if eclass is None:
+        return None
+    members = graph.eclasses.get(eclass)
+    if not members:
+        return f"eclass#{eclass}"
+    rel, col = members[0]
+    return f"{graph.relation_names[rel]}.{col}"
+
+
+def build_plan_tree(record: PlanRecord, graph: JoinGraph) -> PlanNode:
+    """Convert an internal plan record into a public :class:`PlanNode` tree.
+
+    Raises:
+        PlanError: if the record chain is structurally broken.
+    """
+    if record.method in SCAN_METHODS:
+        if record.rel is None:
+            raise PlanError(f"scan record without a relation: {record!r}")
+        name = graph.relation_names[record.rel]
+        return PlanNode(
+            method=record.method,
+            relations=(name,),
+            rows=record.rows,
+            cost=record.cost,
+            order_column=_order_label(graph, record.order),
+            children=(),
+            relation=name,
+        )
+    if record.method == SORT:
+        if record.left is None:
+            raise PlanError("Sort record without an input")
+        child = build_plan_tree(record.left, graph)
+        return PlanNode(
+            method=SORT,
+            relations=child.relations,
+            rows=record.rows,
+            cost=record.cost,
+            order_column=_order_label(graph, record.order),
+            children=(child,),
+        )
+    if record.left is None or record.right is None:
+        raise PlanError(f"join record missing children: {record!r}")
+    left = build_plan_tree(record.left, graph)
+    right = build_plan_tree(record.right, graph)
+    return PlanNode(
+        method=record.method,
+        relations=tuple(sorted(left.relations + right.relations)),
+        rows=record.rows,
+        cost=record.cost,
+        order_column=_order_label(graph, record.order),
+        children=(left, right),
+    )

@@ -1,0 +1,50 @@
+"""Interesting-order bookkeeping.
+
+An *order key* is the id of a join-column equivalence class; a plan whose
+output is sorted on a member column of eclass ``e`` has ``order == e``.
+(Single-column sort keys suffice for the paper's workloads — every ORDER BY
+and every join is single-column.)
+
+An order is *useful* for a relation set ``S`` (worth retaining a costlier
+plan for) iff some later operation can exploit it:
+
+* the eclass has a member column in a relation **outside** ``S`` — a future
+  merge join on that class can skip a sort; or
+* it is the query's ORDER BY eclass — the final sort can be skipped.
+
+Anything else is demoted to "no order" when stored into a JCR.
+"""
+
+from __future__ import annotations
+
+from repro.query.joingraph import JoinGraph
+
+__all__ = ["useful_orders", "is_useful_order"]
+
+
+def useful_orders(
+    graph: JoinGraph,
+    mask: int,
+    order_by_eclass: int | None = None,
+) -> set[int]:
+    """Eclass ids whose orders are worth retaining for the set ``mask``."""
+    useful: set[int] = set()
+    for eclass in graph.eclasses:
+        if is_useful_order(graph, mask, eclass, order_by_eclass):
+            useful.add(eclass)
+    return useful
+
+
+def is_useful_order(
+    graph: JoinGraph,
+    mask: int,
+    eclass: int,
+    order_by_eclass: int | None = None,
+) -> bool:
+    """Whether an order on ``eclass`` is useful for the set ``mask``."""
+    members = graph.eclass_relation_mask(eclass)
+    if members & mask == 0:
+        return False  # the set cannot even be sorted on this class
+    if eclass == order_by_eclass:
+        return True
+    return bool(members & ~mask)

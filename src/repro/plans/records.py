@@ -1,0 +1,123 @@
+"""Search-time plan records.
+
+:class:`PlanRecord` is the optimizer's internal plan currency. It is a
+``__slots__`` class (not a dataclass) because the DP search allocates one per
+costed alternative — hundreds of thousands per query — and attribute-dict
+overhead would dominate the modeled memory as well as the real one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+
+__all__ = [
+    "PlanRecord",
+    "SEQ_SCAN",
+    "INDEX_SCAN",
+    "SORT",
+    "NESTLOOP",
+    "INDEX_NESTLOOP",
+    "HASH_JOIN",
+    "MERGE_JOIN",
+    "SCAN_METHODS",
+    "JOIN_METHODS",
+]
+
+SEQ_SCAN = "SeqScan"
+INDEX_SCAN = "IndexScan"
+SORT = "Sort"
+NESTLOOP = "NestLoop"
+INDEX_NESTLOOP = "IndexNestLoop"
+HASH_JOIN = "HashJoin"
+MERGE_JOIN = "MergeJoin"
+
+SCAN_METHODS = frozenset({SEQ_SCAN, INDEX_SCAN})
+JOIN_METHODS = frozenset({NESTLOOP, INDEX_NESTLOOP, HASH_JOIN, MERGE_JOIN})
+_UNARY_METHODS = frozenset({SORT})
+_ALL_METHODS = SCAN_METHODS | JOIN_METHODS | _UNARY_METHODS
+
+
+class PlanRecord:
+    """One physical (sub-)plan for a relation set.
+
+    Attributes:
+        mask: Bitmask of the base relations the plan produces.
+        rows: Estimated output rows (identical for all plans of a mask).
+        cost: Total estimated cost.
+        order: Join-column equivalence-class id the output is sorted on, or
+            None for unordered output.
+        method: Operator name (one of the module constants).
+        left: Left/outer child (or the input, for Sort), None for scans.
+        right: Right/inner child, None for scans and Sort.
+        rel: Base-relation index, for scan nodes.
+        eclass: For merge/index joins, the equivalence class joined on.
+    """
+
+    __slots__ = ("mask", "rows", "cost", "order", "method", "left", "right", "rel", "eclass")
+
+    def __init__(
+        self,
+        mask: int,
+        rows: float,
+        cost: float,
+        method: str,
+        order: int | None = None,
+        left: "PlanRecord | None" = None,
+        right: "PlanRecord | None" = None,
+        rel: int | None = None,
+        eclass: int | None = None,
+    ):
+        if method not in _ALL_METHODS:
+            raise PlanError(f"unknown plan method {method!r}")
+        if cost < 0 or rows < 0:
+            raise PlanError(f"negative cost/rows for {method}: {cost}, {rows}")
+        self.mask = mask
+        self.rows = rows
+        self.cost = cost
+        self.method = method
+        self.order = order
+        self.left = left
+        self.right = right
+        self.rel = rel
+        self.eclass = eclass
+
+    @property
+    def is_scan(self) -> bool:
+        return self.method in SCAN_METHODS
+
+    @property
+    def is_join(self) -> bool:
+        return self.method in JOIN_METHODS
+
+    def leaf_relations(self) -> list[int]:
+        """Indices of base relations, left-to-right in the tree."""
+        if self.is_scan:
+            return [self.rel] if self.rel is not None else []
+        leaves: list[int] = []
+        if self.left is not None:
+            leaves.extend(self.left.leaf_relations())
+        if self.right is not None:
+            leaves.extend(self.right.leaf_relations())
+        return leaves
+
+    def depth(self) -> int:
+        """Height of the plan tree (scans have depth 1)."""
+        children = [c for c in (self.left, self.right) if c is not None]
+        if not children:
+            return 1
+        return 1 + max(child.depth() for child in children)
+
+    def node_count(self) -> int:
+        """Total number of operators in the tree."""
+        total = 1
+        if self.left is not None:
+            total += self.left.node_count()
+        if self.right is not None:
+            total += self.right.node_count()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanRecord({self.method}, mask={self.mask:#x}, "
+            f"rows={self.rows:.0f}, cost={self.cost:.1f}, order={self.order})"
+        )

@@ -1,0 +1,90 @@
+"""Structural validation of physical plans.
+
+Every optimizer's output passes through :func:`validate_plan` in tests (and
+in the benchmark runner when assertions are on), catching the classic search
+bugs: a relation joined twice, a relation dropped, a cartesian product
+slipping through, or cost/cardinality fields that do not add up.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.plans.records import JOIN_METHODS, PlanRecord, SCAN_METHODS, SORT
+from repro.query.joingraph import JoinGraph
+
+__all__ = ["validate_plan"]
+
+
+def validate_plan(
+    record: PlanRecord,
+    graph: JoinGraph,
+    expected_mask: int | None = None,
+    allow_cartesian: bool = False,
+) -> None:
+    """Validate a plan record tree against its join graph.
+
+    Checks, recursively:
+
+    * each base relation appears exactly once across the leaves;
+    * every node's mask equals the union of its children's masks;
+    * joins connect sets that share at least one edge (unless
+      ``allow_cartesian``);
+    * costs are non-negative and monotone (a parent costs at least as much
+      as each child).
+
+    Args:
+        record: Root of the plan to validate.
+        graph: The query's join graph.
+        expected_mask: If given, the root must cover exactly this set
+            (defaults to all graph relations).
+        allow_cartesian: Permit joins between disconnected sets.
+
+    Raises:
+        PlanError: on the first violation found.
+    """
+    if expected_mask is None:
+        expected_mask = graph.all_mask
+    if record.mask != expected_mask:
+        raise PlanError(
+            f"plan covers mask {record.mask:#x}, expected {expected_mask:#x}"
+        )
+    leaves = record.leaf_relations()
+    if len(leaves) != len(set(leaves)):
+        raise PlanError("a base relation appears more than once in the plan")
+    _validate_node(record, graph, allow_cartesian)
+
+
+def _validate_node(record: PlanRecord, graph: JoinGraph, allow_cartesian: bool) -> None:
+    if record.cost < 0 or record.rows < 0:
+        raise PlanError(f"negative cost or rows in {record!r}")
+    if record.method in SCAN_METHODS:
+        if record.rel is None:
+            raise PlanError(f"scan without relation: {record!r}")
+        if record.mask != 1 << record.rel:
+            raise PlanError(f"scan mask does not match its relation: {record!r}")
+        return
+    if record.method == SORT:
+        if record.left is None or record.right is not None:
+            raise PlanError(f"Sort must have exactly one input: {record!r}")
+        if record.left.mask != record.mask:
+            raise PlanError("Sort changes the relation set")
+        if record.cost < record.left.cost:
+            raise PlanError("Sort cheaper than its input")
+        _validate_node(record.left, graph, allow_cartesian)
+        return
+    if record.method in JOIN_METHODS:
+        left, right = record.left, record.right
+        if left is None or right is None:
+            raise PlanError(f"join missing children: {record!r}")
+        if left.mask & right.mask:
+            raise PlanError("join children overlap")
+        if (left.mask | right.mask) != record.mask:
+            raise PlanError("join mask is not the union of its children")
+        if not allow_cartesian and not graph.connected(left.mask, right.mask):
+            raise PlanError("cartesian product in plan")
+        if record.cost + 1e-9 < max(left.cost, right.cost):
+            raise PlanError("join cheaper than one of its inputs")
+        _validate_node(left, graph, allow_cartesian)
+        _validate_node(right, graph, allow_cartesian)
+        return
+    raise PlanError(f"unknown method {record.method!r}")

@@ -1,0 +1,40 @@
+"""Query and join-graph machinery.
+
+A query, for the purposes of join-order optimization, is a *join graph*:
+relations as nodes, equi-join predicates as edges, plus an optional ORDER BY.
+This package provides:
+
+* :class:`JoinGraph` — bitmask-based join graph with equivalence classes of
+  join columns, implied-edge closure (the rewriter behaviour the paper relies
+  on in Section 2.1.4) and hub detection;
+* topology generators for the paper's workloads (chain, star, cycle, clique,
+  star-chain);
+* :class:`Query` — a join graph bound to a schema, with ORDER BY support;
+* a SQL renderer, so generated queries can be inspected or replayed against a
+  real engine.
+"""
+
+from repro.query.joingraph import JoinGraph, JoinPredicate
+from repro.query.parser import parse_sql
+from repro.query.query import Query
+from repro.query.sql import render_sql
+from repro.query.topology import (
+    chain_joins,
+    clique_joins,
+    cycle_joins,
+    star_chain_joins,
+    star_joins,
+)
+
+__all__ = [
+    "JoinGraph",
+    "JoinPredicate",
+    "Query",
+    "render_sql",
+    "parse_sql",
+    "chain_joins",
+    "star_joins",
+    "cycle_joins",
+    "clique_joins",
+    "star_chain_joins",
+]

@@ -1,0 +1,204 @@
+"""A small SQL parser for the query dialect the library emits.
+
+:func:`parse_sql` is the inverse of :func:`repro.query.render_sql`: it turns
+conjunctive equi-join SELECT statements into :class:`repro.query.Query`
+objects, so workloads can be written (or replayed) as plain SQL text::
+
+    SELECT *
+    FROM R1, R2, R3
+    WHERE R1.c4 = R2.c2 AND R2.c7 = R3.c1
+    ORDER BY R2.c2;
+
+Supported grammar (case-insensitive keywords)::
+
+    query     := SELECT select FROM tables [WHERE conj] [ORDER BY column] [;]
+    select    := '*' | column (',' column)*
+    tables    := name (',' name)*
+    conj      := equality (AND equality)*
+    equality  := column '=' column
+    column    := name '.' name
+
+Anything else — projections with expressions, non-equi predicates, OUTER
+JOIN syntax — is outside the optimizer's scope here and is rejected with a
+:class:`~repro.errors.QueryError` naming the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.catalog.schema import Schema
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph
+from repro.query.query import Query
+
+__all__ = ["parse_sql"]
+
+_TOKEN = re.compile(
+    r"""
+    (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<symbol>[*.,=;()])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "order", "by"}
+
+
+class _Tokens:
+    """A peekable token stream with error locations."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[tuple[str, str, int]] = []
+        for match in _TOKEN.finditer(text):
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            if kind == "bad":
+                raise QueryError(
+                    f"unexpected character {match.group()!r} at offset "
+                    f"{match.start()} in SQL"
+                )
+            self.tokens.append((kind, match.group(), match.start()))
+        self.position = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of SQL text")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        kind, value, offset = self.next()
+        if kind != "name" or value.lower() != word:
+            raise QueryError(
+                f"expected {word.upper()!r} at offset {offset}, got {value!r}"
+            )
+
+    def expect_symbol(self, symbol: str) -> None:
+        kind, value, offset = self.next()
+        if kind != "symbol" or value != symbol:
+            raise QueryError(
+                f"expected {symbol!r} at offset {offset}, got {value!r}"
+            )
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token[0] == "name"
+            and token[1].lower() == word
+        )
+
+    def take_name(self, what: str) -> str:
+        kind, value, offset = self.next()
+        if kind != "name" or value.lower() in _KEYWORDS:
+            raise QueryError(
+                f"expected {what} at offset {offset}, got {value!r}"
+            )
+        return value
+
+
+def _parse_column(tokens: _Tokens) -> tuple[str, str]:
+    relation = tokens.take_name("a relation name")
+    tokens.expect_symbol(".")
+    column = tokens.take_name("a column name")
+    return relation, column
+
+
+def _parse_select_list(tokens: _Tokens) -> None:
+    token = tokens.peek()
+    if token is not None and token[1] == "*":
+        tokens.next()
+        return
+    _parse_column(tokens)
+    while tokens.peek() is not None and tokens.peek()[1] == ",":
+        tokens.next()
+        _parse_column(tokens)
+
+
+def parse_sql(schema: Schema, text: str, label: str | None = None) -> Query:
+    """Parse SQL ``text`` into a :class:`Query` over ``schema``.
+
+    Args:
+        schema: Catalog resolving the referenced relations and columns.
+        text: The SQL statement (see the module docstring for the grammar).
+        label: Query label; defaults to a truncated form of the text.
+
+    Raises:
+        QueryError: on syntax errors, unknown relations/columns, non-equi
+            predicates, or a disconnected join graph.
+    """
+    tokens = _Tokens(text)
+    tokens.expect_keyword("select")
+    _parse_select_list(tokens)
+    tokens.expect_keyword("from")
+
+    relations = [tokens.take_name("a relation name")]
+    while tokens.peek() is not None and tokens.peek()[1] == ",":
+        tokens.next()
+        relations.append(tokens.take_name("a relation name"))
+    if len(set(relations)) != len(relations):
+        raise QueryError("duplicate relation in FROM (self-joins unsupported)")
+
+    joins: list[tuple[str, str, str, str]] = []
+    if tokens.at_keyword("where"):
+        tokens.next()
+        while True:
+            left_rel, left_col = _parse_column(tokens)
+            tokens.expect_symbol("=")
+            right_rel, right_col = _parse_column(tokens)
+            joins.append((left_rel, left_col, right_rel, right_col))
+            if tokens.at_keyword("and"):
+                tokens.next()
+                continue
+            break
+
+    order_by: tuple[str, str] | None = None
+    if tokens.at_keyword("order"):
+        tokens.next()
+        tokens.expect_keyword("by")
+        order_by = _parse_column(tokens)
+
+    trailing = tokens.peek()
+    if trailing is not None:
+        if trailing[1] == ";":
+            tokens.next()
+            trailing = tokens.peek()
+        if trailing is not None:
+            raise QueryError(
+                f"unexpected trailing token {trailing[1]!r} at offset "
+                f"{trailing[2]}"
+            )
+
+    for rel_name in relations:
+        if rel_name not in schema:
+            raise QueryError(f"FROM references unknown relation {rel_name!r}")
+    for left_rel, left_col, right_rel, right_col in joins:
+        for rel_name, col_name in ((left_rel, left_col), (right_rel, right_col)):
+            if rel_name not in set(relations):
+                raise QueryError(
+                    f"WHERE references {rel_name!r} not listed in FROM"
+                )
+            if not any(
+                column.name == col_name
+                for column in schema.relation(rel_name).columns
+            ):
+                raise QueryError(
+                    f"WHERE references unknown column {rel_name}.{col_name}"
+                )
+
+    graph = JoinGraph(relations, joins)
+    if label is None:
+        flat = " ".join(text.split())
+        label = flat[:60] + ("..." if len(flat) > 60 else "")
+    return Query(schema, graph, order_by=order_by, label=label)

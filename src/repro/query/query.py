@@ -1,0 +1,69 @@
+"""The Query object: a join graph bound to a schema, plus ORDER BY."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Schema
+from repro.errors import QueryError
+from repro.query.joingraph import JoinGraph
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join query over ``schema``.
+
+    Attributes:
+        schema: The catalog the relations come from.
+        graph: The join graph (relations + equi-join predicates).
+        order_by: Optional ``(relation_name, column_name)`` the user wants
+            the output sorted on. Per the paper, only orders on *join
+            columns* influence the optimizer; other orders just cost a final
+            sort regardless of the plan.
+        label: Free-form identifier used in reports.
+    """
+
+    schema: Schema
+    graph: JoinGraph
+    order_by: tuple[str, str] | None = None
+    label: str = "query"
+
+    #: Eclass id of the ORDER BY column, or None (computed at init).
+    order_by_eclass: int | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        for name in self.graph.relation_names:
+            if name not in self.schema:
+                raise QueryError(f"graph relation {name!r} missing from schema")
+        if self.order_by is not None:
+            rel_name, col_name = self.order_by
+            if rel_name not in self.graph.relation_names:
+                raise QueryError(
+                    f"ORDER BY relation {rel_name!r} not in the join graph"
+                )
+            # Raises CatalogError if the column does not exist.
+            self.schema.relation(rel_name).column(col_name)
+            eclass = self.graph.eclass_of_column(
+                self.graph.index_of(rel_name), col_name
+            )
+            object.__setattr__(self, "order_by_eclass", eclass)
+
+    @property
+    def relation_count(self) -> int:
+        return self.graph.n
+
+    @property
+    def has_join_column_order(self) -> bool:
+        """True iff ORDER BY targets a join column (the interesting case)."""
+        return self.order_by_eclass is not None
+
+    def describe(self) -> str:
+        """Human-readable multi-line description."""
+        lines = [f"Query {self.label!r}:", self.graph.describe()]
+        if self.order_by:
+            rel, col = self.order_by
+            kind = "join column" if self.has_join_column_order else "plain column"
+            lines.append(f"  ORDER BY {rel}.{col} ({kind})")
+        return "\n".join(lines)

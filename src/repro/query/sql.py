@@ -1,0 +1,43 @@
+"""Render a :class:`repro.query.Query` as SQL text.
+
+The library optimizes against its own catalog, but emitting real SQL lets a
+user replay any generated workload instance on an actual engine (the paper
+did exactly this on PostgreSQL 8.1.2) or simply eyeball a query instance.
+"""
+
+from __future__ import annotations
+
+from repro.query.query import Query
+
+__all__ = ["render_sql"]
+
+
+def render_sql(query: Query, select_star: bool = False) -> str:
+    """SQL text for ``query``.
+
+    Args:
+        query: The query to render.
+        select_star: Emit ``SELECT *``; by default a representative column
+            per relation is projected (keeps the statement readable).
+    """
+    graph = query.graph
+    names = graph.relation_names
+    if select_star:
+        select_list = "*"
+    else:
+        select_list = ",\n       ".join(
+            f"{name}.{query.schema.relation(name).columns[0].name}" for name in names
+        )
+    from_list = ",\n     ".join(names)
+    conditions = [
+        f"{names[p.left]}.{p.left_column} = {names[p.right]}.{p.right_column}"
+        for p in graph.predicates
+        if not p.implied  # the rewriter re-derives implied edges
+    ]
+    sql = [f"SELECT {select_list}", f"FROM {from_list}"]
+    if conditions:
+        sql.append("WHERE " + "\n  AND ".join(conditions))
+    if query.order_by is not None:
+        rel, col = query.order_by
+        sql.append(f"ORDER BY {rel}.{col}")
+    return "\n".join(sql) + ";"

@@ -1,0 +1,170 @@
+"""Join-graph topology generators for the paper's workloads.
+
+Each generator returns the raw join list consumed by
+:class:`repro.query.JoinGraph`, wiring join columns the way Section 3.1
+describes:
+
+* **star**: the spokes join the hub on *indexed* columns (the spoke side is
+  indexed; the hub contributes a distinct column per spoke unless shared
+  columns are requested);
+* **chain**: each relation joins its left neighbour on an indexed column of
+  the right relation;
+* **star-chain** (Figure 1.1): ``R1`` star-joins ``R2..Rs`` and
+  ``Rs..Rn`` form a chain — structurally similar to TPC-H Q8/Q9;
+* **cycle** and **clique** round out the topology spectrum mentioned in the
+  paper's "wide variety of query join graph topologies".
+
+Column choice is deterministic given the relation metadata, so a workload is
+fully reproducible from (schema seed, instance seed).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.errors import QueryError
+
+__all__ = [
+    "chain_joins",
+    "star_joins",
+    "cycle_joins",
+    "clique_joins",
+    "star_chain_joins",
+]
+
+Join = tuple[str, str, str, str]
+
+
+def _indexed_column(schema: Schema, name: str) -> str:
+    """The relation's first indexed column (its join anchor)."""
+    rel = schema.relation(name)
+    indexed = rel.indexed_columns
+    if not indexed:
+        raise QueryError(f"relation {name!r} has no indexed column to join on")
+    return indexed[0]
+
+
+def _plain_columns(schema: Schema, name: str) -> list[str]:
+    """Non-indexed columns of a relation, in definition order."""
+    rel = schema.relation(name)
+    indexed = set(rel.indexed_columns)
+    return [c.name for c in rel.columns if c.name not in indexed]
+
+
+def _hub_columns(schema: Schema, hub: str, needed: int, shared: bool) -> list[str]:
+    """Columns the hub contributes to its spoke joins.
+
+    With ``shared=False`` (the default star), each spoke joins a *different*
+    hub column, so the graph stays a pure star. With ``shared=True``, every
+    spoke joins the *same* hub column — a shared join column whose implied
+    edges turn the star into a clique after rewriting (Section 2.1.4).
+    """
+    columns = _plain_columns(schema, hub)
+    if not columns:
+        raise QueryError(f"hub {hub!r} has no columns available for spoke joins")
+    if shared:
+        return [columns[0]] * needed
+    if needed > len(columns):
+        raise QueryError(
+            f"hub {hub!r} has {len(columns)} spare columns but the star "
+            f"needs {needed}"
+        )
+    return columns[:needed]
+
+
+def star_joins(
+    schema: Schema,
+    hub: str,
+    spokes: list[str],
+    shared_hub_column: bool = False,
+) -> list[Join]:
+    """A pure star: every spoke joins the hub on the spoke's indexed column."""
+    if not spokes:
+        raise QueryError("star needs at least one spoke")
+    if hub in spokes:
+        raise QueryError("hub cannot also be a spoke")
+    hub_cols = _hub_columns(schema, hub, len(spokes), shared_hub_column)
+    return [
+        (hub, hub_col, spoke, _indexed_column(schema, spoke))
+        for hub_col, spoke in zip(hub_cols, spokes)
+    ]
+
+
+def chain_joins(schema: Schema, relations: list[str]) -> list[Join]:
+    """A chain: each relation joins its left neighbour on an indexed column."""
+    if len(relations) < 2:
+        raise QueryError("chain needs at least two relations")
+    if len(set(relations)) != len(relations):
+        raise QueryError("chain relations must be distinct")
+    joins = []
+    for left, right in zip(relations, relations[1:]):
+        right_col = _indexed_column(schema, right)
+        left_cols = _plain_columns(schema, left)
+        if not left_cols:
+            raise QueryError(f"relation {left!r} has no spare column for the chain")
+        # Use the last spare column so chains stacked onto a star (whose hub
+        # consumed the head of the column list) do not collide.
+        joins.append((left, left_cols[-1], right, right_col))
+    return joins
+
+
+def cycle_joins(schema: Schema, relations: list[str]) -> list[Join]:
+    """A cycle: a chain plus a closing edge from last back to first."""
+    if len(relations) < 3:
+        raise QueryError("cycle needs at least three relations")
+    joins = chain_joins(schema, relations)
+    first, last = relations[0], relations[-1]
+    last_cols = _plain_columns(schema, last)
+    first_cols = _plain_columns(schema, first)
+    if len(last_cols) < 2 or len(first_cols) < 2:
+        raise QueryError("cycle endpoints need two spare columns each")
+    joins.append((last, last_cols[0], first, first_cols[0]))
+    return joins
+
+
+def clique_joins(schema: Schema, relations: list[str]) -> list[Join]:
+    """A clique: every pair of relations joined, each on fresh columns."""
+    if len(relations) < 2:
+        raise QueryError("clique needs at least two relations")
+    joins = []
+    used: dict[str, int] = {name: 0 for name in relations}
+    spare = {name: _plain_columns(schema, name) for name in relations}
+    for i, left in enumerate(relations):
+        for right in relations[i + 1 :]:
+            for name in (left, right):
+                if used[name] >= len(spare[name]):
+                    raise QueryError(
+                        f"relation {name!r} has too few columns for a "
+                        f"{len(relations)}-clique"
+                    )
+            joins.append(
+                (left, spare[left][used[left]], right, spare[right][used[right]])
+            )
+            used[left] += 1
+            used[right] += 1
+    return joins
+
+
+def star_chain_joins(
+    schema: Schema,
+    hub: str,
+    spokes: list[str],
+    chain: list[str],
+    shared_hub_column: bool = False,
+) -> list[Join]:
+    """The paper's Star-Chain graph (Figure 1.1).
+
+    ``hub`` star-joins every relation in ``spokes``; the *last* spoke then
+    chains through ``chain``. For Star-Chain-15: 1 hub, 10 spokes
+    (R2..R11), and a 4-relation chain hanging off R11 (R12..R15).
+
+    Args:
+        schema: Catalog the relations come from.
+        hub: The star hub (R1 in Figure 1.1).
+        spokes: The star spokes; the last one anchors the chain.
+        chain: Chain relations appended after the last spoke.
+        shared_hub_column: Make the star's hub side a shared join column.
+    """
+    joins = star_joins(schema, hub, spokes, shared_hub_column=shared_hub_column)
+    if chain:
+        joins.extend(chain_joins(schema, [spokes[-1], *chain]))
+    return joins

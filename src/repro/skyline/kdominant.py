@@ -1,0 +1,76 @@
+"""k-dominant ("strong") skylines — the paper's future-work pruning option.
+
+The conclusion lists "investigating the impact of using 'strong skyline'
+functions [12] on the optimization process" as future work. The standard
+strong-skyline notion is the *k-dominant skyline* (Chan et al., SIGMOD
+2006): relax dominance to any ``k < d`` dimensions, so more objects become
+dominated and the skyline shrinks.
+
+Definitions (all dimensions minimized):
+
+* ``a`` **k-dominates** ``b`` iff there is a set of ``k`` dimensions on
+  which ``a <= b`` everywhere and ``a < b`` somewhere. Equivalently: ``a``
+  is no worse on at least ``k`` dimensions, strictly better on at least one
+  of them.
+* The **k-dominant skyline** is the set of objects not k-dominated by any
+  other object.
+
+For ``k = d`` this is the ordinary skyline. Unlike ordinary dominance,
+k-dominance is *not* transitive and two points can k-dominate each other
+(cyclic dominance), so the k-dominant skyline can even be empty; the
+implementation therefore tests each candidate against all others rather
+than using a sort-filter pass.
+
+SDP exposes this as ``SDPConfig(skyline_option=3)`` ("strong"), using
+``k = 2`` over the RCS vector; the ``ext-strong-skyline`` experiment
+measures its pruning-vs-quality trade-off against the paper's Option 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["k_dominates", "k_dominant_skyline"]
+
+
+def k_dominates(a: Sequence[float], b: Sequence[float], k: int) -> bool:
+    """True iff ``a`` k-dominates ``b``.
+
+    >>> k_dominates((1, 2, 9), (2, 3, 0), 2)
+    True
+    >>> k_dominates((1, 2, 9), (1, 2, 9), 2)
+    False
+    """
+    if not 1 <= k <= len(a):
+        raise ValueError(f"k must be in [1, {len(a)}], got {k}")
+    no_worse = 0
+    better = 0
+    for x, y in zip(a, b, strict=True):
+        if x <= y:
+            no_worse += 1
+            if x < y:
+                better += 1
+    return better >= 1 and no_worse >= k
+
+
+def k_dominant_skyline(
+    vectors: Sequence[Sequence[float]], k: int
+) -> set[int]:
+    """Indices of the k-dominant skyline (not k-dominated by anyone).
+
+    A subset of the ordinary skyline; possibly empty under cyclic
+    k-dominance.
+
+    >>> sorted(k_dominant_skyline([(1, 4, 4), (2, 2, 2), (4, 1, 4)], 2))
+    [1]
+    """
+    survivors: set[int] = set()
+    for i, candidate in enumerate(vectors):
+        dominated = any(
+            k_dominates(other, candidate, k)
+            for j, other in enumerate(vectors)
+            if j != i
+        )
+        if not dominated:
+            survivors.add(i)
+    return survivors

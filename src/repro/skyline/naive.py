@@ -1,0 +1,24 @@
+"""Block-nested-loop skyline (the correctness reference)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.dominance import dominates
+
+__all__ = ["naive_skyline"]
+
+
+def naive_skyline(vectors: Sequence[Sequence[float]]) -> set[int]:
+    """Indices of the skyline (non-dominated) vectors, O(n²).
+
+    >>> sorted(naive_skyline([(1, 4), (2, 2), (3, 3), (4, 1)]))
+    [0, 1, 3]
+    """
+    survivors: set[int] = set()
+    for i, candidate in enumerate(vectors):
+        if not any(
+            dominates(other, candidate) for j, other in enumerate(vectors) if j != i
+        ):
+            survivors.add(i)
+    return survivors

@@ -1,0 +1,36 @@
+"""Sort-Filter-Skyline (SFS).
+
+Chomicki et al.'s SFS: process vectors in ascending order of a monotone
+score (here the coordinate sum after per-dimension rank normalization is
+overkill — the raw sum suffices for correctness since any topological order
+of the dominance relation works as long as no later vector can dominate an
+earlier one). Sorting ascending by sum guarantees that, because a dominator
+has a strictly smaller sum. Each candidate is then compared only against the
+already-accepted skyline, which in practice is small.
+
+The paper assumes "fast techniques for computing skyline functions" [2];
+this is the one SDP uses by default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.dominance import dominates
+
+__all__ = ["sfs_skyline"]
+
+
+def sfs_skyline(vectors: Sequence[Sequence[float]]) -> set[int]:
+    """Indices of the skyline vectors; same result as ``naive_skyline``.
+
+    >>> sorted(sfs_skyline([(1, 4), (2, 2), (3, 3), (4, 1)]))
+    [0, 1, 3]
+    """
+    order = sorted(range(len(vectors)), key=lambda i: sum(vectors[i]))
+    accepted: list[int] = []
+    for i in order:
+        candidate = vectors[i]
+        if not any(dominates(vectors[j], candidate) for j in accepted):
+            accepted.append(i)
+    return set(accepted)

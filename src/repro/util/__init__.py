@@ -1,0 +1,37 @@
+"""General-purpose utilities shared across the library.
+
+Submodules:
+    bitset: bitmask manipulation for relation sets.
+    rng: deterministic random-number-generator derivation.
+    tables: plain-text table rendering for reports.
+    timer: lightweight wall-clock timing.
+"""
+
+from repro.util.bitset import (
+    bit_count,
+    bit_indices,
+    bits_of,
+    first_bit,
+    is_subset,
+    lowest_set_bit,
+    mask_of,
+    subsets_of,
+)
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.tables import TextTable
+from repro.util.timer import Timer
+
+__all__ = [
+    "bit_count",
+    "bit_indices",
+    "bits_of",
+    "first_bit",
+    "is_subset",
+    "lowest_set_bit",
+    "mask_of",
+    "subsets_of",
+    "derive_rng",
+    "derive_seed",
+    "TextTable",
+    "Timer",
+]

@@ -1,0 +1,121 @@
+"""Bitmask helpers for sets of relations.
+
+Throughout the optimizer, a set of base relations is represented as a plain
+Python ``int`` where bit ``i`` is set iff relation ``i`` belongs to the set.
+This keeps set algebra (union, intersection, subset tests) down to single
+machine operations even for 60-relation graphs, which is what makes the
+pure-Python dynamic-programming search tractable.
+
+The functions here are deliberately tiny and allocation-free where possible;
+hot loops in the optimizer inline the raw operators (``&``, ``|``, ``&~``)
+and only use these helpers at the edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "mask_of",
+    "bits_of",
+    "bit_indices",
+    "bit_count",
+    "is_subset",
+    "first_bit",
+    "lowest_set_bit",
+    "subsets_of",
+]
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Build a bitmask with the given bit positions set.
+
+    >>> mask_of([0, 2, 5])
+    37
+    """
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise ValueError(f"bit index must be non-negative, got {index}")
+        mask |= 1 << index
+    return mask
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the set-bit masks (powers of two) of ``mask``, lowest first.
+
+    >>> list(bits_of(0b1010))
+    [2, 8]
+    """
+    while mask:
+        bit = mask & -mask
+        yield bit
+        mask ^= bit
+
+
+def bit_indices(mask: int) -> list[int]:
+    """Return the indices of set bits, ascending.
+
+    >>> bit_indices(0b10110)
+    [1, 2, 4]
+    """
+    indices = []
+    while mask:
+        bit = mask & -mask
+        indices.append(bit.bit_length() - 1)
+        mask ^= bit
+    return indices
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (population count)."""
+    return mask.bit_count()
+
+
+def is_subset(subset: int, superset: int) -> bool:
+    """True iff every bit of ``subset`` is also set in ``superset``."""
+    return subset & ~superset == 0
+
+
+def lowest_set_bit(mask: int) -> int:
+    """The lowest set bit of ``mask`` as a power of two (0 if mask is 0)."""
+    return mask & -mask
+
+
+def first_bit(mask: int) -> int:
+    """Index of the lowest set bit.
+
+    Raises:
+        ValueError: if ``mask`` is zero.
+    """
+    if mask == 0:
+        raise ValueError("mask has no set bits")
+    return (mask & -mask).bit_length() - 1
+
+
+def subsets_of(mask: int, proper: bool = False, nonempty: bool = True) -> Iterator[int]:
+    """Enumerate subsets of ``mask`` in increasing numeric order.
+
+    Uses the standard ``sub = (sub - mask) & mask`` trick, so the cost is one
+    arithmetic operation per subset.
+
+    Args:
+        mask: The superset bitmask.
+        proper: If true, skip ``mask`` itself.
+        nonempty: If true (default), skip the empty set.
+
+    >>> list(subsets_of(0b101))
+    [1, 4, 5]
+    >>> list(subsets_of(0b101, proper=True))
+    [1, 4]
+    """
+    if not nonempty:
+        yield 0
+    sub = 0
+    while True:
+        sub = (sub - mask) & mask
+        if sub == 0:
+            break
+        if proper and sub == mask:
+            continue
+        yield sub

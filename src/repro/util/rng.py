@@ -1,0 +1,34 @@
+"""Deterministic random-number-generator derivation.
+
+Every stochastic component of the library (schema generation, workload
+sampling) receives an explicit seed. To avoid accidental correlation between
+components that happen to share a seed, seeds are *derived*: a root seed plus
+a tuple of string/int tags is hashed into an independent child seed. The
+derivation is stable across processes and Python versions (it uses SHA-256,
+not ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "derive_rng"]
+
+
+def derive_seed(root_seed: int, *tags: int | str) -> int:
+    """Derive a stable 63-bit child seed from a root seed and tags.
+
+    >>> derive_seed(42, "workload", 3) == derive_seed(42, "workload", 3)
+    True
+    >>> derive_seed(42, "workload", 3) != derive_seed(42, "workload", 4)
+    True
+    """
+    payload = repr((int(root_seed), tags)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def derive_rng(root_seed: int, *tags: int | str) -> random.Random:
+    """A ``random.Random`` seeded with :func:`derive_seed`."""
+    return random.Random(derive_seed(root_seed, *tags))

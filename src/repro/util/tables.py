@@ -1,0 +1,111 @@
+"""Plain-text table rendering.
+
+The benchmark harness reproduces the paper's tables as aligned ASCII tables on
+stdout. :class:`TextTable` is a minimal, dependency-free renderer that
+supports a title, a header row, per-column alignment and row separators —
+enough to mirror the paper's layout without pulling in a formatting library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """An aligned plain-text table.
+
+    Example:
+        >>> t = TextTable(["Technique", "rho"], title="Plan Quality")
+        >>> t.add_row(["DP", "1.00"])
+        >>> t.add_row(["SDP", "1.02"])
+        >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+        Plan Quality
+        +-----------+------+
+        | Technique | rho  |
+        +-----------+------+
+        | DP        | 1.00 |
+        | SDP       | 1.02 |
+        +-----------+------+
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        title: str | None = None,
+        aligns: Sequence[str] | None = None,
+    ):
+        """Create a table.
+
+        Args:
+            headers: Column header labels.
+            title: Optional title printed above the table.
+            aligns: Per-column alignment, each ``"l"`` or ``"r"``. Defaults
+                to left for the first column and right for the rest, which
+                matches the numeric tables of the paper.
+        """
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        if aligns is None:
+            aligns = ["l"] + ["r"] * (len(self.headers) - 1)
+        if len(aligns) != len(self.headers):
+            raise ValueError("aligns must match headers length")
+        for align in aligns:
+            if align not in ("l", "r"):
+                raise ValueError(f"alignment must be 'l' or 'r', got {align!r}")
+        self.aligns = list(aligns)
+        self._rows: list[list[str] | None] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a data row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    def add_separator(self) -> None:
+        """Append a horizontal separator (between groups of rows)."""
+        self._rows.append(None)
+
+    @property
+    def row_count(self) -> int:
+        """Number of data rows (separators excluded)."""
+        return sum(1 for row in self._rows if row is not None)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            if row is None:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = self._widths()
+        rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+        def fmt(row: Sequence[str]) -> str:
+            cells = []
+            for cell, width, align in zip(row, widths, self.aligns):
+                padded = cell.ljust(width) if align == "l" else cell.rjust(width)
+                cells.append(f" {padded} ")
+            return "|" + "|".join(cells) + "|"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(rule)
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        for row in self._rows:
+            lines.append(rule if row is None else fmt(row))
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,52 @@
+"""Lightweight wall-clock timing.
+
+Optimization time is one of the overheads the paper reports (Tables 1.2, 1.4,
+3.2, 3.3). :class:`Timer` wraps ``time.perf_counter`` as a context manager so
+optimizers and benchmarks measure elapsed time uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> "Timer":
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds since the last start."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+    def peek(self) -> float:
+        """Elapsed seconds so far without stopping."""
+        if self._start is None:
+            raise RuntimeError("Timer.peek() called before start()")
+        return time.perf_counter() - self._start

@@ -1,0 +1,148 @@
+"""Tests for repro.bench.runner and repro.bench.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import INFEASIBLE, overhead_table, quality_table
+from repro.bench.runner import run_comparison
+from repro.bench.workloads import WorkloadSpec
+from repro.core.base import SearchBudget
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def small_comparison(schema, stats):
+    spec = WorkloadSpec("star-chain", 8, seed=0)
+    return run_comparison(
+        spec,
+        schema,
+        techniques=["DP", "IDP(4)", "SDP", "GOO"],
+        instances=3,
+        stats=stats,
+    )
+
+
+class TestRunComparison:
+    def test_reference_is_dp_when_feasible(self, small_comparison):
+        assert small_comparison.reference == "DP"
+
+    def test_dp_ratios_are_one(self, small_comparison):
+        dp = small_comparison.outcome("DP")
+        assert all(r == pytest.approx(1.0) for r in dp.ratios)
+
+    def test_heuristics_never_below_one(self, small_comparison):
+        for name in ("IDP(4)", "SDP", "GOO"):
+            outcome = small_comparison.outcome(name)
+            assert all(r >= 1.0 - 1e-9 for r in outcome.ratios)
+
+    def test_overheads_recorded(self, small_comparison):
+        sdp = small_comparison.outcome("SDP")
+        assert sdp.mean_plans_costed > 0
+        assert sdp.mean_memory_mb > 0
+        assert sdp.mean_seconds >= 0
+
+    def test_quality_aggregation(self, small_comparison):
+        quality = small_comparison.outcome("SDP").quality
+        assert quality is not None
+        assert quality.instances == 3
+
+    def test_unknown_technique_lookup(self, small_comparison):
+        with pytest.raises(BenchmarkError):
+            small_comparison.outcome("Nonexistent")
+
+    def test_infeasible_technique_marked(self, schema, stats):
+        spec = WorkloadSpec("star", 12, seed=0)
+        result = run_comparison(
+            spec,
+            schema,
+            techniques=["DP", "SDP"],
+            instances=2,
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+        )
+        assert result.reference == "SDP"
+        dp = result.outcome("DP")
+        assert not dp.feasible
+        assert dp.skipped
+        sdp = result.outcome("SDP")
+        assert sdp.feasible
+        assert all(r == pytest.approx(1.0) for r in sdp.ratios)
+
+    def test_mean_on_infeasible_raises(self, schema, stats):
+        spec = WorkloadSpec("star", 12, seed=0)
+        result = run_comparison(
+            spec,
+            schema,
+            techniques=["DP", "SDP"],
+            instances=1,
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+        )
+        with pytest.raises(BenchmarkError):
+            _ = result.outcome("DP").mean_seconds
+
+
+class TestReporting:
+    def test_quality_table_renders(self, small_comparison):
+        table = quality_table([small_comparison], ["DP", "SDP"], "T")
+        text = table.render()
+        assert "star-chain-8" in text
+        assert "rho" in text
+
+    def test_overhead_table_renders(self, small_comparison):
+        table = overhead_table([small_comparison], ["DP", "SDP"], "T")
+        text = table.render()
+        assert "Costing" in text
+        assert "E+" in text or "E-" in text  # scientific notation plans
+
+    def test_infeasible_rows_render_stars(self, schema, stats):
+        spec = WorkloadSpec("star", 12, seed=0)
+        result = run_comparison(
+            spec,
+            schema,
+            techniques=["DP", "SDP"],
+            instances=1,
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+        )
+        text = quality_table([result], ["DP", "SDP"], "T").render()
+        assert INFEASIBLE in text
+        text = overhead_table([result], ["DP", "SDP"], "T").render()
+        assert INFEASIBLE in text
+
+
+class TestPersistence:
+    def test_round_trip(self, small_comparison, tmp_path):
+        from repro.bench.persistence import load_comparison, save_comparison
+
+        path = str(tmp_path / "runs" / "cell.json")
+        save_comparison(small_comparison, path)
+        loaded = load_comparison(path)
+        assert loaded.label == small_comparison.label
+        assert loaded.reference == small_comparison.reference
+        for name, outcome in small_comparison.outcomes.items():
+            restored = loaded.outcome(name)
+            assert restored.ratios == outcome.ratios
+            assert restored.plans_costed == outcome.plans_costed
+            assert restored.quality.rho == outcome.quality.rho
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        from repro.bench.persistence import load_comparison
+        from repro.errors import BenchmarkError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(BenchmarkError):
+            load_comparison(str(path))
+
+    def test_missing_field(self, tmp_path):
+        import json
+
+        from repro.bench.persistence import comparison_from_dict
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            comparison_from_dict({"format_version": 1, "outcomes": {}})

@@ -1,0 +1,145 @@
+"""Tests for repro.bench.workloads and repro.bench.quality."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.quality import PLAN_CLASSES, QualityStats, classify_ratio
+from repro.bench.workloads import WorkloadSpec, generate_queries, make_query
+from repro.errors import BenchmarkError
+
+
+class TestWorkloadSpec:
+    def test_label(self):
+        spec = WorkloadSpec("star", 15)
+        assert spec.label == "star-15"
+        assert WorkloadSpec("star", 15, ordered=True).label == "star-15-ordered"
+
+    def test_unknown_topology(self):
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec("torus", 5)
+
+    def test_minimum_sizes(self):
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec("star-chain", 6)
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec("cycle", 2)
+
+
+class TestMakeQuery:
+    def test_deterministic(self, schema):
+        spec = WorkloadSpec("star-chain", 15, seed=3)
+        a = make_query(spec, schema, 4)
+        b = make_query(spec, schema, 4)
+        assert a.graph.relation_names == b.graph.relation_names
+
+    def test_instances_differ(self, schema):
+        spec = WorkloadSpec("star-chain", 15, seed=3)
+        a = make_query(spec, schema, 0)
+        b = make_query(spec, schema, 1)
+        assert a.graph.relation_names != b.graph.relation_names
+
+    def test_seed_changes_instances(self, schema):
+        a = make_query(WorkloadSpec("star", 10, seed=1, vary_hub=True), schema, 0)
+        b = make_query(WorkloadSpec("star", 10, seed=2, vary_hub=True), schema, 0)
+        assert a.graph.relation_names != b.graph.relation_names
+
+    def test_star_hub_is_largest_by_default(self, schema):
+        query = make_query(WorkloadSpec("star", 10), schema, 0)
+        hub_name = query.graph.relation_names[query.graph.hubs()[0]]
+        assert hub_name == schema.largest_relation().name
+
+    def test_vary_hub(self, schema):
+        hubs = set()
+        for i in range(8):
+            query = make_query(
+                WorkloadSpec("star", 10, vary_hub=True, seed=1), schema, i
+            )
+            hubs.add(query.graph.relation_names[query.graph.hubs()[0]])
+        assert len(hubs) > 1
+
+    def test_star_chain_shape(self, schema):
+        query = make_query(WorkloadSpec("star-chain", 15), schema, 0)
+        graph = query.graph
+        assert query.relation_count == 15
+        assert len(graph.hubs()) == 1
+        hub_degree = graph.degree(graph.hubs()[0])
+        assert hub_degree == 10  # N - 5 spokes
+
+    def test_ordered_variant(self, schema):
+        query = make_query(WorkloadSpec("star", 10, ordered=True), schema, 0)
+        assert query.order_by is not None
+        rel, col = query.order_by
+        index = query.graph.index_of(rel)
+        assert col in query.graph.join_columns_of(index)
+
+    def test_shared_hub_column(self, schema):
+        query = make_query(
+            WorkloadSpec("star", 8, shared_hub_column=True), schema, 0
+        )
+        assert query.graph.shared_column_eclasses() != []
+
+    def test_too_many_relations_rejected(self, schema):
+        with pytest.raises(BenchmarkError):
+            make_query(WorkloadSpec("chain", 26), schema, 0)
+
+    def test_generate_queries_count(self, schema):
+        spec = WorkloadSpec("chain", 5)
+        assert len(list(generate_queries(spec, schema, 3))) == 3
+        with pytest.raises(BenchmarkError):
+            list(generate_queries(spec, schema, 0))
+
+    @pytest.mark.parametrize(
+        "topology,size", [("chain", 6), ("cycle", 6), ("clique", 5), ("star", 8)]
+    )
+    def test_all_topologies_materialize(self, schema, topology, size):
+        query = make_query(WorkloadSpec(topology, size, seed=2), schema, 0)
+        assert query.relation_count == size
+        assert query.graph.is_connected(query.graph.all_mask)
+
+
+class TestQuality:
+    def test_classification_boundaries(self):
+        assert classify_ratio(1.0) == "I"
+        assert classify_ratio(1.01) == "I"
+        assert classify_ratio(1.02) == "G"
+        assert classify_ratio(2.0) == "G"
+        assert classify_ratio(2.01) == "A"
+        assert classify_ratio(10.0) == "A"
+        assert classify_ratio(10.5) == "B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchmarkError):
+            classify_ratio(-0.5)
+
+    def test_stats_from_ratios(self):
+        stats = QualityStats.from_ratios([1.0, 1.5, 3.0, 20.0])
+        assert stats.counts == {"I": 1, "G": 1, "A": 1, "B": 1}
+        assert stats.worst == 20.0
+        assert stats.instances == 4
+        assert stats.percent("I") == 25.0
+
+    def test_rho_of_identical_plans_is_one(self):
+        stats = QualityStats.from_ratios([1.0] * 10)
+        assert stats.rho == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            QualityStats.from_ratios([])
+
+    def test_unknown_class_rejected(self):
+        stats = QualityStats.from_ratios([1.0])
+        with pytest.raises(BenchmarkError):
+            stats.percent("Z")
+
+    def test_row_format(self):
+        stats = QualityStats.from_ratios([1.0, 4.0])
+        row = stats.row()
+        assert len(row) == len(PLAN_CLASSES) + 2
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1))
+    def test_rho_between_min_and_max(self, ratios):
+        stats = QualityStats.from_ratios(ratios)
+        assert min(ratios) - 1e-9 <= stats.rho <= max(ratios) + 1e-9

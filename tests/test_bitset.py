@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.util.bitset."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bit_count,
+    bit_indices,
+    bits_of,
+    first_bit,
+    is_subset,
+    lowest_set_bit,
+    mask_of,
+    subsets_of,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestMaskOf:
+    def test_empty(self):
+        assert mask_of([]) == 0
+
+    def test_simple(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_duplicates_collapse(self):
+        assert mask_of([3, 3, 3]) == 0b1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=30)))
+    def test_round_trip(self, indices):
+        assert bit_indices(mask_of(indices)) == sorted(set(indices))
+
+
+class TestBitsOf:
+    def test_empty(self):
+        assert list(bits_of(0)) == []
+
+    def test_ascending_powers(self):
+        assert list(bits_of(0b1011)) == [1, 2, 8]
+
+    @given(masks)
+    def test_or_of_bits_reconstructs(self, mask):
+        total = 0
+        for bit in bits_of(mask):
+            assert bit & (bit - 1) == 0  # power of two
+            total |= bit
+        assert total == mask
+
+
+class TestBitCountAndIndices:
+    @given(masks)
+    def test_count_matches_indices(self, mask):
+        assert bit_count(mask) == len(bit_indices(mask))
+
+    @given(masks)
+    def test_indices_sorted_unique(self, mask):
+        indices = bit_indices(mask)
+        assert indices == sorted(set(indices))
+
+
+class TestSubsetPredicate:
+    @given(masks, masks)
+    def test_is_subset_definition(self, a, b):
+        assert is_subset(a, b) == (a | b == b)
+
+    def test_empty_is_subset_of_all(self):
+        assert is_subset(0, 0b101)
+
+    def test_not_subset(self):
+        assert not is_subset(0b11, 0b01)
+
+
+class TestFirstBit:
+    def test_simple(self):
+        assert first_bit(0b1100) == 2
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            first_bit(0)
+
+    @given(masks.filter(lambda m: m > 0))
+    def test_matches_lowest_set_bit(self, mask):
+        assert 1 << first_bit(mask) == lowest_set_bit(mask)
+
+
+class TestSubsetsOf:
+    def test_enumerates_all_nonempty(self):
+        mask = 0b1011
+        expected = set()
+        indices = bit_indices(mask)
+        for size in range(1, len(indices) + 1):
+            for combo in combinations(indices, size):
+                expected.add(mask_of(combo))
+        assert set(subsets_of(mask)) == expected
+
+    def test_proper_excludes_self(self):
+        assert mask_of([0, 1]) not in set(subsets_of(0b11, proper=True))
+
+    def test_nonempty_false_includes_zero(self):
+        assert 0 in set(subsets_of(0b101, nonempty=False))
+
+    def test_zero_mask(self):
+        assert list(subsets_of(0)) == []
+        assert list(subsets_of(0, nonempty=False)) == [0]
+
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_count_is_two_to_popcount(self, mask):
+        count = sum(1 for _ in subsets_of(mask, nonempty=False))
+        assert count == 1 << bit_count(mask)
+
+    @given(st.integers(min_value=1, max_value=(1 << 12) - 1))
+    def test_all_are_subsets(self, mask):
+        for sub in subsets_of(mask):
+            assert is_subset(sub, mask)
+            assert sub != 0

@@ -1,0 +1,192 @@
+"""Tests for repro.catalog: columns, relations, schemas, statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    Column,
+    Index,
+    Relation,
+    Schema,
+    SchemaBuilder,
+    analyze,
+    paper_schema,
+)
+from repro.errors import CatalogError
+
+
+def _relation(name="T", rows=1000, cols=3, indexed=0):
+    columns = tuple(Column(name=f"c{i}", domain_size=100) for i in range(cols))
+    indexes = (Index(column_name=f"c{indexed}"),) if indexed is not None else ()
+    return Relation(name=name, row_count=rows, columns=columns, indexes=indexes)
+
+
+class TestColumn:
+    def test_valid(self):
+        col = Column(name="a", domain_size=10, width=8)
+        assert col.width == 8
+
+    def test_invalid_domain(self):
+        with pytest.raises(CatalogError):
+            Column(name="a", domain_size=0)
+
+    def test_invalid_width(self):
+        with pytest.raises(CatalogError):
+            Column(name="a", domain_size=10, width=0)
+
+    def test_empty_name(self):
+        with pytest.raises(CatalogError):
+            Column(name="", domain_size=10)
+
+
+class TestRelation:
+    def test_pages_positive(self):
+        assert _relation(rows=0).page_count == 1
+        assert _relation(rows=10**6).page_count > 100
+
+    def test_row_width_includes_overhead(self):
+        rel = _relation(cols=2)
+        assert rel.row_width > 8
+
+    def test_duplicate_columns_rejected(self):
+        cols = (Column("a", 10), Column("a", 10))
+        with pytest.raises(CatalogError):
+            Relation(name="T", row_count=1, columns=cols)
+
+    def test_index_on_unknown_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Relation(
+                name="T",
+                row_count=1,
+                columns=(Column("a", 10),),
+                indexes=(Index("zz"),),
+            )
+
+    def test_column_lookup(self):
+        rel = _relation()
+        assert rel.column("c1").name == "c1"
+        with pytest.raises(CatalogError):
+            rel.column("nope")
+
+    def test_has_index(self):
+        rel = _relation(indexed=0)
+        assert rel.has_index_on("c0")
+        assert not rel.has_index_on("c1")
+        assert rel.indexed_columns == ("c0",)
+
+
+class TestSchema:
+    def test_lookup_and_contains(self):
+        schema = Schema(relations=(_relation("A"), _relation("B", rows=5)))
+        assert "A" in schema and "Z" not in schema
+        assert schema.relation("B").row_count == 5
+        with pytest.raises(CatalogError):
+            schema.relation("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema(relations=(_relation("A"), _relation("A")))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema(relations=())
+
+    def test_largest_relation(self):
+        schema = Schema(relations=(_relation("A", rows=10), _relation("B", rows=99)))
+        assert schema.largest_relation().name == "B"
+
+
+class TestSchemaBuilder:
+    def test_paper_shape(self):
+        schema = paper_schema(seed=0)
+        assert len(schema) == 25
+        rows = [r.row_count for r in schema.relations]
+        assert min(rows) == 100
+        assert max(rows) == 2_500_000
+        assert all(len(r.columns) == 24 for r in schema.relations)
+        assert all(len(r.indexes) == 1 for r in schema.relations)
+
+    def test_total_size_about_paper(self):
+        # The paper's database is ~1.5 GB.
+        size = paper_schema(seed=0).total_bytes()
+        assert 0.5e9 < size < 4e9
+
+    def test_deterministic(self):
+        a, b = paper_schema(seed=3), paper_schema(seed=3)
+        assert a.relation_names == b.relation_names
+        assert [r.indexed_columns for r in a.relations] == [
+            r.indexed_columns for r in b.relations
+        ]
+
+    def test_seed_changes_layout(self):
+        a, b = paper_schema(seed=1), paper_schema(seed=2)
+        assert [r.indexed_columns for r in a.relations] != [
+            r.indexed_columns for r in b.relations
+        ]
+
+    def test_key_indexed_columns(self):
+        schema = SchemaBuilder(seed=0).build()
+        for rel in schema.relations:
+            col = rel.column(rel.indexed_columns[0])
+            assert col.domain_size == rel.row_count
+
+    def test_key_indexing_can_be_disabled(self):
+        schema = SchemaBuilder(seed=0, key_indexed_columns=False).build()
+        mismatches = sum(
+            1
+            for rel in schema.relations
+            if rel.column(rel.indexed_columns[0]).domain_size != rel.row_count
+        )
+        assert mismatches > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(CatalogError):
+            SchemaBuilder(relation_count=0)
+        with pytest.raises(CatalogError):
+            SchemaBuilder(column_count=0)
+        with pytest.raises(CatalogError):
+            SchemaBuilder(indexes_per_relation=99, column_count=5)
+
+    def test_scaled_schema(self):
+        schema = SchemaBuilder(seed=0, relation_count=50).build()
+        assert len(schema) == 50
+
+
+class TestAnalyze:
+    def test_covers_all_relations(self, small_schema):
+        stats = analyze(small_schema)
+        assert len(stats) == len(small_schema)
+        for name in small_schema.relation_names:
+            assert name in stats
+
+    def test_column_stats_sane(self, small_schema):
+        stats = analyze(small_schema)
+        for rel in small_schema.relations:
+            table = stats.table(rel.name)
+            assert table.row_count == rel.row_count
+            assert table.page_count == rel.page_count
+            for col in rel.columns:
+                cs = table.column(col.name)
+                assert 1 <= cs.n_distinct <= min(col.domain_size, rel.row_count)
+                assert 0 < cs.most_common_frac <= 1
+                assert cs.has_index == rel.has_index_on(col.name)
+
+    def test_missing_lookups_raise(self, small_schema):
+        stats = analyze(small_schema)
+        with pytest.raises(CatalogError):
+            stats.table("nope")
+        with pytest.raises(CatalogError):
+            stats.table(small_schema.relation_names[0]).column("nope")
+
+    def test_skewed_statistics_differ(self):
+        uniform = analyze(SchemaBuilder(seed=0, relation_count=5).build())
+        skewed = analyze(
+            SchemaBuilder(seed=0, relation_count=5, skewed=True).build()
+        )
+        name = uniform.table_names[-1]
+        u_cols = uniform.table(name).columns
+        s_cols = skewed.table(name).columns
+        assert any(
+            s_cols[c].n_distinct < u_cols[c].n_distinct for c in u_cols
+        )

@@ -1,0 +1,55 @@
+"""Tests for the sdp-bench CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments.common import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    clear_caches()
+    monkeypatch.setenv("REPRO_BENCH_INSTANCES", "1")
+    monkeypatch.setenv("REPRO_BENCH_HEAVY_INSTANCES", "1")
+    monkeypatch.setenv("REPRO_BENCH_MAX_SECONDS", "10")
+    yield
+    clear_caches()
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table-1.1" in out and "figure-2.2" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["table-9.9"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_single_experiment(capsys):
+    assert main(["table-2.2"]) == 0
+    out = capsys.readouterr().out
+    assert "matches the paper" in out
+    assert "done in" in out
+
+
+def test_flag_overrides(capsys):
+    code = main(["table-2.2", "--instances", "1", "--seed", "5"])
+    assert code == 0
+
+
+def test_experiment_with_comparison(capsys):
+    assert main(["figure-2.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Survivors" in out
+
+
+def test_output_directory(tmp_path, capsys):
+    out_dir = tmp_path / "reports"
+    assert main(["table-2.2", "--output", str(out_dir)]) == 0
+    written = out_dir / "table-2.2.txt"
+    assert written.exists()
+    assert "matches the paper" in written.read_text()

@@ -1,0 +1,60 @@
+"""Tests for repro.compare (single-query technique comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compare import ComparisonRow, compare_techniques
+from repro.core.base import SearchBudget
+from tests.conftest import make_star_query
+
+
+class TestCompareTechniques:
+    def test_rendered_table(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        report = compare_techniques(
+            query, ("DP", "SDP", "GOO"), stats=small_stats
+        )
+        assert isinstance(report, str)
+        assert "Cost ratio" in report
+        assert "SDP" in report and "GOO" in report
+
+    def test_raw_rows(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        rows = compare_techniques(
+            query, ("DP", "SDP"), stats=small_stats, render=False
+        )
+        assert all(isinstance(r, ComparisonRow) for r in rows)
+        dp = next(r for r in rows if r.technique == "DP")
+        assert dp.feasible and dp.ratio == pytest.approx(1.0)
+        sdp = next(r for r in rows if r.technique == "SDP")
+        assert sdp.ratio >= 1.0 - 1e-9
+
+    def test_infeasible_marked(self, schema, stats):
+        query = make_star_query(schema, 13)
+        rows = compare_techniques(
+            query,
+            ("DP", "SDP"),
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+            render=False,
+        )
+        dp = next(r for r in rows if r.technique == "DP")
+        assert not dp.feasible and dp.ratio is None
+        sdp = next(r for r in rows if r.technique == "SDP")
+        assert sdp.feasible
+
+    def test_infeasible_renders_stars(self, schema, stats):
+        query = make_star_query(schema, 13)
+        report = compare_techniques(
+            query,
+            ("DP", "SDP"),
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+        )
+        assert "*" in report
+
+    def test_auto_stats(self, small_schema):
+        query = make_star_query(small_schema, 4)
+        report = compare_techniques(query, ("SDP",))
+        assert "SDP" in report

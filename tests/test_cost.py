@@ -1,0 +1,241 @@
+"""Tests for repro.cost: model, selectivity, cardinality, scans, sorts, joins."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.cost import (
+    DEFAULT_COST_MODEL,
+    CardinalityEstimator,
+    CostModel,
+    eclass_selectivity,
+    hash_join_cost,
+    index_lookup_cost,
+    index_nestloop_cost,
+    index_scan_full_cost,
+    merge_join_cost,
+    nestloop_cost,
+    predicate_selectivity,
+    seq_scan_cost,
+    sort_cost,
+)
+from repro.errors import CatalogError
+from repro.query import JoinGraph
+
+CM = DEFAULT_COST_MODEL
+
+
+def col(n_distinct=100, mcf=0.01, index=False, domain=100):
+    return ColumnStats(
+        name="c",
+        n_distinct=n_distinct,
+        most_common_frac=mcf,
+        width=4,
+        has_index=index,
+        domain_size=domain,
+    )
+
+
+def table(rows=10_000, pages=100):
+    return TableStats(
+        name="T",
+        row_count=rows,
+        page_count=pages,
+        row_width=64,
+        columns={"c": col()},
+    )
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        assert CM.seq_page_cost > 0
+        assert CM.random_page_cost >= CM.seq_page_cost
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            CostModel(seq_page_cost=-1)
+        with pytest.raises(CatalogError):
+            CostModel(work_mem_bytes=0)
+        with pytest.raises(CatalogError):
+            CostModel(rescan_discount=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CM.seq_page_cost = 2.0  # type: ignore[misc]
+
+
+class TestSelectivity:
+    def test_pair_is_one_over_max(self):
+        assert predicate_selectivity(col(100), col(1000)) == pytest.approx(1e-3)
+
+    def test_skew_floor(self):
+        skewed = predicate_selectivity(
+            col(100, mcf=0.5), col(1000, mcf=0.5)
+        )
+        assert skewed == pytest.approx(0.25)
+
+    def test_needs_two_members(self):
+        with pytest.raises(CatalogError):
+            eclass_selectivity([col()])
+
+    def test_multiway_divides_by_t_minus_1_largest(self):
+        sel = eclass_selectivity([col(10, mcf=1e-9), col(100, mcf=1e-9), col(1000, mcf=1e-9)])
+        assert sel == pytest.approx(1.0 / (100 * 1000))
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=10**7), min_size=2, max_size=6
+        )
+    )
+    def test_bounds(self, distincts):
+        sel = eclass_selectivity([col(d, mcf=1.0 / d) for d in distincts])
+        assert 0.0 < sel <= 1.0
+
+    def test_monotone_in_distinct_count(self):
+        low = predicate_selectivity(col(10, 1e-9), col(10, 1e-9))
+        high = predicate_selectivity(col(10, 1e-9), col(1000, 1e-9))
+        assert high < low
+
+
+class TestScanCosts:
+    def test_seq_scan_formula(self):
+        t = table(rows=1000, pages=10)
+        assert seq_scan_cost(t, CM) == pytest.approx(
+            10 * CM.seq_page_cost + 1000 * CM.cpu_tuple_cost
+        )
+
+    def test_index_scan_costlier_than_seq(self):
+        t = table(rows=100_000, pages=1000)
+        assert index_scan_full_cost(t, CM) > seq_scan_cost(t, CM)
+
+    def test_index_lookup_grows_with_matches(self):
+        t = table()
+        cheap = index_lookup_cost(t, col(index=True), 1, CM)
+        costly = index_lookup_cost(t, col(index=True), 1000, CM)
+        assert costly > cheap > 0
+
+
+class TestSortCost:
+    def test_zero_rows_free(self):
+        assert sort_cost(0, 8, CM) == 0.0
+
+    def test_superlinear(self):
+        small = sort_cost(1000, 8, CM)
+        big = sort_cost(100_000, 8, CM)
+        assert big > 100 * small * 0.5  # at least ~n log n growth
+
+    def test_spill_penalty(self):
+        in_mem = sort_cost(1000, 8, CM)
+        spill_rows = CM.work_mem_bytes  # rows * width 8 > work_mem
+        spilled = sort_cost(spill_rows, 8, CM)
+        no_spill_model = CostModel(work_mem_bytes=2**40)
+        unspilled = sort_cost(spill_rows, 8, no_spill_model)
+        assert spilled > unspilled > in_mem
+
+
+class TestJoinCosts:
+    def test_all_methods_cover_input_costs(self):
+        args = dict(out_rows=500.0, cm=CM)
+        nl = nestloop_cost(100, 50.0, 200, 80.0, **args)
+        hj = hash_join_cost(100, 50.0, 200, 80.0, 64, **args)
+        mj = merge_join_cost(100, 50.0, 200, 80.0, **args)
+        for cost in (nl, hj, mj):
+            assert cost >= 130.0
+
+    def test_nestloop_quadratic_term(self):
+        small = nestloop_cost(10, 0, 10, 0, 1, CM)
+        big = nestloop_cost(1000, 0, 1000, 0, 1, CM)
+        assert big > 1000 * small * 0.1
+
+    def test_hash_join_linear_ish(self):
+        base = hash_join_cost(1000, 0, 1000, 0, 8, 1, CM)
+        bigger = hash_join_cost(10_000, 0, 10_000, 0, 8, 1, CM)
+        assert bigger < base * 100  # far from quadratic
+
+    def test_hash_spill_penalty(self):
+        rows = CM.work_mem_bytes  # build side overflows work_mem at width 8
+        spilled = hash_join_cost(10, 0, rows, 0, 8, 1, CM)
+        fits = hash_join_cost(
+            10, 0, rows, 0, 8, 1, CostModel(work_mem_bytes=2**40)
+        )
+        assert spilled > fits
+
+    def test_index_nestloop_uses_probe_cost(self):
+        cheap = index_nestloop_cost(100, 0, probe_cost=1.0, out_rows=10, cm=CM)
+        costly = index_nestloop_cost(100, 0, probe_cost=50.0, out_rows=10, cm=CM)
+        assert costly > cheap
+
+
+class TestCardinalityEstimator:
+    def _graph_and_stats(self, small_schema, small_stats, n=4):
+        names = list(small_schema.relation_names[:n])
+        joins = [
+            (names[i], "c1", names[i + 1], "c2") for i in range(n - 1)
+        ]
+        return JoinGraph(names, joins), small_stats
+
+    def test_single_relation_rows(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        expected = stats.table(graph.relation_names[0]).row_count
+        assert est.rows(1) == pytest.approx(expected)
+
+    def test_rows_at_least_one(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        assert est.rows(graph.all_mask) >= 1.0
+
+    def test_join_reduces_vs_cartesian(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        pair = 0b11
+        cartesian = est.rows(1) * est.rows(2)
+        assert est.rows(pair) <= cartesian
+
+    def test_log_selectivity_nonpositive(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        assert est.log_selectivity(0b111) <= 1e-9
+
+    def test_memoization_consistency(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        assert est.rows(0b1011 & graph.all_mask) == est.rows(0b1011 & graph.all_mask)
+
+    def test_width_additive(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        assert est.width(0b11) == est.width(0b01) + est.width(0b10)
+
+    def test_empty_mask_rejected(self, small_schema, small_stats):
+        graph, stats = self._graph_and_stats(small_schema, small_stats)
+        est = CardinalityEstimator(graph, stats)
+        with pytest.raises(CatalogError):
+            est.rows(0)
+
+    def test_shared_column_uses_tminus1_rule(self, small_schema, small_stats):
+        names = list(small_schema.relation_names[:3])
+        # shared column: A.c1 = B.c1, A.c1 = C.c1 (one eclass, 3 members)
+        joins = [
+            (names[0], "c1", names[1], "c1"),
+            (names[0], "c1", names[2], "c1"),
+        ]
+        graph = JoinGraph(names, joins)
+        est = CardinalityEstimator(graph, small_stats)
+        tables = [small_stats.table(n) for n in names]
+        ndvs = sorted(
+            (t.column("c1").n_distinct for t in tables), reverse=True
+        )
+        expected_log = (
+            sum(math.log(t.row_count) for t in tables)
+            - math.log(ndvs[0])
+            - math.log(ndvs[1])
+        )
+        got = math.log(est.rows(graph.all_mask))
+        skew_possible = got >= expected_log - 1e-6
+        assert skew_possible

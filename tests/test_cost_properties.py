@@ -1,0 +1,145 @@
+"""Property-based tests on cost-model monotonicity and failure injection.
+
+A cost model does not need to be *accurate* to make DP comparisons sound,
+but it must be internally consistent: costs must grow with work. These
+hypothesis tests pin the monotonicity properties the optimizers rely on,
+plus the error behavior when inputs are malformed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import CatalogStatistics, ColumnStats, TableStats
+from repro.cost import (
+    DEFAULT_COST_MODEL,
+    eclass_selectivity,
+    hash_join_cost,
+    merge_join_cost,
+    nestloop_cost,
+    seq_scan_cost,
+    sort_cost,
+)
+from repro.cost.cardinality import CardinalityEstimator
+from repro.errors import CatalogError
+from repro.query import JoinGraph
+
+CM = DEFAULT_COST_MODEL
+
+rows_st = st.floats(min_value=1.0, max_value=1e8)
+cost_st = st.floats(min_value=0.0, max_value=1e9)
+width_st = st.integers(min_value=1, max_value=512)
+
+
+def _col(n_distinct, mcf=None):
+    if mcf is None:
+        mcf = 1.0 / n_distinct
+    return ColumnStats("c", n_distinct, mcf, 4, False, max(n_distinct, 1))
+
+
+class TestMonotonicity:
+    @given(rows_st, rows_st)
+    def test_sort_monotone_in_rows(self, a, b):
+        lo, hi = sorted((a, b))
+        assert sort_cost(lo, 8, CM) <= sort_cost(hi, 8, CM) + 1e-9
+
+    @given(rows_st, width_st, width_st)
+    def test_sort_monotone_in_width(self, rows, w1, w2):
+        lo, hi = sorted((w1, w2))
+        assert sort_cost(rows, lo, CM) <= sort_cost(rows, hi, CM) + 1e-9
+
+    @given(rows_st, rows_st, rows_st, cost_st, cost_st)
+    def test_joins_monotone_in_output(self, l_rows, r_rows, out, l_cost, r_cost):
+        smaller = nestloop_cost(l_rows, l_cost, r_rows, r_cost, out, CM)
+        bigger = nestloop_cost(l_rows, l_cost, r_rows, r_cost, out * 2, CM)
+        assert smaller <= bigger + 1e-9
+        smaller = hash_join_cost(l_rows, l_cost, r_rows, r_cost, 8, out, CM)
+        bigger = hash_join_cost(l_rows, l_cost, r_rows, r_cost, 8, out * 2, CM)
+        assert smaller <= bigger + 1e-9
+        smaller = merge_join_cost(l_rows, l_cost, r_rows, r_cost, out, CM)
+        bigger = merge_join_cost(l_rows, l_cost, r_rows, r_cost, out * 2, CM)
+        assert smaller <= bigger + 1e-9
+
+    @given(rows_st, rows_st, cost_st, cost_st, cost_st)
+    def test_joins_monotone_in_input_cost(self, l_rows, r_rows, c1, c2, out):
+        lo, hi = sorted((c1, c2))
+        assert nestloop_cost(l_rows, lo, r_rows, 0, out, CM) <= nestloop_cost(
+            l_rows, hi, r_rows, 0, out, CM
+        ) + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10**6), min_size=2, max_size=5)
+    )
+    def test_eclass_selectivity_permutation_invariant(self, distincts):
+        import itertools
+
+        base = eclass_selectivity([_col(d) for d in distincts])
+        for perm in itertools.islice(itertools.permutations(distincts), 4):
+            assert eclass_selectivity([_col(d) for d in perm]) == pytest.approx(
+                base
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_seq_scan_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        t_lo = TableStats("T", lo, max(1, lo // 100), 64, {})
+        t_hi = TableStats("T", hi, max(1, hi // 100), 64, {})
+        assert seq_scan_cost(t_lo, CM) <= seq_scan_cost(t_hi, CM) + 1e-9
+
+
+class TestFailureInjection:
+    def test_estimator_rejects_missing_relation_stats(self, small_schema):
+        names = list(small_schema.relation_names[:2])
+        graph = JoinGraph(names, [(names[0], "c1", names[1], "c2")])
+        partial = CatalogStatistics(
+            {
+                names[0]: TableStats(
+                    names[0],
+                    100,
+                    10,
+                    64,
+                    {"c1": _col(50)},
+                )
+            }
+        )
+        with pytest.raises(CatalogError):
+            CardinalityEstimator(graph, partial)
+
+    def test_estimator_rejects_empty_relation(self, small_schema):
+        names = list(small_schema.relation_names[:2])
+        graph = JoinGraph(names, [(names[0], "c1", names[1], "c2")])
+        stats = CatalogStatistics(
+            {
+                names[0]: TableStats(names[0], 0, 1, 64, {"c1": _col(1)}),
+                names[1]: TableStats(names[1], 10, 1, 64, {"c2": _col(5)}),
+            }
+        )
+        with pytest.raises(CatalogError):
+            CardinalityEstimator(graph, stats)
+
+    def test_empty_statistics_rejected(self):
+        with pytest.raises(CatalogError):
+            CatalogStatistics({})
+
+    def test_optimizer_surfaces_catalog_errors(self, small_schema, small_stats):
+        """A query against a schema whose stats lack a relation fails loudly."""
+        from repro.core import SDPOptimizer
+        from repro.query import Query
+
+        names = list(small_schema.relation_names[:2])
+        graph = JoinGraph(names, [(names[0], "c1", names[1], "c2")])
+        query = Query(small_schema, graph)
+        partial = CatalogStatistics(
+            {
+                names[0]: TableStats(
+                    names[0], 100, 10, 64, {"c1": _col(50)}
+                )
+            }
+        )
+        with pytest.raises(CatalogError):
+            SDPOptimizer().optimize(query, partial)

@@ -1,0 +1,142 @@
+"""Tests for repro.catalog.distributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.distributions import (
+    ExponentialDistribution,
+    UniformDistribution,
+    geometric_steps,
+)
+from repro.errors import CatalogError
+
+domains = st.integers(min_value=1, max_value=5_000_000)
+rows = st.integers(min_value=0, max_value=5_000_000)
+
+
+class TestGeometricSteps:
+    def test_exact_endpoints(self):
+        steps = geometric_steps(100, 2_500_000, 25)
+        assert steps[0] == 100
+        assert steps[-1] == 2_500_000
+        assert len(steps) == 25
+
+    def test_paper_ratio_is_about_1_5(self):
+        steps = geometric_steps(100, 2_500_000, 25)
+        ratios = [b / a for a, b in zip(steps, steps[1:])]
+        assert all(1.4 < r < 1.7 for r in ratios)
+
+    def test_monotone_nondecreasing(self):
+        steps = geometric_steps(10, 1000, 7)
+        assert steps == sorted(steps)
+
+    def test_single_step(self):
+        assert geometric_steps(5, 100, 1) == [5]
+
+    def test_equal_bounds(self):
+        assert geometric_steps(7, 7, 3) == [7, 7, 7]
+
+    def test_invalid(self):
+        with pytest.raises(CatalogError):
+            geometric_steps(0, 10, 3)
+        with pytest.raises(CatalogError):
+            geometric_steps(10, 5, 3)
+        with pytest.raises(CatalogError):
+            geometric_steps(1, 10, 0)
+
+
+class TestUniformDistribution:
+    dist = UniformDistribution()
+
+    def test_zero_rows(self):
+        assert self.dist.distinct_count(100, 0) == 0
+        assert self.dist.most_common_fraction(100, 0) == 0.0
+
+    def test_more_rows_than_domain_saturates(self):
+        assert self.dist.distinct_count(10, 100_000) == 10
+
+    def test_fewer_rows_bounded_by_rows(self):
+        assert self.dist.distinct_count(1_000_000, 5) <= 5
+
+    @given(domains, rows)
+    def test_bounds(self, domain, n):
+        d = self.dist.distinct_count(domain, n)
+        assert 0 <= d <= min(domain, n) if n else d == 0
+
+    @given(domains, rows.filter(lambda n: n > 0))
+    def test_mcf_bounds(self, domain, n):
+        frac = self.dist.most_common_fraction(domain, n)
+        assert 0.0 < frac <= 1.0
+        assert frac >= 1.0 / domain or frac >= 1.0 / n
+
+    def test_occupancy_known_value(self):
+        # 100 draws over 100 values: ~63.4 distinct expected.
+        assert 60 <= self.dist.distinct_count(100, 100) <= 67
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CatalogError):
+            self.dist.distinct_count(0, 5)
+        with pytest.raises(CatalogError):
+            self.dist.distinct_count(10, -1)
+
+
+class TestExponentialDistribution:
+    def test_decay_validation(self):
+        with pytest.raises(CatalogError):
+            ExponentialDistribution(decay=0.0)
+        with pytest.raises(CatalogError):
+            ExponentialDistribution(decay=1.0)
+
+    def test_skew_reduces_distinct(self):
+        uniform = UniformDistribution()
+        skewed = ExponentialDistribution(decay=0.5)
+        assert skewed.distinct_count(10_000, 10_000) < uniform.distinct_count(
+            10_000, 10_000
+        )
+
+    def test_head_mass(self):
+        dist = ExponentialDistribution(decay=0.5)
+        assert dist.most_common_fraction(1000, 1000) == pytest.approx(0.5)
+
+    def test_zero_rows(self):
+        dist = ExponentialDistribution()
+        assert dist.distinct_count(100, 0) == 0
+        assert dist.most_common_fraction(100, 0) == 0.0
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.95),
+        domains,
+        rows.filter(lambda n: n > 0),
+    )
+    def test_bounds(self, decay, domain, n):
+        dist = ExponentialDistribution(decay=decay)
+        d = dist.distinct_count(domain, n)
+        assert 1 <= d <= min(domain, n)
+        frac = dist.most_common_fraction(domain, n)
+        assert 0.0 < frac <= 1.0
+
+    def test_gentler_decay_more_distinct(self):
+        sharp = ExponentialDistribution(decay=0.5)
+        gentle = ExponentialDistribution(decay=0.95)
+        assert gentle.distinct_count(100_000, 100_000) > sharp.distinct_count(
+            100_000, 100_000
+        )
+
+    def test_repr(self):
+        assert "0.5" in repr(ExponentialDistribution(decay=0.5))
+        assert repr(UniformDistribution()) == "UniformDistribution()"
+
+
+class TestDegenerateDomains:
+    def test_single_value_domain_uniform(self):
+        dist = UniformDistribution()
+        assert dist.distinct_count(1, 100) == 1
+        assert dist.most_common_fraction(1, 100) == 1.0
+
+    def test_single_value_domain_exponential(self):
+        dist = ExponentialDistribution(decay=0.5)
+        assert dist.distinct_count(1, 100) == 1
+        assert dist.most_common_fraction(1, 100) == 1.0

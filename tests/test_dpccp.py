@@ -1,0 +1,191 @@
+"""Tests for the DPccp enumerator, validated against brute force."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpccp import connected_subgraphs, csg_cmp_pairs
+from repro.util.bitset import bit_indices, subsets_of
+
+
+def brute_connected_subsets(neighbors: list[int]) -> set[int]:
+    n = len(neighbors)
+    out = set()
+    for mask in range(1, 1 << n):
+        if _connected(neighbors, mask):
+            out.add(mask)
+    return out
+
+
+def _connected(neighbors: list[int], mask: int) -> bool:
+    start = mask & -mask
+    seen = start
+    frontier = start
+    while frontier:
+        grow = 0
+        rest = seen
+        while rest:
+            bit = rest & -rest
+            grow |= neighbors[bit.bit_length() - 1]
+            rest ^= bit
+        grow &= mask & ~seen
+        if not grow:
+            break
+        seen |= grow
+        frontier = grow
+    return seen == mask
+
+
+def brute_ccp(neighbors: list[int]) -> set[tuple[int, int]]:
+    """All unordered csg-cmp pairs, normalized to min(S1) < min(S2)."""
+    connected = brute_connected_subsets(neighbors)
+    pairs = set()
+    for union in connected:
+        if union.bit_count() < 2:
+            continue
+        for s1 in subsets_of(union, proper=True):
+            s2 = union ^ s1
+            if s1 > s2:
+                continue  # count each unordered split once
+            if s1 not in connected or s2 not in connected:
+                continue
+            if not _edge_between(neighbors, s1, s2):
+                continue
+            lo1 = s1 & -s1
+            lo2 = s2 & -s2
+            pairs.add((s1, s2) if lo1 < lo2 else (s2, s1))
+    return pairs
+
+
+def _edge_between(neighbors: list[int], a: int, b: int) -> bool:
+    rest = a
+    while rest:
+        bit = rest & -rest
+        if neighbors[bit.bit_length() - 1] & b:
+            return True
+        rest ^= bit
+    return False
+
+
+def random_connected_graph(draw, n: int) -> list[int]:
+    neighbors = [0] * n
+    # spanning tree first
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        neighbors[node] |= 1 << parent
+        neighbors[parent] |= 1 << node
+    # random extra edges
+    for a, b in combinations(range(n), 2):
+        if draw(st.booleans()):
+            neighbors[a] |= 1 << b
+            neighbors[b] |= 1 << a
+    return neighbors
+
+
+def star(n: int) -> list[int]:
+    neighbors = [0] * n
+    for spoke in range(1, n):
+        neighbors[0] |= 1 << spoke
+        neighbors[spoke] = 1
+    return neighbors
+
+
+def chain(n: int) -> list[int]:
+    neighbors = [0] * n
+    for i in range(n - 1):
+        neighbors[i] |= 1 << (i + 1)
+        neighbors[i + 1] |= 1 << i
+    return neighbors
+
+
+class TestConnectedSubgraphs:
+    def test_chain_counts(self):
+        # contiguous ranges: n (n + 1) / 2
+        for n in (2, 4, 6):
+            got = set(connected_subgraphs(chain(n)))
+            assert len(got) == n * (n + 1) // 2
+
+    def test_star_counts(self):
+        # singletons + (hub with any nonempty spoke subset)
+        for n in (3, 5, 7):
+            got = set(connected_subgraphs(star(n)))
+            assert len(got) == n + (1 << (n - 1)) - 1
+
+    def test_matches_brute_force_on_star(self):
+        neighbors = star(5)
+        assert set(connected_subgraphs(neighbors)) == brute_connected_subsets(
+            neighbors
+        )
+
+    def test_no_duplicates(self):
+        listing = list(connected_subgraphs(star(6)))
+        assert len(listing) == len(set(listing))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=7), st.data())
+    def test_matches_brute_force_random(self, n, data):
+        neighbors = random_connected_graph(data.draw, n)
+        got = list(connected_subgraphs(neighbors))
+        assert len(got) == len(set(got))
+        assert set(got) == brute_connected_subsets(neighbors)
+
+
+class TestCsgCmpPairs:
+    def test_two_relations(self):
+        assert set(csg_cmp_pairs(chain(2))) == {(1, 2)}
+
+    def test_pairs_are_valid(self):
+        neighbors = star(6)
+        for s1, s2 in csg_cmp_pairs(neighbors):
+            assert s1 & s2 == 0
+            assert _connected(neighbors, s1)
+            assert _connected(neighbors, s2)
+            assert _edge_between(neighbors, s1, s2)
+
+    def test_matches_brute_force_on_star_and_chain(self):
+        for neighbors in (star(6), chain(6)):
+            got = list(csg_cmp_pairs(neighbors))
+            assert len(got) == len(set(got))
+            normalized = {
+                (a, b) if (a & -a) < (b & -b) else (b, a) for a, b in got
+            }
+            assert normalized == brute_ccp(neighbors)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    def test_matches_brute_force_random(self, n, data):
+        neighbors = random_connected_graph(data.draw, n)
+        got = list(csg_cmp_pairs(neighbors))
+        assert len(got) == len(set(got))
+        normalized = {
+            (a, b) if (a & -a) < (b & -b) else (b, a) for a, b in got
+        }
+        assert normalized == brute_ccp(neighbors)
+
+    def test_every_connected_set_reachable(self):
+        """Every connected set of size >= 2 appears as some pair's union."""
+        neighbors = star(5)
+        unions = {s1 | s2 for s1, s2 in csg_cmp_pairs(neighbors)}
+        expected = {
+            m for m in brute_connected_subsets(neighbors) if m.bit_count() >= 2
+        }
+        assert unions == expected
+
+    def test_min_convention(self):
+        for s1, s2 in csg_cmp_pairs(star(5)):
+            assert (s1 & -s1) < (s2 & -s2)
+
+    def test_star_pair_count_formula(self):
+        # each ccp pairs the hub-set with a single spoke (or spoke with hub-set)
+        n = 6
+        got = len(list(csg_cmp_pairs(star(n))))
+        # (hub + S) vs spoke t not in S: choose S (possibly empty) among the
+        # other n-2 spokes => (n-1) * 2^(n-2); each unordered pair counted once.
+        assert got == (n - 1) * (1 << (n - 2))
+
+
+def test_bit_indices_helper_consistency():
+    assert bit_indices(0b101001) == [0, 3, 5]

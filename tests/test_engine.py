@@ -1,0 +1,221 @@
+"""Tests for the execution engine (materialization + executor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import SchemaBuilder, analyze
+from repro.core import DynamicProgrammingOptimizer, SDPOptimizer, make_optimizer
+from repro.engine import Database, Executor, materialize
+from repro.engine.executor import _combine_keys, _match_pairs
+from repro.errors import CatalogError, PlanError
+from repro.query import JoinGraph, Query, chain_joins, star_joins
+
+
+@pytest.fixture(scope="module")
+def exec_schema():
+    """A schema with duplicate-heavy columns so joins actually match."""
+    return SchemaBuilder(
+        seed=3,
+        relation_count=8,
+        column_count=6,
+        min_cardinality=50,
+        max_cardinality=4000,
+        min_domain=10,
+        max_domain=500,
+        name="exec-8",
+    ).build()
+
+
+@pytest.fixture(scope="module")
+def db(exec_schema):
+    return materialize(exec_schema, seed=4)
+
+
+@pytest.fixture(scope="module")
+def db_stats(db):
+    return analyze(db.schema)
+
+
+class TestMaterialize:
+    def test_row_counts_match_schema(self, exec_schema, db):
+        for rel in exec_schema.relations:
+            assert db.row_count(rel.name) == rel.row_count
+
+    def test_values_within_domain(self, exec_schema, db):
+        for rel in exec_schema.relations:
+            for col in rel.columns:
+                values = db.column(rel.name, col.name)
+                assert values.min() >= 0
+                assert values.max() < col.domain_size
+
+    def test_deterministic(self, exec_schema):
+        a = materialize(exec_schema, seed=7)
+        b = materialize(exec_schema, seed=7)
+        name = exec_schema.relation_names[0]
+        assert np.array_equal(a.column(name, "c1"), b.column(name, "c1"))
+
+    def test_seed_changes_data(self, exec_schema):
+        a = materialize(exec_schema, seed=1)
+        b = materialize(exec_schema, seed=2)
+        name = exec_schema.relation_names[-1]
+        assert not np.array_equal(a.column(name, "c1"), b.column(name, "c1"))
+
+    def test_scale(self, exec_schema):
+        db = materialize(exec_schema, scale=0.5)
+        for rel in exec_schema.relations:
+            assert db.row_count(rel.name) <= max(4, rel.row_count // 2 + 1)
+        assert db.schema.name.endswith("@0.5")
+
+    def test_invalid_scale(self, exec_schema):
+        with pytest.raises(CatalogError):
+            materialize(exec_schema, scale=0.0)
+
+    def test_index_orders_sorted(self, exec_schema, db):
+        for rel in exec_schema.relations:
+            for column in rel.indexed_columns:
+                order = db.index_order(rel.name, column)
+                values = db.column(rel.name, column)[order]
+                assert np.all(np.diff(values) >= 0)
+
+    def test_missing_lookups(self, db):
+        with pytest.raises(CatalogError):
+            db.column("nope", "c1")
+        with pytest.raises(CatalogError):
+            db.index_order(db.schema.relation_names[0], "not-indexed")
+
+    def test_column_subset(self, exec_schema):
+        db = materialize(exec_schema, columns_per_relation=2)
+        rel = exec_schema.relations[0]
+        kept = set(db.tables[rel.name])
+        assert len(kept) <= 3  # two columns plus possibly the indexed one
+        assert set(rel.indexed_columns) <= kept
+
+    def test_skewed_data_head_heavy(self):
+        schema = SchemaBuilder(
+            seed=0, relation_count=3, column_count=4,
+            min_cardinality=5000, max_cardinality=5000,
+            skewed=True, skew_decay=0.5,
+        ).build()
+        db = materialize(schema, seed=0)
+        values = db.column(schema.relation_names[0], "c1")
+        # with decay 0.5, value 0 holds ~half the rows
+        frac = float(np.mean(values == 0))
+        assert 0.4 < frac < 0.6
+
+
+class TestJoinKernel:
+    def test_match_pairs_simple(self):
+        lk = np.array([1, 2, 2, 3])
+        rk = np.array([2, 3, 4])
+        l_pos, r_pos = _match_pairs(lk, rk)
+        pairs = set(zip(l_pos.tolist(), r_pos.tolist()))
+        assert pairs == {(1, 0), (2, 0), (3, 1)}
+
+    def test_match_pairs_empty(self):
+        l_pos, r_pos = _match_pairs(np.array([1]), np.array([2]))
+        assert len(l_pos) == 0 and len(r_pos) == 0
+        l_pos, r_pos = _match_pairs(np.array([], dtype=np.int64), np.array([1]))
+        assert len(l_pos) == 0
+
+    def test_match_pairs_many_to_many(self):
+        lk = np.array([5, 5])
+        rk = np.array([5, 5, 5])
+        l_pos, r_pos = _match_pairs(lk, rk)
+        assert len(l_pos) == 6
+
+    def test_combine_keys_collision_free(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        combined = _combine_keys([a, b])
+        assert len(np.unique(combined)) == 4
+
+
+class TestExecutor:
+    def _query(self, db, size=4, topology="chain"):
+        names = list(db.schema.relation_names[:size])
+        if topology == "chain":
+            joins = chain_joins(db.schema, names)
+        else:
+            joins = star_joins(db.schema, names[0], names[1:])
+        graph = JoinGraph(names, joins)
+        return Query(db.schema, graph, label=f"exec-{topology}-{size}")
+
+    def _ground_truth_pair(self, db, query):
+        """Brute-force row count of the first join edge."""
+        pred = query.graph.predicates[0]
+        left_name = query.graph.relation_names[pred.left]
+        right_name = query.graph.relation_names[pred.right]
+        lv = db.column(left_name, pred.left_column)
+        rv = db.column(right_name, pred.right_column)
+        count = 0
+        for value in np.unique(lv):
+            count += int(np.sum(lv == value)) * int(np.sum(rv == value))
+        return count
+
+    def test_two_way_join_exact(self, db, db_stats):
+        names = list(db.schema.relation_names[:2])
+        joins = chain_joins(db.schema, names)
+        graph = JoinGraph(names, joins)
+        query = Query(db.schema, graph)
+        plan = DynamicProgrammingOptimizer().optimize(query, db_stats).plan
+        result = Executor(query, db).run(plan)
+        assert result.row_count == self._ground_truth_pair(db, query)
+
+    def test_all_join_methods_same_result(self, db, db_stats):
+        """DP and SDP plans (different operators) give identical results."""
+        query = self._query(db, size=5, topology="star")
+        counts = set()
+        for name in ("DP", "SDP", "GOO", "IDP(4)"):
+            plan = make_optimizer(name).optimize(query, db_stats).plan
+            counts.add(Executor(query, db).run(plan).row_count)
+        assert len(counts) == 1
+
+    def test_actuals_collected_per_operator(self, db, db_stats):
+        query = self._query(db, size=4)
+        plan = SDPOptimizer().optimize(query, db_stats).plan
+        result = Executor(query, db).run(plan)
+        assert len(result.actuals) == plan.node_count()
+        assert all(a.q_error >= 1.0 for a in result.actuals)
+
+    def test_scan_actuals_exact(self, db, db_stats):
+        query = self._query(db, size=3)
+        plan = DynamicProgrammingOptimizer().optimize(query, db_stats).plan
+        result = Executor(query, db).run(plan)
+        for actual in result.actuals:
+            if actual.method in ("SeqScan", "IndexScan"):
+                assert actual.q_error == pytest.approx(1.0)
+
+    def test_ordered_query_output_sorted(self, db, db_stats):
+        names = list(db.schema.relation_names[:3])
+        joins = chain_joins(db.schema, names)
+        graph = JoinGraph(names, joins)
+        rel, col = joins[0][2], joins[0][3]
+        query = Query(db.schema, graph, order_by=(rel, col))
+        plan = DynamicProgrammingOptimizer().optimize(query, db_stats).plan
+        executor = Executor(query, db)
+        final = executor._execute(plan)
+        keys = executor._order_keys(final, query.order_by_eclass)
+        assert keys is not None
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_estimates_in_right_ballpark(self, db, db_stats):
+        """With duplicate-heavy data the estimator should be decent."""
+        query = self._query(db, size=4)
+        plan = DynamicProgrammingOptimizer().optimize(query, db_stats).plan
+        result = Executor(query, db).run(plan)
+        # generous bound: within two orders of magnitude on this easy data
+        assert result.max_q_error < 100
+
+    def test_cartesian_rejected(self, db):
+        from repro.plans.records import NESTLOOP, SEQ_SCAN, PlanRecord
+
+        names = list(db.schema.relation_names[:3])
+        joins = chain_joins(db.schema, names)
+        query = Query(db.schema, JoinGraph(names, joins))
+        a = PlanRecord(0b001, 10, 1, SEQ_SCAN, rel=0)
+        c = PlanRecord(0b100, 10, 1, SEQ_SCAN, rel=2)
+        bad = PlanRecord(0b101, 100, 5, NESTLOOP, left=a, right=c)
+        with pytest.raises(PlanError):
+            Executor(query, db).run(bad)

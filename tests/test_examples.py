@@ -1,0 +1,66 @@
+"""Integration tests: every example script runs end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "SDP found a plan" in out
+    assert "SeqScan" in out or "IndexScan" in out
+
+
+def test_custom_schema():
+    out = run_example("custom_schema.py")
+    assert "SELECT" in out
+    assert "orders" in out
+    assert "SDP plan" in out
+
+
+def test_interesting_orders():
+    out = run_example("interesting_orders.py")
+    assert "ORDER BY" in out
+    assert "x the optimum" in out
+
+
+def test_tpch_like_star_chain():
+    out = run_example("tpch_like_star_chain.py", "2")
+    assert "Star-Chain-15" in out
+    assert "rho" in out
+
+
+@pytest.mark.slow
+def test_scaling_study():
+    out = run_example("scaling_study.py", "12")
+    assert "still feasible" in out
+
+
+def test_sql_to_execution():
+    out = run_example("sql_to_execution.py")
+    assert "executed:" in out
+    assert "q-error" in out

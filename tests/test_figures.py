@@ -1,0 +1,36 @@
+"""Tests for the figure experiments' rendering helpers."""
+
+from __future__ import annotations
+
+from repro.bench.experiments.figure_1_2 import _ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_orders_by_effort(self):
+        points = {
+            "DP": (1e6, 1.0),
+            "SDP": (1e4, 1.05),
+            "IDP": (1e5, 1.4),
+        }
+        plot = _ascii_scatter(points)
+        lines = plot.splitlines()
+        assert "SDP" in lines[1]
+        assert "IDP" in lines[2]
+        assert "DP" in lines[3]
+
+    def test_single_point(self):
+        plot = _ascii_scatter({"SDP": (123.0, 1.0)})
+        assert "SDP" in plot
+
+    def test_rho_printed(self):
+        plot = _ascii_scatter({"SDP": (10.0, 1.2345)})
+        assert "rho=1.23" in plot
+
+    def test_log_positioning(self):
+        points = {"a": (10.0, 1.0), "b": (1000.0, 1.0), "c": (100.0, 1.0)}
+        plot = _ascii_scatter(points)
+        lines = {line.strip().split()[1]: len(line) - len(line.lstrip())
+                 for line in plot.splitlines()[1:]}
+        # log-scale: c sits midway between a and b
+        assert lines["a"] < lines["c"] < lines["b"]
+        assert abs((lines["c"] - lines["a"]) - (lines["b"] - lines["c"])) <= 1

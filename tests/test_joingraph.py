@@ -1,0 +1,196 @@
+"""Tests for repro.query.joingraph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import JoinGraphError
+from repro.query.joingraph import JoinGraph
+
+NAMES = ["A", "B", "C", "D", "E"]
+
+
+def chain_graph(n=5):
+    joins = [
+        (NAMES[i], "x", NAMES[i + 1], "y")
+        for i in range(n - 1)
+    ]
+    # distinct column names per edge to avoid accidental shared columns
+    joins = [
+        (left, f"x{i}", right, f"y{i}")
+        for i, (left, _l, right, _r) in enumerate(joins)
+    ]
+    return JoinGraph(NAMES[:n], joins)
+
+
+def star_graph(n=5):
+    joins = [(NAMES[0], f"h{i}", NAMES[i], "k") for i in range(1, n)]
+    return JoinGraph(NAMES[:n], joins)
+
+
+class TestConstruction:
+    def test_empty_relations_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinGraph([], [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinGraph(["A", "A"], [])
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinGraph(["A", "B"], [("A", "x", "Z", "y")])
+
+    def test_self_join_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinGraph(["A", "B"], [("A", "x", "A", "y")])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinGraph(["A", "B", "C"], [("A", "x", "B", "y")])
+
+    def test_single_relation_ok(self):
+        graph = JoinGraph(["A"], [])
+        assert graph.n == 1 and graph.all_mask == 1
+
+    def test_duplicate_edges_collapse(self):
+        graph = JoinGraph(
+            ["A", "B"],
+            [("A", "x", "B", "y"), ("B", "y", "A", "x")],
+        )
+        assert len(graph.predicates) == 1
+
+    def test_index_name_round_trip(self):
+        graph = chain_graph()
+        for i, name in enumerate(NAMES):
+            assert graph.index_of(name) == i
+            assert graph.name_of(i) == name
+        with pytest.raises(JoinGraphError):
+            graph.index_of("Z")
+
+
+class TestTopologyQueries:
+    def test_chain_degrees(self):
+        graph = chain_graph()
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+        assert graph.hubs() == []
+
+    def test_star_hub(self):
+        graph = star_graph()
+        assert graph.hubs() == [0]
+        assert graph.degree(0) == 4
+
+    def test_neighbors(self):
+        graph = chain_graph()
+        assert graph.neighbors(0b00100) == 0b01010
+        assert graph.neighbors(0b00001) == 0b00010
+        # neighbors excludes the set itself
+        assert graph.neighbors(0b00111) == 0b01000
+
+    def test_outside_degree(self):
+        graph = star_graph()
+        assert graph.outside_degree(0b00011) == 3  # hub+spoke sees 3 spokes
+
+    def test_is_connected(self):
+        graph = chain_graph()
+        assert graph.is_connected(0b00111)
+        assert not graph.is_connected(0b00101)
+        assert graph.is_connected(0b00001)
+        assert not graph.is_connected(0)
+
+    def test_connected_pairs(self):
+        graph = chain_graph()
+        assert graph.connected(0b00011, 0b00100)
+        assert not graph.connected(0b00001, 0b00100)
+
+    def test_connecting_predicates(self):
+        graph = star_graph()
+        preds = graph.connecting(0b00001, 0b11110)
+        assert len(preds) == 4
+        preds = graph.connecting(0b00011, 0b00100)
+        assert len(preds) == 1
+
+    def test_connecting_rejects_overlap(self):
+        graph = chain_graph()
+        with pytest.raises(JoinGraphError):
+            graph.connecting(0b00011, 0b00010)
+
+    def test_relations_of(self):
+        graph = chain_graph()
+        assert graph.relations_of(0b10001) == ["A", "E"]
+
+
+class TestEquivalenceClasses:
+    def test_chain_eclasses_are_pairs(self):
+        graph = chain_graph()
+        assert len(graph.eclasses) == 4
+        assert graph.shared_column_eclasses() == []
+
+    def test_shared_column_closure(self):
+        # A.x = B.y and A.x = C.z  =>  implied B.y = C.z
+        graph = JoinGraph(
+            ["A", "B", "C"],
+            [("A", "x", "B", "y"), ("A", "x", "C", "z")],
+        )
+        assert len(graph.predicates) == 3
+        implied = [p for p in graph.predicates if p.implied]
+        assert len(implied) == 1
+        assert implied[0].mask == 0b110  # B-C edge
+        assert graph.shared_column_eclasses() != []
+
+    def test_closure_creates_hub(self):
+        # The implied edges turn a shared-column star into a triangle+ graph
+        graph = JoinGraph(
+            ["A", "B", "C", "D"],
+            [
+                ("A", "x", "B", "y"),
+                ("A", "x", "C", "z"),
+                ("A", "x", "D", "w"),
+            ],
+        )
+        # every node now joins every other: all are hubs
+        assert set(graph.hubs()) == {0, 1, 2, 3}
+
+    def test_closure_can_be_disabled(self):
+        graph = JoinGraph(
+            ["A", "B", "C"],
+            [("A", "x", "B", "y"), ("A", "x", "C", "z")],
+            close_implied_edges=False,
+        )
+        assert len(graph.predicates) == 2
+
+    def test_eclass_relation_mask(self):
+        graph = star_graph()
+        for eclass in graph.eclasses:
+            mask = graph.eclass_relation_mask(eclass)
+            assert mask.bit_count() == 2
+        with pytest.raises(JoinGraphError):
+            graph.eclass_relation_mask(999)
+
+    def test_eclass_of_column(self):
+        graph = chain_graph()
+        assert graph.eclass_of_column(0, "x0") is not None
+        assert graph.eclass_of_column(0, "unused") is None
+
+    def test_join_columns_of(self):
+        graph = chain_graph()
+        assert graph.join_columns_of(0) == ["x0"]
+        assert sorted(graph.join_columns_of(1)) == ["x1", "y0"]
+
+    def test_describe_mentions_hubs(self):
+        assert "hubs: A" in star_graph().describe()
+
+
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_random_trees_connected(n, data):
+    """Random spanning trees are connected and have the right edge count."""
+    joins = []
+    for node in range(1, n):
+        parent = data.draw(st.integers(min_value=0, max_value=node - 1))
+        joins.append((NAMES[parent], f"p{node}", NAMES[node], f"c{node}"))
+    graph = JoinGraph(NAMES[:n], joins)
+    assert graph.is_connected(graph.all_mask)
+    assert len([p for p in graph.predicates if not p.implied]) == n - 1

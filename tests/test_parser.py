@@ -1,0 +1,170 @@
+"""Tests for repro.query.parser (SQL -> Query), incl. round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.errors import QueryError
+from repro.query.parser import parse_sql
+from repro.query.sql import render_sql
+
+
+def _predicate_set(query):
+    return {
+        (
+            query.graph.relation_names[p.left],
+            p.left_column,
+            query.graph.relation_names[p.right],
+            p.right_column,
+        )
+        for p in query.graph.predicates
+        if not p.implied
+    }
+
+
+class TestParseBasics:
+    def test_minimal(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2",
+        )
+        assert query.relation_count == 2
+        assert len(query.graph.predicates) == 1
+
+    def test_case_insensitive_keywords(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"select * from {names[0]}, {names[1]} "
+            f"where {names[0]}.c1 = {names[1]}.c2;",
+        )
+        assert query.relation_count == 2
+
+    def test_projection_list(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT {names[0]}.c1, {names[1]}.c3 "
+            f"FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2",
+        )
+        assert query.relation_count == 2
+
+    def test_order_by(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"ORDER BY {names[1]}.c2",
+        )
+        assert query.order_by == (names[1], "c2")
+        assert query.has_join_column_order
+
+    def test_multi_way_with_ands(self, small_schema):
+        names = list(small_schema.relation_names[:4])
+        sql = (
+            f"SELECT * FROM {', '.join(names)} WHERE "
+            f"{names[0]}.c1 = {names[1]}.c2 AND "
+            f"{names[1]}.c3 = {names[2]}.c4 AND "
+            f"{names[2]}.c5 = {names[3]}.c6"
+        )
+        query = parse_sql(small_schema, sql)
+        assert query.relation_count == 4
+
+    def test_label_defaults_to_text(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2",
+        )
+        assert query.label.startswith("SELECT")
+
+
+class TestParseErrors:
+    def test_unknown_relation(self, small_schema):
+        with pytest.raises(QueryError, match="unknown relation"):
+            parse_sql(small_schema, "SELECT * FROM Nope, R1 WHERE Nope.a = R1.c1")
+
+    def test_unknown_column(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.zz = {names[1]}.c2",
+            )
+
+    def test_relation_not_in_from(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="not listed in FROM"):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[2]}.c2",
+            )
+
+    def test_duplicate_from(self, small_schema):
+        name = small_schema.relation_names[0]
+        with pytest.raises(QueryError, match="duplicate relation"):
+            parse_sql(small_schema, f"SELECT * FROM {name}, {name}")
+
+    def test_disconnected_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(Exception):
+            parse_sql(small_schema, f"SELECT * FROM {names[0]}, {names[1]}")
+
+    def test_garbage_token(self, small_schema):
+        with pytest.raises(QueryError, match="unexpected character"):
+            parse_sql(small_schema, "SELECT * FROM R1 @ R2")
+
+    def test_truncated(self, small_schema):
+        with pytest.raises(QueryError, match="unexpected end"):
+            parse_sql(small_schema, "SELECT * FROM")
+
+    def test_trailing_junk(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="trailing"):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[1]}.c2 LIMIT",
+            )
+
+    def test_keyword_as_name_rejected(self, small_schema):
+        with pytest.raises(QueryError):
+            parse_sql(small_schema, "SELECT * FROM select")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "topology,size",
+        [("chain", 5), ("star", 6), ("star-chain", 8), ("cycle", 5)],
+    )
+    def test_render_then_parse(self, schema, topology, size):
+        spec = WorkloadSpec(topology, size, seed=2)
+        original = make_query(spec, schema, 0)
+        parsed = parse_sql(schema, render_sql(original))
+        assert set(parsed.graph.relation_names) == set(
+            original.graph.relation_names
+        )
+        assert _predicate_set(parsed) == _predicate_set(original)
+
+    def test_ordered_round_trip(self, schema):
+        spec = WorkloadSpec("star", 6, ordered=True, seed=2)
+        original = make_query(spec, schema, 1)
+        parsed = parse_sql(schema, render_sql(original))
+        assert parsed.order_by == original.order_by
+
+    def test_parsed_query_optimizes(self, schema, stats):
+        from repro.core import SDPOptimizer
+
+        spec = WorkloadSpec("star-chain", 9, seed=2)
+        original = make_query(spec, schema, 0)
+        parsed = parse_sql(schema, render_sql(original))
+        result = SDPOptimizer().optimize(parsed, stats)
+        assert result.cost > 0

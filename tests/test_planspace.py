@@ -1,0 +1,130 @@
+"""Tests for repro.core.planspace (the shared costing engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import SearchBudget, SearchCounters
+from repro.core.planspace import PlanSpace
+from repro.core.table import JCRTable
+from repro.cost.model import DEFAULT_COST_MODEL
+from repro.errors import OptimizationError
+from repro.plans.records import INDEX_SCAN, SEQ_SCAN, SORT
+from repro.query import JoinGraph, Query, star_joins
+from repro.util.timer import Timer
+
+
+@pytest.fixture
+def space_and_table(small_schema, small_stats):
+    names = list(small_schema.relation_names[:4])
+    graph = JoinGraph(names, star_joins(small_schema, names[0], names[1:]))
+    query = Query(small_schema, graph, label="space-test")
+    counters = SearchCounters(SearchBudget.unlimited(), Timer().start())
+    space = PlanSpace(query, small_stats, DEFAULT_COST_MODEL, counters)
+    return space, JCRTable(space.est)
+
+
+class TestBaseJCR:
+    def test_seq_scan_always_present(self, space_and_table):
+        space, table = space_and_table
+        jcr = space.base_jcr(table, 0)
+        methods = {p.method for p in jcr.plans.values()}
+        assert SEQ_SCAN in methods
+
+    def test_spoke_gets_index_scan_with_order(self, space_and_table):
+        space, table = space_and_table
+        # spokes join on their indexed column; the order is useful while the
+        # hub is still outside
+        jcr = space.base_jcr(table, 1)
+        ordered = [p for p in jcr.plans.values() if p.method == INDEX_SCAN]
+        assert ordered and all(p.order is not None for p in ordered)
+
+    def test_counters_charged(self, space_and_table):
+        space, table = space_and_table
+        before = space.counters.plans_costed
+        space.base_jcr(table, 0)
+        assert space.counters.plans_costed > before
+
+
+class TestJoin:
+    def test_overlapping_inputs_rejected(self, space_and_table):
+        space, table = space_and_table
+        a = space.base_jcr(table, 0)
+        assert space.join(table, a, a) is None
+
+    def test_cartesian_returns_none(self, space_and_table):
+        space, table = space_and_table
+        b = space.base_jcr(table, 1)
+        c = space.base_jcr(table, 2)
+        assert space.join(table, b, c) is None  # two spokes: no edge
+
+    def test_join_creates_jcr_with_methods(self, space_and_table):
+        space, table = space_and_table
+        hub = space.base_jcr(table, 0)
+        spoke = space.base_jcr(table, 1)
+        jcr = space.join(table, hub, spoke)
+        assert jcr is not None
+        assert jcr.mask == 0b11
+        assert jcr.rows == space.rows(0b11)
+        assert jcr.best.cost > 0
+
+    def test_rows_identical_across_orders(self, space_and_table):
+        space, table = space_and_table
+        hub = space.base_jcr(table, 0)
+        s1 = space.base_jcr(table, 1)
+        s2 = space.base_jcr(table, 2)
+        j1 = space.join(table, space.join(table, hub, s1), s2)
+        fresh = JCRTable(space.est)
+        hub2 = space.base_jcr(fresh, 0)
+        s12 = space.base_jcr(fresh, 1)
+        s22 = space.base_jcr(fresh, 2)
+        j2 = space.join(fresh, space.join(fresh, hub2, s22), s12)
+        assert j1.rows == pytest.approx(j2.rows)
+
+    def test_index_nestloop_generated_for_indexed_inner(self, space_and_table):
+        space, table = space_and_table
+        hub = space.base_jcr(table, 0)
+        spoke = space.base_jcr(table, 1)
+        jcr = space.join(table, hub, spoke)
+        methods = {p.method for p in jcr.plans.values()}
+        # spokes are indexed on the join column, so an index NL must have
+        # been costed; whether it is retained depends on cost, so check the
+        # costing count instead
+        assert space.counters.plans_costed > 4
+        assert jcr.best.method in methods
+
+
+class TestFinalize:
+    def test_incomplete_jcr_rejected(self, space_and_table):
+        space, table = space_and_table
+        jcr = space.base_jcr(table, 0)
+        with pytest.raises(OptimizationError):
+            space.finalize(jcr)
+
+    def test_unordered_query_returns_best(self, space_and_table):
+        space, table = space_and_table
+        jcrs = [space.base_jcr(table, i) for i in range(4)]
+        current = jcrs[0]
+        for nxt in jcrs[1:]:
+            current = space.join(table, current, nxt)
+        final = space.finalize(current)
+        assert final is current.best
+
+    def test_ordered_query_appends_sort_when_needed(
+        self, small_schema, small_stats
+    ):
+        names = list(small_schema.relation_names[:4])
+        joins = star_joins(small_schema, names[0], names[1:])
+        graph = JoinGraph(names, joins)
+        spoke, column = joins[0][2], joins[0][3]
+        query = Query(small_schema, graph, order_by=(spoke, column))
+        counters = SearchCounters(SearchBudget.unlimited(), Timer().start())
+        space = PlanSpace(query, small_stats, DEFAULT_COST_MODEL, counters)
+        table = JCRTable(space.est)
+        jcrs = [space.base_jcr(table, i) for i in range(4)]
+        current = jcrs[0]
+        for nxt in jcrs[1:]:
+            current = space.join(table, current, nxt)
+        final = space.finalize(current)
+        assert final.order == query.order_by_eclass or final.method == SORT
+        assert final.cost >= current.best.cost

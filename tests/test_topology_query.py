@@ -1,0 +1,178 @@
+"""Tests for repro.query.topology, repro.query.query, repro.query.sql."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    JoinGraph,
+    Query,
+    chain_joins,
+    clique_joins,
+    cycle_joins,
+    render_sql,
+    star_chain_joins,
+    star_joins,
+)
+
+
+@pytest.fixture
+def names(small_schema):
+    return list(small_schema.relation_names)
+
+
+class TestStarJoins:
+    def test_shape(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:5])
+        graph = JoinGraph(names[:5], joins)
+        assert graph.hubs() == [0]
+        assert all(graph.degree(i) == 1 for i in range(1, 5))
+
+    def test_spoke_side_indexed(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:4])
+        for _hub, _hcol, spoke, scol in joins:
+            assert small_schema.relation(spoke).has_index_on(scol)
+
+    def test_distinct_hub_columns(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:5])
+        hub_cols = [j[1] for j in joins]
+        assert len(set(hub_cols)) == len(hub_cols)
+
+    def test_shared_hub_column(self, small_schema, names):
+        joins = star_joins(
+            small_schema, names[0], names[1:5], shared_hub_column=True
+        )
+        hub_cols = {j[1] for j in joins}
+        assert len(hub_cols) == 1
+        graph = JoinGraph(names[:5], joins)
+        assert graph.shared_column_eclasses() != []
+
+    def test_hub_in_spokes_rejected(self, small_schema, names):
+        with pytest.raises(QueryError):
+            star_joins(small_schema, names[0], [names[0], names[1]])
+
+    def test_empty_spokes_rejected(self, small_schema, names):
+        with pytest.raises(QueryError):
+            star_joins(small_schema, names[0], [])
+
+
+class TestChainCycleClique:
+    def test_chain_shape(self, small_schema, names):
+        graph = JoinGraph(names[:6], chain_joins(small_schema, names[:6]))
+        assert graph.hubs() == []
+        assert graph.degree(0) == 1 and graph.degree(3) == 2
+
+    def test_chain_needs_two(self, small_schema, names):
+        with pytest.raises(QueryError):
+            chain_joins(small_schema, names[:1])
+
+    def test_chain_distinct_relations(self, small_schema, names):
+        with pytest.raises(QueryError):
+            chain_joins(small_schema, [names[0], names[0]])
+
+    def test_cycle_shape(self, small_schema, names):
+        graph = JoinGraph(names[:5], cycle_joins(small_schema, names[:5]))
+        assert all(graph.degree(i) == 2 for i in range(5))
+        assert graph.hubs() == []
+
+    def test_clique_shape(self, small_schema, names):
+        graph = JoinGraph(names[:5], clique_joins(small_schema, names[:5]))
+        assert all(graph.degree(i) == 4 for i in range(5))
+        assert set(graph.hubs()) == set(range(5))
+
+    def test_clique_too_large_rejected(self, small_schema, names):
+        # 10 relations * 9 edges each would exhaust the 8-column schema
+        with pytest.raises(QueryError):
+            clique_joins(small_schema, names[:10])
+
+
+class TestStarChain:
+    def test_figure_1_1_shape(self, small_schema, names):
+        joins = star_chain_joins(
+            small_schema, names[0], names[1:5], names[5:8]
+        )
+        graph = JoinGraph(names[:8], joins)
+        assert graph.hubs() == [0]
+        # chain anchor: last spoke has the hub edge plus one chain edge
+        assert graph.degree(4) == 2
+        assert graph.degree(7) == 1
+
+    def test_no_chain_is_pure_star(self, small_schema, names):
+        joins = star_chain_joins(small_schema, names[0], names[1:5], [])
+        assert len(joins) == 4
+
+
+class TestQuery:
+    def test_relation_count(self, star5_query):
+        assert star5_query.relation_count == 5
+
+    def test_missing_relation_rejected(self, small_schema, names):
+        graph = JoinGraph(
+            ["X1", "X2"], [("X1", "a", "X2", "b")]
+        )
+        with pytest.raises(QueryError):
+            Query(small_schema, graph)
+
+    def test_order_by_on_join_column(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:4])
+        graph = JoinGraph(names[:4], joins)
+        spoke, column = joins[0][2], joins[0][3]
+        query = Query(small_schema, graph, order_by=(spoke, column))
+        assert query.has_join_column_order
+        assert query.order_by_eclass is not None
+
+    def test_order_by_on_plain_column(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:4])
+        graph = JoinGraph(names[:4], joins)
+        free_column = next(
+            c.name
+            for c in small_schema.relation(names[1]).columns
+            if c.name not in {j[3] for j in joins}
+        )
+        query = Query(small_schema, graph, order_by=(names[1], free_column))
+        assert not query.has_join_column_order
+
+    def test_order_by_unknown_relation_rejected(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:4])
+        graph = JoinGraph(names[:4], joins)
+        with pytest.raises(QueryError):
+            Query(small_schema, graph, order_by=(names[9], "c1"))
+
+    def test_describe(self, star5_query):
+        text = star5_query.describe()
+        assert "JoinGraph" in text
+
+
+class TestRenderSQL:
+    def test_contains_all_relations(self, star5_query):
+        sql = render_sql(star5_query)
+        for name in star5_query.graph.relation_names:
+            assert name in sql
+        assert sql.startswith("SELECT")
+        assert sql.endswith(";")
+
+    def test_where_clause_edges(self, star5_query):
+        sql = render_sql(star5_query)
+        explicit = [p for p in star5_query.graph.predicates if not p.implied]
+        assert sql.count(" = ") == len(explicit)
+
+    def test_order_by_rendered(self, small_schema, names):
+        joins = star_joins(small_schema, names[0], names[1:4])
+        graph = JoinGraph(names[:4], joins)
+        query = Query(
+            small_schema, graph, order_by=(joins[0][2], joins[0][3])
+        )
+        assert "ORDER BY" in render_sql(query)
+
+    def test_select_star(self, star5_query):
+        assert "SELECT *" in render_sql(star5_query, select_star=True)
+
+    def test_implied_edges_not_rendered(self, small_schema, names):
+        joins = star_joins(
+            small_schema, names[0], names[1:5], shared_hub_column=True
+        )
+        graph = JoinGraph(names[:5], joins)
+        query = Query(small_schema, graph)
+        sql = render_sql(query)
+        assert sql.count(" = ") == 4  # only the written predicates

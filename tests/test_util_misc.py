@@ -1,0 +1,110 @@
+"""Tests for repro.util.rng, repro.util.tables, repro.util.timer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.tables import TextTable
+from repro.util.timer import Timer
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_tag_sensitivity(self):
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    @given(st.integers(), st.text(max_size=20))
+    def test_range(self, root, tag):
+        seed = derive_seed(root, tag)
+        assert 0 <= seed < 1 << 63
+
+    def test_rng_streams_independent(self):
+        a = derive_rng(0, "stream-a").random()
+        b = derive_rng(0, "stream-b").random()
+        assert a != b
+
+    def test_rng_reproducible(self):
+        xs = [derive_rng(5, "w", 3).random() for _ in range(2)]
+        assert xs[0] == xs[1]
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["name", "value"], title="T")
+        table.add_row(["a", 1])
+        out = table.render()
+        assert out.startswith("T\n")
+        assert "| a" in out and "| name" in out
+
+    def test_alignment(self):
+        table = TextTable(["l", "r"], aligns=["l", "r"])
+        table.add_row(["x", "1"])
+        table.add_row(["long", "100"])
+        lines = table.render().splitlines()
+        assert "| x    |   1 |" in lines
+
+    def test_row_length_mismatch(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"], aligns=["c"])
+
+    def test_alignment_count_mismatch(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"], aligns=["l"])
+
+    def test_separator_and_row_count(self):
+        table = TextTable(["a"])
+        table.add_row(["1"])
+        table.add_separator()
+        table.add_row(["2"])
+        assert table.row_count == 2
+        # separator renders as a rule line between the two data rows
+        body = table.render().splitlines()
+        assert body.count("+---+") == 4
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row(["1"])
+        assert str(table) == table.render()
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_peek_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().peek()
+
+    def test_peek_monotone(self):
+        t = Timer().start()
+        first = t.peek()
+        second = t.peek()
+        assert second >= first >= 0.0
+
+    def test_restart(self):
+        t = Timer().start()
+        t.stop()
+        t.start()
+        assert t.peek() < 10.0
