@@ -61,11 +61,20 @@ from repro.core import (
 from repro.compare import compare_techniques
 from repro.cost import DEFAULT_COST_MODEL, CostModel
 from repro.errors import (
+    FaultInjected,
     OptimizationBudgetExceeded,
+    OptimizationCancelled,
     OptimizationError,
     ReproError,
 )
 from repro.plans import PlanNode, explain
+from repro.robust import (
+    Attempt,
+    Deadline,
+    FaultHarness,
+    RobustOptimizer,
+    RobustResult,
+)
 from repro.query import (
     JoinGraph,
     Query,
@@ -123,6 +132,12 @@ __all__ = [
     "make_optimizer",
     "available_techniques",
     "compare_techniques",
+    # robustness
+    "RobustOptimizer",
+    "RobustResult",
+    "Attempt",
+    "Deadline",
+    "FaultHarness",
     # plans
     "PlanNode",
     "explain",
@@ -130,4 +145,6 @@ __all__ = [
     "ReproError",
     "OptimizationError",
     "OptimizationBudgetExceeded",
+    "OptimizationCancelled",
+    "FaultInjected",
 ]

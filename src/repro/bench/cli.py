@@ -56,6 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-optimization wall-clock budget (default 60)",
     )
     parser.add_argument(
+        "--robust",
+        action="store_true",
+        help="run techniques through the fallback ladder: budget trips "
+        "degrade to a cheaper technique instead of producing '*' cells "
+        "(env REPRO_BENCH_ROBUST)",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -76,6 +83,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         overrides["seed"] = args.seed
     if args.max_seconds is not None:
         overrides["max_seconds"] = args.max_seconds
+    if args.robust:
+        overrides["robust"] = True
     if overrides:
         from dataclasses import replace
 

@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     ext_topologies,
     figure_1_2,
     figure_2_2,
+    robust_report,
     table_1_1,
     table_1_2,
     table_1_3,
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "ext-partitioning": ext_partitioning,
     "ext-estimation": ext_estimation,
     "ext-topologies": ext_topologies,
+    "robust-report": robust_report,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentSettings"]

@@ -13,7 +13,8 @@ Experiment sizes scale with :class:`ExperimentSettings`:
 
 Environment overrides: ``REPRO_BENCH_INSTANCES``,
 ``REPRO_BENCH_HEAVY_INSTANCES``, ``REPRO_BENCH_MAX_SECONDS``,
-``REPRO_BENCH_SEED``, ``REPRO_BENCH_SCHEMA_SEED``.
+``REPRO_BENCH_SEED``, ``REPRO_BENCH_SCHEMA_SEED``,
+``REPRO_BENCH_ROBUST`` (``1`` enables fallback-ladder robust mode).
 """
 
 from __future__ import annotations
@@ -46,6 +47,13 @@ def _env_float(name: str, default: float) -> float:
     return float(value) if value else default
 
 
+def _env_bool(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    return value.lower() not in ("0", "false", "no")
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Knobs controlling experiment scale and determinism."""
@@ -56,6 +64,8 @@ class ExperimentSettings:
     memory_budget_bytes: int = 1_000_000_000
     seed: int = 0
     schema_seed: int = 0
+    #: Run comparisons through the fallback ladder (no ``*`` cells).
+    robust: bool = False
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -68,6 +78,7 @@ class ExperimentSettings:
             max_seconds=_env_float("REPRO_BENCH_MAX_SECONDS", cls.max_seconds),
             seed=_env_int("REPRO_BENCH_SEED", cls.seed),
             schema_seed=_env_int("REPRO_BENCH_SCHEMA_SEED", cls.schema_seed),
+            robust=_env_bool("REPRO_BENCH_ROBUST", cls.robust),
         )
 
     def scaled(self, instances: int) -> "ExperimentSettings":
@@ -140,6 +151,7 @@ def cached_comparison(
             instances=instances,
             stats=stats,
             budget=settings.budget(),
+            robust=settings.robust,
         )
     return _COMPARISON_CACHE[key]
 

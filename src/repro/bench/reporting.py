@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.bench.runner import ComparisonResult
 from repro.util.tables import TextTable
 
-__all__ = ["quality_table", "overhead_table", "INFEASIBLE"]
+__all__ = ["quality_table", "overhead_table", "fallback_table", "INFEASIBLE"]
 
 #: The paper's marker for an infeasible (budget-exceeding) configuration.
 INFEASIBLE = "*"
@@ -74,4 +74,44 @@ def overhead_table(
                     f"{outcome.mean_plans_costed:.2E}",
                 ]
             table.add_row([result.label, technique, *cells])
+    return table
+
+
+def fallback_table(
+    results: list[ComparisonResult],
+    techniques: list[str],
+    title: str,
+) -> TextTable:
+    """Robust-mode summary: what answered, and how often it wasn't rung one.
+
+    Columns: instances answered, fallback events (instances a lower rung
+    answered), and the winning techniques of the degraded instances. Only
+    meaningful for comparisons run with ``robust=True`` — in plain mode
+    every row shows zero fallbacks.
+    """
+    table = TextTable(
+        [
+            "Query Join Graph",
+            "Technique",
+            "Answered",
+            "Fallbacks",
+            "Degraded winners",
+        ],
+        title=title,
+    )
+    for block, result in enumerate(results):
+        if block:
+            table.add_separator()
+        for technique in techniques:
+            outcome = result.outcome(technique)
+            winners = sorted(set(outcome.fallback_winners))
+            table.add_row(
+                [
+                    result.label,
+                    technique,
+                    f"{len(outcome.ratios)}/{result.instances}",
+                    str(outcome.fallback_events),
+                    ", ".join(winners) if winners else "-",
+                ]
+            )
     return table

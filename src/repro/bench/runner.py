@@ -11,6 +11,13 @@ Mirrors the paper's protocol:
   and is skipped for the remaining instances once it has failed
   ``skip_after_failures`` times (budget trips are deterministic in the
   modeled-memory world, so one failure usually settles the cell).
+
+In **robust mode** (``robust=True``) every technique is wrapped in the
+fallback ladder that starts at it (:func:`repro.robust.ladder_from`), so a
+budget trip degrades to a cheaper technique instead of producing a ``*``
+cell: outcomes then record *fallback events* (instances answered by a
+lower rung) and the winning techniques, mirroring what a production
+optimizer service would report.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
 from repro.errors import BenchmarkError, OptimizationBudgetExceeded
 from repro.query.query import Query
+from repro.robust.ladder import RobustOptimizer, RobustResult, ladder_from
 
 __all__ = ["TechniqueOutcome", "ComparisonResult", "run_comparison"]
 
@@ -42,6 +50,10 @@ class TechniqueOutcome:
     seconds: list[float] = field(default_factory=list)
     infeasible_count: int = 0
     skipped: bool = False
+    #: Robust mode: instances answered by a lower ladder rung.
+    fallback_events: int = 0
+    #: Robust mode: winning technique per degraded instance.
+    fallback_winners: list[str] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
@@ -120,6 +132,7 @@ def run_comparison(
     cost_model: CostModel | None = None,
     reference_candidates: tuple[str, ...] = ("DP", "SDP"),
     skip_after_failures: int = 1,
+    robust: bool = False,
 ) -> ComparisonResult:
     """Optimize ``instances`` queries of ``spec`` with every technique.
 
@@ -135,6 +148,9 @@ def run_comparison(
         reference_candidates: Quality reference preference order.
         skip_after_failures: Stop retrying a technique after this many
             budget failures.
+        robust: Wrap each technique in its fallback ladder; budget trips
+            degrade instead of marking the cell infeasible, and fallback
+            events are recorded per outcome (see the module docstring).
 
     Returns:
         A :class:`ComparisonResult`; techniques absent from
@@ -146,19 +162,32 @@ def run_comparison(
     if budget is None:
         budget = SearchBudget()
     queries = list(generate_queries(spec, schema, instances))
-    reference = _pick_reference(
-        queries[0], stats, reference_candidates, budget, cost_model
-    )
+    if robust:
+        # The ladder makes every candidate total, so the preferred
+        # reference always answers — no feasibility probe needed.
+        reference = reference_candidates[0]
+    else:
+        reference = _pick_reference(
+            queries[0], stats, reference_candidates, budget, cost_model
+        )
 
     outcomes = {name: TechniqueOutcome(technique=name) for name in techniques}
     if reference not in outcomes:
         outcomes[reference] = TechniqueOutcome(technique=reference)
 
     run_order = list(outcomes)
-    optimizers = {
-        name: make_optimizer(name, budget=budget, cost_model=cost_model)
-        for name in run_order
-    }
+    if robust:
+        optimizers = {
+            name: RobustOptimizer(
+                ladder=ladder_from(name), budget=budget, cost_model=cost_model
+            )
+            for name in run_order
+        }
+    else:
+        optimizers = {
+            name: make_optimizer(name, budget=budget, cost_model=cost_model)
+            for name in run_order
+        }
 
     for query in queries:
         results = {}
@@ -181,6 +210,9 @@ def run_comparison(
             outcome.plans_costed.append(result.plans_costed)
             outcome.memory_mb.append(result.modeled_memory_mb)
             outcome.seconds.append(result.elapsed_seconds)
+            if isinstance(result, RobustResult) and result.degraded:
+                outcome.fallback_events += 1
+                outcome.fallback_winners.append(result.winner)
 
     return ComparisonResult(
         label=spec.label,

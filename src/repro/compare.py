@@ -18,11 +18,16 @@ from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
 from repro.errors import OptimizationBudgetExceeded
 from repro.query.query import Query
+from repro.robust.ladder import RobustResult
 from repro.util.tables import TextTable
 
-__all__ = ["compare_techniques", "ComparisonRow"]
+__all__ = ["compare_techniques", "ComparisonRow", "ROBUST_TECHNIQUES"]
 
 DEFAULT_TECHNIQUES = ("DP", "IDP(7)", "IDP(4)", "SDP", "GOO")
+
+#: The default list plus the fallback-ladder façade — the "what would the
+#: service have answered" row. ``Robust`` never shows ``*``.
+ROBUST_TECHNIQUES = DEFAULT_TECHNIQUES + ("Robust",)
 
 
 class ComparisonRow:
@@ -44,6 +49,19 @@ class ComparisonRow:
     @property
     def feasible(self) -> bool:
         return self.result is not None
+
+    @property
+    def display_technique(self) -> str:
+        """The technique label to render.
+
+        For the robust façade the resolved name (``Robust(GOO)``) is more
+        informative than the requested one; plain techniques keep their
+        requested name (registry variants like ``SDP(parent)`` report a
+        bare ``SDP`` in their result).
+        """
+        if isinstance(self.result, RobustResult):
+            return self.result.technique
+        return self.technique
 
 
 def compare_techniques(
@@ -69,6 +87,10 @@ def compare_techniques(
     The cost ratio column is normalized to the *cheapest feasible* plan, so
     it reads as "how much worse than the best technique tried" — which is
     the DP optimum whenever DP is in the list and feasible.
+
+    Include ``"Robust"`` in ``techniques`` (or pass ``ROBUST_TECHNIQUES``)
+    to add the fallback-ladder façade: its row never shows ``*`` and its
+    label reports which rung answered, e.g. ``Robust(SDP)``.
     """
     if stats is None:
         stats = analyze(query.schema)
@@ -99,7 +121,7 @@ def compare_techniques(
             continue
         table.add_row(
             [
-                row.technique,
+                row.display_technique,
                 f"{row.ratio:.4f}",
                 f"{row.result.plans_costed:,}",
                 f"{row.result.modeled_memory_mb:.2f}",

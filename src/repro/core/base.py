@@ -22,11 +22,12 @@ in one place below so the feasibility frontier lands where the paper's does
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.cost.model import DEFAULT_COST_MODEL, CostModel
-from repro.errors import OptimizationBudgetExceeded, OptimizationError
+from repro.errors import OptimizationBudgetExceeded, OptimizationError, ReproError
 from repro.plans.nodes import PlanNode, build_plan_tree
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -73,6 +74,15 @@ class SearchBudget:
     max_plans_costed: int | None = None
     max_seconds: float | None = None
 
+    def __post_init__(self) -> None:
+        for name in ("max_memory_bytes", "max_plans_costed", "max_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"SearchBudget.{name} must be positive (or None for "
+                    f"unlimited), got {value!r}"
+                )
+
     @classmethod
     def unlimited(cls) -> "SearchBudget":
         """A budget that never trips (for small tests)."""
@@ -84,6 +94,14 @@ class SearchCounters:
 
     Counters are cumulative for reporting; the *arena* component is the
     modeled memory, which phase-oriented optimizers (IDP) may reset.
+
+    ``checkpoint`` is an injectable hook fired from :meth:`check_budget`
+    (every :data:`_CHECK_INTERVAL` events and once at search end). It
+    receives the counters and may raise — e.g.
+    :class:`~repro.errors.OptimizationCancelled` for cooperative deadline
+    propagation, or a synthetic fault from ``repro.robust.faults`` — which
+    lets external control reach *every* optimizer without per-optimizer
+    changes.
     """
 
     __slots__ = (
@@ -92,24 +110,33 @@ class SearchCounters:
         "jcrs_pruned",
         "retained_slots",
         "enumerated_pairs",
+        "total_events",
         "_arena_bytes",
         "peak_arena_bytes",
         "_budget",
         "_timer",
         "_countdown",
+        "_checkpoint",
     )
 
-    def __init__(self, budget: SearchBudget, timer: Timer):
+    def __init__(
+        self,
+        budget: SearchBudget,
+        timer: Timer,
+        checkpoint: Callable[["SearchCounters"], None] | None = None,
+    ):
         self.plans_costed = 0
         self.jcrs_created = 0
         self.jcrs_pruned = 0
         self.retained_slots = 0
         self.enumerated_pairs = 0
+        self.total_events = 0
         self._arena_bytes = 0
         self.peak_arena_bytes = 0
         self._budget = budget
         self._timer = timer
         self._countdown = _CHECK_INTERVAL
+        self._checkpoint = checkpoint
 
     # -- event notification ----------------------------------------------------
 
@@ -143,13 +170,22 @@ class SearchCounters:
 
     def _charge(self, bytes_used: int, events: int) -> None:
         self._arena_bytes += bytes_used
+        self.total_events += events
         self._countdown -= events
         if self._countdown <= 0:
             self._countdown = _CHECK_INTERVAL
             self.check_budget()
 
     def check_budget(self) -> None:
-        """Raise :class:`OptimizationBudgetExceeded` if any limit is crossed."""
+        """Fire the checkpoint hook, then raise on any crossed limit.
+
+        Raises:
+            OptimizationBudgetExceeded: if any budget limit is crossed.
+            Exception: whatever the checkpoint hook raises (cancellation,
+                injected faults).
+        """
+        if self._checkpoint is not None:
+            self._checkpoint(self)
         budget = self._budget
         if (
             budget.max_memory_bytes is not None
@@ -222,6 +258,11 @@ class Optimizer(ABC):
 
     Subclasses implement :meth:`_search`, returning the final plan record;
     the base class handles statistics, timing, counters and result assembly.
+
+    The ``checkpoint`` attribute, when set, is installed into the run's
+    :class:`SearchCounters` and fires on every periodic budget check plus
+    once at search end — the injection point for cooperative cancellation
+    (:class:`repro.robust.Deadline`) and fault harnesses.
     """
 
     #: Display name; subclasses override (e.g. ``"IDP(7)"``).
@@ -234,6 +275,7 @@ class Optimizer(ABC):
     ):
         self.budget = budget if budget is not None else SearchBudget()
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.checkpoint: Callable[[SearchCounters], None] | None = None
 
     def optimize(
         self,
@@ -251,14 +293,31 @@ class Optimizer(ABC):
 
         Raises:
             OptimizationBudgetExceeded: if the search outgrows its budget.
+                The final budget check runs *after* the search returns, so a
+                run that crosses a limit inside the last check interval
+                still raises rather than slipping through the tail gap.
             OptimizationError: if no complete plan exists (should not happen
                 for connected join graphs).
+
+        Any :class:`~repro.errors.ReproError` escaping the search is
+        annotated with ``plans_costed``, ``modeled_memory_mb`` and
+        ``elapsed_seconds`` attributes so supervisors (e.g. the robust
+        fallback ladder) can account for the aborted attempt's effort.
         """
         if stats is None:
             stats = analyze(query.schema)
         timer = Timer().start()
-        counters = SearchCounters(self.budget, timer)
-        plan = self._search(query, stats, counters, timer)
+        counters = SearchCounters(self.budget, timer, checkpoint=self.checkpoint)
+        try:
+            plan = self._search(query, stats, counters, timer)
+            # Close the _CHECK_INTERVAL tail gap: up to 2047 events at the
+            # end of a search would otherwise never hit check_budget().
+            counters.check_budget()
+        except ReproError as exc:
+            exc.plans_costed = counters.plans_costed
+            exc.modeled_memory_mb = counters.modeled_memory_mb
+            exc.elapsed_seconds = timer.peek()
+            raise
         elapsed = timer.stop()
         if plan is None:
             raise OptimizationError(

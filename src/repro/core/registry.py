@@ -46,6 +46,7 @@ def available_techniques() -> list[str]:
         "II",
         "2PO",
         "GEQO",
+        "Robust",
     ]
 
 
@@ -115,6 +116,12 @@ def make_optimizer(
         return TwoPhaseOptimizer(budget=budget, cost_model=cost_model)
     if name == "GEQO":
         return GeneticOptimizer(budget=budget, cost_model=cost_model)
+    if name == "Robust":
+        # Imported here: repro.robust builds its ladder rungs through this
+        # registry, so a module-level import would be circular.
+        from repro.robust.ladder import RobustOptimizer
+
+        return RobustOptimizer(budget=budget, cost_model=cost_model)
     raise OptimizationError(
         f"unknown technique {name!r}; known: {available_techniques()}"
     )

@@ -36,7 +36,9 @@ class OptimizationBudgetExceeded(OptimizationError):
     """The optimizer exceeded its memory or plan-costing budget.
 
     Benchmarks report queries that raise this as infeasible — the ``*``
-    entries of the paper's tables.
+    entries of the paper's tables. A fallback ladder
+    (:class:`repro.robust.RobustOptimizer`) instead catches it and retries
+    with a cheaper technique.
 
     Attributes:
         resource: Which budget was exhausted, ``"memory"`` or ``"costing"``
@@ -53,6 +55,31 @@ class OptimizationBudgetExceeded(OptimizationError):
             f"optimization exceeded its {resource} budget "
             f"(limit={limit:g}, used={used:g})"
         )
+
+
+class OptimizationCancelled(OptimizationError):
+    """The caller cooperatively cancelled an in-flight optimization.
+
+    Raised from a :class:`~repro.core.base.SearchCounters` checkpoint hook
+    (e.g. :meth:`repro.robust.Deadline.checkpoint`) when an external
+    deadline passes or the caller aborts. Unlike
+    :class:`OptimizationBudgetExceeded`, cancellation is *not* a
+    degradation signal — fallback ladders propagate it instead of
+    escalating to a cheaper technique.
+    """
+
+    def __init__(self, reason: str = "optimization cancelled"):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class FaultInjected(ReproError):
+    """Base class for synthetic faults raised by ``repro.robust.faults``.
+
+    Deterministic fault-injection harnesses raise subclasses of this to
+    exercise degradation paths; catching ``FaultInjected`` separates
+    injected failures from organic ones in tests and attempt logs.
+    """
 
 
 class BenchmarkError(ReproError):

@@ -83,6 +83,50 @@ class TestRunComparison:
             _ = result.outcome("DP").mean_seconds
 
 
+class TestRobustMode:
+    @pytest.fixture(scope="class")
+    def robust_comparison(self, schema, stats):
+        # Same cell and budget that mark DP infeasible in plain mode.
+        spec = WorkloadSpec("star", 12, seed=0)
+        return run_comparison(
+            spec,
+            schema,
+            techniques=["DP", "SDP"],
+            instances=2,
+            stats=stats,
+            budget=SearchBudget(max_memory_bytes=5_000_000),
+            robust=True,
+        )
+
+    def test_no_infeasible_outcomes(self, robust_comparison):
+        for name in ("DP", "SDP"):
+            outcome = robust_comparison.outcome(name)
+            assert outcome.feasible
+            assert not outcome.skipped
+            assert len(outcome.ratios) == 2
+
+    def test_fallback_events_recorded(self, robust_comparison):
+        dp = robust_comparison.outcome("DP")
+        assert dp.fallback_events == 2
+        assert dp.fallback_winners
+        assert all(w != "DP" for w in dp.fallback_winners)
+
+    def test_feasible_rung_has_no_fallbacks(self, robust_comparison):
+        sdp = robust_comparison.outcome("SDP")
+        assert sdp.fallback_events == 0
+        assert sdp.fallback_winners == []
+
+    def test_fallback_table_renders(self, robust_comparison):
+        from repro.bench.reporting import fallback_table
+
+        text = fallback_table(
+            [robust_comparison], ["DP", "SDP"], "T"
+        ).render()
+        assert "Fallbacks" in text
+        assert "2/2" in text
+        assert INFEASIBLE not in text
+
+
 class TestReporting:
     def test_quality_table_renders(self, small_comparison):
         table = quality_table([small_comparison], ["DP", "SDP"], "T")

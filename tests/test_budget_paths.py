@@ -1,0 +1,89 @@
+"""Budget-exceeded behavior across every registered optimizer.
+
+Satellite coverage for the robustness work: the fallback ladder is only
+sound if *every* rung signals budget exhaustion the same way — raising
+:class:`OptimizationBudgetExceeded` with an accurate ``resource`` /
+``limit`` / ``used`` triple — and if no search can slip over a limit
+inside the final check interval (the tail gap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import SearchBudget
+from repro.core.registry import available_techniques, make_optimizer
+from repro.errors import OptimizationBudgetExceeded
+from tests.conftest import make_star_query
+
+#: Every registered technique that is supposed to *raise* on budget
+#: exhaustion — i.e. all of them except the robust façade, whose contract
+#: is the opposite (degrade, never raise).
+BUDGETED_TECHNIQUES = [
+    name for name in available_techniques() if name != "Robust"
+]
+
+
+@pytest.fixture(scope="module")
+def query(small_schema):
+    return make_star_query(small_schema, 8)
+
+
+@pytest.mark.parametrize("technique", BUDGETED_TECHNIQUES)
+def test_costing_budget_trips_with_accurate_fields(
+    technique, query, small_stats
+):
+    budget = SearchBudget(max_memory_bytes=None, max_plans_costed=2)
+    optimizer = make_optimizer(technique, budget=budget)
+    with pytest.raises(OptimizationBudgetExceeded) as err:
+        optimizer.optimize(query, small_stats)
+    assert err.value.resource == "costing"
+    assert err.value.limit == 2
+    assert err.value.used > 2
+
+
+@pytest.mark.parametrize("technique", BUDGETED_TECHNIQUES)
+def test_budget_error_carries_effort_annotations(
+    technique, query, small_stats
+):
+    budget = SearchBudget(max_memory_bytes=None, max_plans_costed=2)
+    optimizer = make_optimizer(technique, budget=budget)
+    with pytest.raises(OptimizationBudgetExceeded) as err:
+        optimizer.optimize(query, small_stats)
+    # Supervisors (the fallback ladder) account aborted attempts via these.
+    assert err.value.plans_costed > 2
+    assert err.value.modeled_memory_mb > 0
+    assert err.value.elapsed_seconds >= 0
+
+
+class TestTailGap:
+    """A just-over-limit run must raise even if the search ends between
+    periodic checks (fewer than _CHECK_INTERVAL events from the limit)."""
+
+    def test_goo_just_over_limit_raises(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        # GOO on 5 relations costs a few dozen plans — far fewer than the
+        # 2048-event check interval, so only the end-of-search check can
+        # catch this overrun.
+        unlimited = make_optimizer("GOO")
+        baseline = unlimited.optimize(query, small_stats)
+        assert baseline.plans_costed < 2048
+
+        budget = SearchBudget(
+            max_memory_bytes=None,
+            max_plans_costed=baseline.plans_costed - 1,
+        )
+        with pytest.raises(OptimizationBudgetExceeded) as err:
+            make_optimizer("GOO", budget=budget).optimize(query, small_stats)
+        assert err.value.resource == "costing"
+
+    def test_at_limit_run_still_passes(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        baseline = make_optimizer("GOO").optimize(query, small_stats)
+        budget = SearchBudget(
+            max_memory_bytes=None, max_plans_costed=baseline.plans_costed
+        )
+        result = make_optimizer("GOO", budget=budget).optimize(
+            query, small_stats
+        )
+        assert result.plans_costed == baseline.plans_costed

@@ -47,6 +47,19 @@ def test_experiment_with_comparison(capsys):
     assert "Survivors" in out
 
 
+def test_robust_report_smoke(capsys):
+    assert main(["robust-report", "--instances", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "budget-exceeded" in out
+    assert "Fallbacks" in out
+    assert "Degraded winners" in out
+
+
+def test_robust_flag_accepted(capsys):
+    assert main(["table-2.2", "--robust"]) == 0
+    assert "done in" in capsys.readouterr().out
+
+
 def test_output_directory(tmp_path, capsys):
     out_dir = tmp_path / "reports"
     assert main(["table-2.2", "--output", str(out_dir)]) == 0

@@ -17,8 +17,32 @@ from repro.query.joingraph import JoinGraph
 from repro.util.timer import Timer
 
 
-def counters(budget=None):
-    return SearchCounters(budget or SearchBudget.unlimited(), Timer().start())
+def counters(budget=None, checkpoint=None):
+    return SearchCounters(
+        budget or SearchBudget.unlimited(), Timer().start(), checkpoint=checkpoint
+    )
+
+
+class TestSearchBudgetValidation:
+    @pytest.mark.parametrize(
+        "field", ["max_memory_bytes", "max_plans_costed", "max_seconds"]
+    )
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_zero_and_negative_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            SearchBudget(**{field: value})
+
+    def test_none_means_unlimited(self):
+        budget = SearchBudget(
+            max_memory_bytes=None, max_plans_costed=None, max_seconds=None
+        )
+        assert budget == SearchBudget.unlimited()
+
+    def test_positive_values_accepted(self):
+        budget = SearchBudget(
+            max_memory_bytes=1, max_plans_costed=1, max_seconds=0.001
+        )
+        assert budget.max_plans_costed == 1
 
 
 class TestSearchCounters:
@@ -52,7 +76,7 @@ class TestSearchCounters:
         assert err.value.resource == "costing"
 
     def test_time_budget_trips(self):
-        budget = SearchBudget(max_memory_bytes=None, max_seconds=0.0)
+        budget = SearchBudget(max_memory_bytes=None, max_seconds=1e-9)
         c = counters(budget)
         c.note_plans_costed()
         with pytest.raises(OptimizationBudgetExceeded) as err:
@@ -87,6 +111,34 @@ class TestSearchCounters:
         c = counters(SearchBudget.unlimited())
         c.note_plans_costed(10**6)
         c.check_budget()
+
+    def test_total_events_accumulate(self):
+        c = counters()
+        c.note_plans_costed(5)
+        c.note_retained(2)
+        c.note_pairs(3)
+        assert c.total_events == 10
+
+    def test_checkpoint_hook_fires_on_check(self):
+        seen = []
+        c = counters(checkpoint=seen.append)
+        c.check_budget()
+        assert seen == [c]
+
+    def test_checkpoint_hook_fires_periodically(self):
+        seen = []
+        c = counters(checkpoint=lambda counters: seen.append(counters.total_events))
+        for _ in range(3000):
+            c.note_plans_costed()
+        assert seen == [2048]
+
+    def test_checkpoint_exception_propagates(self):
+        def bomb(_counters):
+            raise RuntimeError("cancelled")
+
+        c = counters(checkpoint=bomb)
+        with pytest.raises(RuntimeError):
+            c.check_budget()
 
 
 class TestJCRTable:
