@@ -86,6 +86,15 @@ from repro.query import (
     star_chain_joins,
     star_joins,
 )
+from repro.service import (
+    BatchItem,
+    CacheStats,
+    OptimizationService,
+    PlanCache,
+    ServiceResult,
+    optimize_many,
+    query_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -132,6 +141,14 @@ __all__ = [
     "make_optimizer",
     "available_techniques",
     "compare_techniques",
+    # service
+    "OptimizationService",
+    "ServiceResult",
+    "PlanCache",
+    "CacheStats",
+    "BatchItem",
+    "optimize_many",
+    "query_fingerprint",
     # robustness
     "RobustOptimizer",
     "RobustResult",

@@ -63,6 +63,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(env REPRO_BENCH_ROBUST)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="optimize the (instance, technique) grid over N worker "
+        "processes; aggregated results are identical to a serial run "
+        "(env REPRO_BENCH_WORKERS)",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -85,6 +94,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         overrides["max_seconds"] = args.max_seconds
     if args.robust:
         overrides["robust"] = True
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if overrides:
         from dataclasses import replace
 

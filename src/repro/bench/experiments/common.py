@@ -14,7 +14,8 @@ Experiment sizes scale with :class:`ExperimentSettings`:
 Environment overrides: ``REPRO_BENCH_INSTANCES``,
 ``REPRO_BENCH_HEAVY_INSTANCES``, ``REPRO_BENCH_MAX_SECONDS``,
 ``REPRO_BENCH_SEED``, ``REPRO_BENCH_SCHEMA_SEED``,
-``REPRO_BENCH_ROBUST`` (``1`` enables fallback-ladder robust mode).
+``REPRO_BENCH_ROBUST`` (``1`` enables fallback-ladder robust mode),
+``REPRO_BENCH_WORKERS`` (process count for the optimization grid).
 """
 
 from __future__ import annotations
@@ -66,6 +67,8 @@ class ExperimentSettings:
     schema_seed: int = 0
     #: Run comparisons through the fallback ladder (no ``*`` cells).
     robust: bool = False
+    #: Process count for the optimization grid (1 = serial in-process).
+    workers: int = 1
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
@@ -79,6 +82,7 @@ class ExperimentSettings:
             seed=_env_int("REPRO_BENCH_SEED", cls.seed),
             schema_seed=_env_int("REPRO_BENCH_SCHEMA_SEED", cls.schema_seed),
             robust=_env_bool("REPRO_BENCH_ROBUST", cls.robust),
+            workers=_env_int("REPRO_BENCH_WORKERS", cls.workers),
         )
 
     def scaled(self, instances: int) -> "ExperimentSettings":
@@ -152,6 +156,7 @@ def cached_comparison(
             stats=stats,
             budget=settings.budget(),
             robust=settings.robust,
+            workers=settings.workers,
         )
     return _COMPARISON_CACHE[key]
 

@@ -18,6 +18,13 @@ budget trip degrades to a cheaper technique instead of producing a ``*``
 cell: outcomes then record *fallback events* (instances answered by a
 lower rung) and the winning techniques, mirroring what a production
 optimizer service would report.
+
+With ``workers > 1`` the (instance, technique) grid is precomputed by
+:func:`repro.service.optimize_many` over a process pool and the
+aggregation loop reads from it; because budget trips are deterministic,
+the aggregated outcomes are identical to a serial run — parallelism only
+changes wall-clock time (and the per-run ``elapsed_seconds`` samples,
+which measure each search wherever it ran).
 """
 
 from __future__ import annotations
@@ -133,6 +140,7 @@ def run_comparison(
     reference_candidates: tuple[str, ...] = ("DP", "SDP"),
     skip_after_failures: int = 1,
     robust: bool = False,
+    workers: int = 1,
 ) -> ComparisonResult:
     """Optimize ``instances`` queries of ``spec`` with every technique.
 
@@ -151,6 +159,10 @@ def run_comparison(
         robust: Wrap each technique in its fallback ladder; budget trips
             degrade instead of marking the cell infeasible, and fallback
             events are recorded per outcome (see the module docstring).
+        workers: Process count for the optimization grid. ``1`` (default)
+            optimizes serially in-process; ``> 1`` fans the grid out via
+            :func:`repro.service.optimize_many` with identical aggregated
+            outcomes (budget trips are deterministic).
 
     Returns:
         A :class:`ComparisonResult`; techniques absent from
@@ -176,27 +188,55 @@ def run_comparison(
         outcomes[reference] = TechniqueOutcome(technique=reference)
 
     run_order = list(outcomes)
-    if robust:
-        optimizers = {
-            name: RobustOptimizer(
-                ladder=ladder_from(name), budget=budget, cost_model=cost_model
-            )
-            for name in run_order
-        }
-    else:
-        optimizers = {
-            name: make_optimizer(name, budget=budget, cost_model=cost_model)
-            for name in run_order
-        }
+    if workers > 1:
+        # Precompute the whole grid in parallel; the aggregation loop below
+        # then replays the serial protocol against the stored cells (a
+        # stored budget trip is re-raised at lookup), so skip bookkeeping
+        # and outcomes come out identical to workers=1.
+        from repro.service.parallel import optimize_many
 
-    for query in queries:
+        grid = optimize_many(
+            queries,
+            run_order,
+            stats=stats,
+            budget=budget,
+            cost_model=cost_model,
+            workers=workers,
+            robust=robust,
+        )
+        column = {name: index for index, name in enumerate(run_order)}
+
+        def attempt(query_index: int, name: str):
+            item = grid[query_index][column[name]]
+            if item.error is not None:
+                raise item.error
+            return item.result
+
+    else:
+        if robust:
+            optimizers = {
+                name: RobustOptimizer(
+                    ladder=ladder_from(name), budget=budget, cost_model=cost_model
+                )
+                for name in run_order
+            }
+        else:
+            optimizers = {
+                name: make_optimizer(name, budget=budget, cost_model=cost_model)
+                for name in run_order
+            }
+
+        def attempt(query_index: int, name: str):
+            return optimizers[name].optimize(queries[query_index], stats)
+
+    for query_index in range(len(queries)):
         results = {}
         for name in run_order:
             outcome = outcomes[name]
             if outcome.skipped:
                 continue
             try:
-                results[name] = optimizers[name].optimize(query, stats)
+                results[name] = attempt(query_index, name)
             except OptimizationBudgetExceeded:
                 outcome.infeasible_count += 1
                 if outcome.infeasible_count >= skip_after_failures:

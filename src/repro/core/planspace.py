@@ -183,8 +183,15 @@ class PlanSpace:
         cm = self.cm
         costed = 0
         slots_before = len(jcr.plans)
+        # This is the hottest loop in the repository (exhaustive DP calls it
+        # hundreds of thousands of times per query), so method and attribute
+        # lookups are hoisted into locals before the per-plan loops.
+        jcr_improves = jcr.improves
+        jcr_add = jcr.add
+        width = self.est.width
 
         for outer, inner in ((left, right), (right, left)):
+            outer_best = outer.best
             inner_best = inner.best
             inner_best_cost = inner_best.cost
             outer_rows = outer.rows
@@ -193,22 +200,22 @@ class PlanSpace:
             # Hash join: cheapest inputs, order destroyed.
             cost = hash_join_cost(
                 outer_rows,
-                outer.best.cost,
+                outer_best.cost,
                 inner_rows,
                 inner_best_cost,
-                self.est.width(inner.mask),
+                width(inner.mask),
                 out_rows,
                 cm,
             )
             costed += 1
-            if jcr.improves(None, cost):
-                jcr.add(
+            if jcr_improves(None, cost):
+                jcr_add(
                     PlanRecord(
                         union,
                         out_rows,
                         cost,
                         HASH_JOIN,
-                        left=outer.best,
+                        left=outer_best,
                         right=inner_best,
                     ),
                     useful,
@@ -227,8 +234,8 @@ class PlanSpace:
                 costed += 1
                 order = outer_plan.order
                 key = order if order in useful else None
-                if jcr.improves(key, cost):
-                    jcr.add(
+                if jcr_improves(key, cost):
+                    jcr_add(
                         PlanRecord(
                             union,
                             out_rows,
@@ -257,8 +264,8 @@ class PlanSpace:
             )
             costed += 1
             key = eclass if eclass in useful else None
-            if jcr.improves(key, cost):
-                jcr.add(
+            if jcr_improves(key, cost):
+                jcr_add(
                     PlanRecord(
                         union,
                         out_rows,
@@ -292,6 +299,9 @@ class PlanSpace:
         inner_table = self._tables[inner_index]
         cm = self.cm
         costed = 0
+        jcr_improves = jcr.improves
+        jcr_add = jcr.add
+        outer_rows = outer.rows
         seen_eclasses: set[int] = set()
         for pred in preds:
             if pred.left == inner_index:
@@ -306,7 +316,7 @@ class PlanSpace:
             col_stats = inner_table.column(column)
             if not col_stats.has_index:
                 continue
-            per_probe_rows = out_rows / max(1.0, outer.rows)
+            per_probe_rows = out_rows / max(1.0, outer_rows)
             probe = index_lookup_cost(inner_table, col_stats, per_probe_rows, cm)
             # The inner child of an index NL is a per-probe index access,
             # not a full scan of the inner relation.
@@ -320,13 +330,13 @@ class PlanSpace:
             )
             for outer_plan in outer.plans.values():
                 cost = index_nestloop_cost(
-                    outer.rows, outer_plan.cost, probe, out_rows, cm
+                    outer_rows, outer_plan.cost, probe, out_rows, cm
                 )
                 costed += 1
                 order = outer_plan.order
                 key = order if order in useful else None
-                if jcr.improves(key, cost):
-                    jcr.add(
+                if jcr_improves(key, cost):
+                    jcr_add(
                         PlanRecord(
                             jcr.mask,
                             out_rows,
@@ -414,6 +424,15 @@ class PlanSpace:
 
     def rows(self, mask: int) -> float:
         return self.est.rows(mask)
+
+    def width(self, mask: int) -> int:
+        """Estimated output row width for ``mask``.
+
+        Shares the estimator's per-mask width cache, so every consumer of
+        the plan space (join costing, sort costing, external tooling) hits
+        one memo rather than recomputing the bitmask sum.
+        """
+        return self.est.width(mask)
 
     def log_selectivity(self, mask: int) -> float:
         return self.est.log_selectivity(mask)

@@ -75,6 +75,10 @@ class CardinalityEstimator:
         self._rows_cache: dict[int, float] = {}
         self._logsel_cache: dict[int, float] = {}
         self._width_cache: dict[int, int] = {}
+        # (eclass index, member-relations-inside mask) -> log factor. Many
+        # distinct relation sets share the same eclass intersection, so this
+        # inner memo sits below the per-mask _logsel_cache.
+        self._eclass_factor_cache: dict[tuple[int, int], float] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -131,12 +135,20 @@ class CardinalityEstimator:
         if cached is not None:
             return cached
         total = 0.0
-        for eclass_mask, members in self._eclass_info:
+        factor_cache = self._eclass_factor_cache
+        for index, (eclass_mask, members) in enumerate(self._eclass_info):
             inside = eclass_mask & mask
             if inside == 0 or inside & (inside - 1) == 0:
                 continue  # fewer than two member relations inside the set
-            present = [stats for bit, stats in members if bit & mask]
-            if len(present) >= 2:
-                total += math.log(eclass_selectivity(present))
+            factor = factor_cache.get((index, inside))
+            if factor is None:
+                present = [stats for bit, stats in members if bit & inside]
+                factor = (
+                    math.log(eclass_selectivity(present))
+                    if len(present) >= 2
+                    else 0.0
+                )
+                factor_cache[(index, inside)] = factor
+            total += factor
         self._logsel_cache[mask] = total
         return total

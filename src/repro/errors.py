@@ -56,6 +56,13 @@ class OptimizationBudgetExceeded(OptimizationError):
             f"(limit={limit:g}, used={used:g})"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*self.args)``, which does
+        # not match this constructor; parallel executors ship budget trips
+        # across process boundaries, so restore from the structured fields
+        # (the instance dict carries the effort annotations along).
+        return (type(self), (self.resource, self.limit, self.used), self.__dict__)
+
 
 class OptimizationCancelled(OptimizationError):
     """The caller cooperatively cancelled an in-flight optimization.
@@ -84,3 +91,7 @@ class FaultInjected(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The optimization service was misused or misconfigured."""

@@ -113,6 +113,8 @@ class JoinGraph:
             predicates = self._close(predicates, members)
         self._predicates = tuple(predicates)
         self._eclass_members = members
+        # (relation index, column) -> eclass id, for O(1) eclass_of_column.
+        self._eclass_of_point = dict(eclass_of)
 
         self._neighbor_masks = [0] * self.n
         self._pair_predicates: dict[int, list[JoinPredicate]] = {}
@@ -123,6 +125,24 @@ class JoinGraph:
             self._pair_predicates.setdefault(pred.mask, []).append(pred)
             self._preds_of_rel[pred.left].append(pred)
             self._preds_of_rel[pred.right].append(pred)
+
+        # Per-eclass bitmask of member relations, precomputed for the
+        # interesting-order hot path (useful_orders scans every eclass for
+        # every relation set the search visits).
+        self._eclass_rel_masks: dict[int, int] = {}
+        for eclass, points in members.items():
+            mask = 0
+            for rel, _column in points:
+                mask |= 1 << rel
+            self._eclass_rel_masks[eclass] = mask
+
+        # Hot-path memo caches. The graph is immutable after construction,
+        # so both caches are valid for its whole lifetime; they persist
+        # across optimizer runs over the same query (IDP iterations, SDP
+        # partitions, the robust ladder) and are bounded by the number of
+        # distinct masks / mask pairs a search actually visits.
+        self._neighbors_cache: dict[int, int] = {}
+        self._connecting_cache: dict[tuple[int, int], tuple[JoinPredicate, ...]] = {}
 
         if self.n > 1 and not self.is_connected(self.all_mask):
             raise JoinGraphError("join graph is disconnected")
@@ -275,14 +295,19 @@ class JoinGraph:
     # -- set-level operations ------------------------------------------------
 
     def neighbors(self, mask: int) -> int:
-        """Relations adjacent to (but outside) the set ``mask``."""
+        """Relations adjacent to (but outside) the set ``mask`` (memoized)."""
+        cached = self._neighbors_cache.get(mask)
+        if cached is not None:
+            return cached
         result = 0
         remaining = mask
         while remaining:
             bit = remaining & -remaining
             result |= self._neighbor_masks[bit.bit_length() - 1]
             remaining ^= bit
-        return result & ~mask
+        result &= ~mask
+        self._neighbors_cache[mask] = result
+        return result
 
     def outside_degree(self, mask: int) -> int:
         """Number of distinct outside relations adjacent to the set ``mask``.
@@ -307,8 +332,18 @@ class JoinGraph:
             frontier = grown
         return reached == mask
 
-    def connecting(self, left_mask: int, right_mask: int) -> list[JoinPredicate]:
-        """Predicates with one endpoint in each (disjoint) set."""
+    def connecting(
+        self, left_mask: int, right_mask: int
+    ) -> tuple[JoinPredicate, ...]:
+        """Predicates with one endpoint in each (disjoint) set (memoized).
+
+        The result is cached per ``(left, right)`` pair and the same tuple
+        object is returned on every call — callers must treat it as
+        read-only (it is a tuple for exactly that reason).
+        """
+        cached = self._connecting_cache.get((left_mask, right_mask))
+        if cached is not None:
+            return cached
         if left_mask & right_mask:
             raise JoinGraphError("connecting() requires disjoint sets")
         # Scan the per-relation predicate lists of the smaller side only.
@@ -325,7 +360,9 @@ class JoinGraph:
                 # so scanning each small relation's list visits it once.
                 if ((1 << pred.left) | (1 << pred.right)) & other:
                     found.append(pred)
-        return found
+        result = tuple(found)
+        self._connecting_cache[(left_mask, right_mask)] = result
+        return result
 
     def connected(self, left_mask: int, right_mask: int) -> bool:
         """True iff some edge links the two disjoint sets."""
@@ -346,20 +383,19 @@ class JoinGraph:
 
     def eclass_relation_mask(self, eclass: int) -> int:
         """Bitmask of relations with a column in ``eclass``."""
-        members = self._eclass_members.get(eclass)
-        if members is None:
+        mask = self._eclass_rel_masks.get(eclass)
+        if mask is None:
             raise JoinGraphError(f"unknown eclass {eclass}")
-        mask = 0
-        for rel, _column in members:
-            mask |= 1 << rel
         return mask
+
+    @property
+    def eclass_relation_masks(self) -> dict[int, int]:
+        """Eclass id -> bitmask of member relations (treat as read-only)."""
+        return self._eclass_rel_masks
 
     def eclass_of_column(self, relation_index: int, column: str) -> int | None:
         """Eclass containing ``(relation_index, column)``, or None."""
-        for eclass, points in self._eclass_members.items():
-            if (relation_index, column) in points:
-                return eclass
-        return None
+        return self._eclass_of_point.get((relation_index, column))
 
     def shared_column_eclasses(self) -> list[int]:
         """Eclasses spanning three or more relations (shared join columns)."""

@@ -1,0 +1,30 @@
+"""Serving layer: plan caching and parallel batch optimization.
+
+This package wraps the search algorithms in the machinery a system would
+deploy around them:
+
+* :class:`OptimizationService` — a caching ``optimize()`` front end keyed
+  by canonical query fingerprint and statistics epoch;
+* :class:`PlanCache` / :class:`CacheStats` — the LRU behind it;
+* :func:`query_fingerprint` / :func:`fingerprint_components` — the
+  canonical-form hash that decides cache equivalence;
+* :func:`optimize_many` / :class:`BatchItem` — a process-pool batch
+  executor for (query x technique) grids, used by the benchmark runner's
+  ``workers=N`` mode.
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import fingerprint_components, query_fingerprint
+from repro.service.parallel import BatchItem, optimize_many
+from repro.service.service import OptimizationService, ServiceResult
+
+__all__ = [
+    "BatchItem",
+    "CacheStats",
+    "OptimizationService",
+    "PlanCache",
+    "ServiceResult",
+    "fingerprint_components",
+    "optimize_many",
+    "query_fingerprint",
+]

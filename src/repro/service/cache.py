@@ -1,0 +1,110 @@
+"""An LRU plan cache keyed by (query fingerprint, statistics epoch).
+
+The cache is the serving layer's answer to repeated traffic: a query whose
+fingerprint (see :mod:`repro.service.fingerprint`) matches a cached entry
+returns its plan without re-running the search. Statistics changes are
+handled by an *epoch* component in the key plus explicit
+:meth:`PlanCache.invalidate` — after an ``analyze()`` refresh no stale
+entry can hit, even before the eviction policy recycles it.
+
+The implementation is a plain ``OrderedDict`` LRU: hits move entries to
+the MRU end, inserts beyond ``capacity`` evict from the LRU end. All
+traffic is counted (:class:`CacheStats`) so operators can watch hit rates
+— the number that decides whether the cache is worth its memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import ServiceError
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one :class:`PlanCache`.
+
+    Attributes:
+        hits: Lookups answered from the cache.
+        misses: Lookups that fell through to the optimizer.
+        evictions: Entries displaced by the LRU capacity policy.
+        invalidations: Entries dropped by explicit invalidation
+            (statistics refreshes).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Bounded LRU mapping cache keys to cached optimization results.
+
+    Args:
+        capacity: Maximum number of retained entries (> 0).
+
+    Keys are ``(fingerprint, epoch)`` tuples in service use, but any
+    hashable key works — the cache does not interpret them.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ServiceError(
+                f"plan cache capacity must be >= 1, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._stats = CacheStats()
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached value for ``key``, or None (counted as hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (statistics refresh); returns the count dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._stats.invalidations += dropped
+        return dropped
+
+    @property
+    def stats(self) -> CacheStats:
+        """Live traffic counters (the same object across calls)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

@@ -1,0 +1,77 @@
+"""Canonical query fingerprints for the plan cache.
+
+Two queries that the optimizer cannot distinguish must hash to the same
+fingerprint, so the serving layer can answer one from the other's cached
+plan. The fingerprint therefore covers exactly the inputs the search
+consumes, in a canonical form:
+
+* the **schema** name (plans against different catalogs never alias);
+* the **relation set**, sorted by name (relation *indices* are a property
+  of how the join graph was written down, not of the query);
+* the **join predicates** — implied edges included — as name-based
+  endpoint pairs, each pair and the pair list sorted. Because the implied
+  -edge closure adds every transitively implied edge, a query written with
+  an explicit transitive predicate fingerprints identically to one that
+  leaves it implied;
+* the **equivalence classes** as sorted member-column sets (they carry the
+  interesting-order and shared-join-column structure);
+* the **ORDER BY** target, if any.
+
+Catalog *content* (row counts, distinct values) is deliberately excluded:
+the cache layers a statistics *epoch* next to the fingerprint instead, so
+an ``analyze()`` refresh invalidates every cached plan at once rather than
+requiring content hashing per lookup (see :mod:`repro.service.cache`).
+
+The query *label* is excluded too — it is reporting metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.query.query import Query
+
+__all__ = ["query_fingerprint", "fingerprint_components"]
+
+
+def fingerprint_components(query: Query) -> tuple:
+    """The canonical tuple :func:`query_fingerprint` hashes.
+
+    Exposed separately so tests and documentation can show exactly what
+    makes two queries cache-equivalent.
+    """
+    graph = query.graph
+    names = graph.relation_names
+    predicates = sorted(
+        {
+            tuple(
+                sorted(
+                    (
+                        f"{names[p.left]}.{p.left_column}",
+                        f"{names[p.right]}.{p.right_column}",
+                    )
+                )
+            )
+            for p in graph.predicates
+        }
+    )
+    eclasses = sorted(
+        tuple(sorted(f"{names[rel]}.{column}" for rel, column in points))
+        for points in graph.eclasses.values()
+    )
+    order_by = None
+    if query.order_by is not None:
+        order_by = f"{query.order_by[0]}.{query.order_by[1]}"
+    return (
+        query.schema.name,
+        tuple(sorted(names)),
+        tuple(predicates),
+        tuple(eclasses),
+        order_by,
+    )
+
+
+def query_fingerprint(query: Query) -> str:
+    """Hex digest identifying the query up to optimizer equivalence."""
+    canonical = repr(fingerprint_components(query))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

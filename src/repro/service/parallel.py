@@ -1,0 +1,189 @@
+"""Parallel batch optimization over a (query x technique) grid.
+
+The paper's protocol — every instance optimized by every technique — is
+embarrassingly parallel: each cell is an independent, deterministic
+search. :func:`optimize_many` fans the grid out over a
+``ProcessPoolExecutor`` (processes, not threads: the searches are pure
+Python and CPU-bound, so the GIL would serialize threads) and returns the
+results in **grid order**, one row per query, one
+:class:`BatchItem` per technique — regardless of which worker finished
+first. ``workers <= 1`` runs the same code path serially in-process, so
+callers can switch between modes without behavioural drift.
+
+Per-worker context (queries, statistics, budget) ships once via the pool
+initializer; individual tasks are just ``(query index, technique index)``
+pairs, keeping per-task pickling negligible.
+
+Budget trips are part of the protocol (the paper's ``*`` cells), so they
+are captured per cell — :attr:`BatchItem.error` — instead of aborting the
+batch. Any other exception propagates and cancels the batch: a malformed
+query should fail loudly, not produce a hole in a table.
+
+Determinism: optimizers are seeded and statistics are fixed, so a cell's
+outcome does not depend on which process computes it. The one caveat is
+wall-clock *budgets* (``SearchBudget.max_seconds``): elapsed time differs
+across processes and machine load, so a search near its time limit can
+trip in one mode and finish in the other. Memory and plans-costed budgets
+are modeled, hence exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.catalog.statistics import CatalogStatistics, analyze
+from repro.core.base import OptimizerResult, SearchBudget
+from repro.core.registry import make_optimizer
+from repro.cost.model import CostModel
+from repro.errors import OptimizationBudgetExceeded, ServiceError
+from repro.query.query import Query
+
+__all__ = ["BatchItem", "optimize_many"]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One optimized cell of the (query x technique) grid.
+
+    Attributes:
+        query_index: Row (query) index in the submitted batch.
+        technique: Technique name that produced this cell.
+        label: Label of the optimized query.
+        result: The optimizer result, or None when the budget tripped.
+        error: The :class:`~repro.errors.OptimizationBudgetExceeded` the
+            cell raised, or None on success.
+    """
+
+    query_index: int
+    technique: str
+    label: str
+    result: OptimizerResult | None
+    error: OptimizationBudgetExceeded | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+
+#: Per-worker execution context installed by :func:`_init_worker`.
+_CONTEXT: dict | None = None
+
+
+def _init_worker(
+    queries: list[Query],
+    stats: CatalogStatistics,
+    budget: SearchBudget | None,
+    cost_model: CostModel | None,
+    robust: bool,
+) -> None:
+    """Install the batch context in this process (pool initializer)."""
+    global _CONTEXT
+    _CONTEXT = {
+        "queries": queries,
+        "stats": stats,
+        "budget": budget,
+        "cost_model": cost_model,
+        "robust": robust,
+    }
+
+
+def _make_cell_optimizer(technique: str, budget, cost_model, robust: bool):
+    if robust:
+        # Imported lazily: repro.robust builds ladder rungs through the
+        # optimizer registry, so a module-level import would be circular.
+        from repro.robust.ladder import RobustOptimizer, ladder_from
+
+        return RobustOptimizer(
+            ladder=ladder_from(technique), budget=budget, cost_model=cost_model
+        )
+    return make_optimizer(technique, budget=budget, cost_model=cost_model)
+
+
+def _run_cell(task: tuple[int, str]) -> BatchItem:
+    """Optimize one grid cell inside a worker (or inline when serial)."""
+    query_index, technique = task
+    assert _CONTEXT is not None, "worker context not initialized"
+    query = _CONTEXT["queries"][query_index]
+    optimizer = _make_cell_optimizer(
+        technique, _CONTEXT["budget"], _CONTEXT["cost_model"], _CONTEXT["robust"]
+    )
+    try:
+        result = optimizer.optimize(query, _CONTEXT["stats"])
+    except OptimizationBudgetExceeded as exc:
+        return BatchItem(query_index, technique, query.label, None, exc)
+    return BatchItem(query_index, technique, query.label, result, None)
+
+
+def optimize_many(
+    queries: Sequence[Query],
+    techniques: Sequence[str],
+    stats: CatalogStatistics | None = None,
+    budget: SearchBudget | None = None,
+    cost_model: CostModel | None = None,
+    workers: int | None = 1,
+    robust: bool = False,
+) -> list[list[BatchItem]]:
+    """Optimize every query with every technique, in parallel.
+
+    Args:
+        queries: Query instances (must share one schema/statistics world).
+        techniques: Technique names (see
+            :func:`repro.core.available_techniques`).
+        stats: Shared statistics snapshot; collected from the first query's
+            schema when omitted.
+        budget: Per-cell search budget.
+        cost_model: Cost-model override.
+        workers: Process count. ``<= 1`` runs serially in-process;
+            ``None`` uses the machine's CPU count.
+        robust: Wrap each technique in its fallback ladder
+            (:func:`repro.robust.ladder_from`), as the bench runner's
+            robust mode does.
+
+    Returns:
+        ``grid[q][t]`` — a :class:`BatchItem` per (query, technique), in
+        submission order independent of completion order.
+
+    Raises:
+        ServiceError: on an empty query or technique list.
+    """
+    queries = list(queries)
+    techniques = list(techniques)
+    if not queries:
+        raise ServiceError("optimize_many() needs at least one query")
+    if not techniques:
+        raise ServiceError("optimize_many() needs at least one technique")
+    if stats is None:
+        stats = analyze(queries[0].schema)
+    if workers is None:
+        workers = os.cpu_count() or 1
+
+    tasks = [
+        (query_index, technique)
+        for query_index in range(len(queries))
+        for technique in techniques
+    ]
+
+    if workers <= 1 or len(tasks) == 1:
+        global _CONTEXT
+        _init_worker(queries, stats, budget, cost_model, robust)
+        try:
+            items = [_run_cell(task) for task in tasks]
+        finally:
+            _CONTEXT = None
+    else:
+        # Small chunks keep workers busy near the end of the batch while
+        # amortizing task dispatch; the grid stays in submission order
+        # because Executor.map preserves input ordering.
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(queries, stats, budget, cost_model, robust),
+        ) as pool:
+            items = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+
+    width = len(techniques)
+    return [items[row * width : (row + 1) * width] for row in range(len(queries))]

@@ -1,0 +1,178 @@
+"""The optimization service: a cached, epoch-aware ``optimize()`` front end.
+
+:class:`OptimizationService` is what a query engine would actually embed:
+it owns an optimizer (any registry technique, including the robust
+fallback ladder), a statistics snapshot with an explicit *epoch*, and a
+:class:`~repro.service.cache.PlanCache`. Repeated — or merely
+*equivalent* — queries are answered from the cache in microseconds; an
+``analyze()`` refresh bumps the epoch and invalidates every cached plan,
+so the service never serves a plan optimized against stale statistics.
+
+Usage::
+
+    service = OptimizationService(technique="SDP", cache_capacity=256)
+    service.analyze(schema)             # install statistics (epoch 1)
+    first = service.optimize(query)     # cold: runs the search
+    again = service.optimize(query)     # warm: cache hit, no search
+    assert again.cache_hit and again.cost == first.cost
+    service.analyze(schema)             # stats refresh -> epoch 2
+    cold = service.optimize(query)      # re-optimizes against new stats
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import CatalogStatistics, analyze
+from repro.core.base import OptimizerResult, SearchBudget
+from repro.core.registry import make_optimizer
+from repro.cost.model import CostModel
+from repro.query.query import Query
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import query_fingerprint
+from repro.util.timer import Timer
+
+__all__ = ["ServiceResult", "OptimizationService"]
+
+
+@dataclass(frozen=True)
+class ServiceResult(OptimizerResult):
+    """An :class:`OptimizerResult` plus serving-layer metadata.
+
+    Attributes:
+        cache_hit: True when the plan came from the cache; in that case
+            ``elapsed_seconds`` is the lookup time, while ``plans_costed``
+            and ``modeled_memory_mb`` still describe the original search
+            that produced the plan.
+        fingerprint: Canonical query fingerprint used as the cache key.
+        stats_epoch: Statistics epoch the plan was optimized under.
+    """
+
+    cache_hit: bool = False
+    fingerprint: str = ""
+    stats_epoch: int = 0
+
+
+class OptimizationService:
+    """A caching optimizer façade bound to one statistics snapshot.
+
+    Args:
+        technique: Registry name of the backing optimizer (``"SDP"``,
+            ``"DP"``, ``"Robust"``, ...).
+        budget: Per-optimization search budget.
+        cost_model: Cost-model override.
+        cache_capacity: Plan-cache LRU capacity.
+    """
+
+    def __init__(
+        self,
+        technique: str = "SDP",
+        budget: SearchBudget | None = None,
+        cost_model: CostModel | None = None,
+        cache_capacity: int = 128,
+    ):
+        self.technique = technique
+        self._optimizer = make_optimizer(
+            technique, budget=budget, cost_model=cost_model
+        )
+        self._cache = PlanCache(cache_capacity)
+        self._stats: CatalogStatistics | None = None
+        self._epoch = 0
+
+    # -- statistics lifecycle ----------------------------------------------------
+
+    def analyze(self, schema: Schema) -> CatalogStatistics:
+        """Collect fresh statistics for ``schema`` and install them.
+
+        Bumps the statistics epoch and invalidates the plan cache: every
+        plan optimized before this call is considered stale.
+        """
+        return self.install_statistics(analyze(schema))
+
+    def install_statistics(self, stats: CatalogStatistics) -> CatalogStatistics:
+        """Install a pre-collected snapshot (same epoch/invalidation rules)."""
+        self._stats = stats
+        self._epoch += 1
+        self._cache.invalidate()
+        return stats
+
+    @property
+    def stats_epoch(self) -> int:
+        """Current statistics epoch (0 = no statistics installed yet)."""
+        return self._epoch
+
+    @property
+    def statistics(self) -> CatalogStatistics | None:
+        return self._stats
+
+    # -- optimization ------------------------------------------------------------
+
+    def optimize(self, query: Query, stats: CatalogStatistics | None = None) -> ServiceResult:
+        """Optimize ``query``, serving repeated fingerprints from cache.
+
+        Args:
+            query: The query to optimize.
+            stats: Optional snapshot override. Passing a *different* object
+                than the installed one installs it first (bumping the epoch
+                and invalidating the cache); passing the installed object
+                again is a no-op. With no snapshot installed and none
+                passed, statistics are collected from ``query.schema``.
+
+        Raises:
+            OptimizationBudgetExceeded: propagated from the backing
+                optimizer; budget trips are never cached.
+        """
+        if stats is not None:
+            if stats is not self._stats:
+                self.install_statistics(stats)
+        elif self._stats is None:
+            self.analyze(query.schema)
+
+        timer = Timer().start()
+        fingerprint = query_fingerprint(query)
+        key = (fingerprint, self._epoch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return replace(
+                cached,  # type: ignore[arg-type]
+                cache_hit=True,
+                elapsed_seconds=timer.stop(),
+            )
+
+        result = self._optimizer.optimize(query, self._stats)
+        served = ServiceResult(
+            technique=result.technique,
+            plan=result.plan,
+            cost=result.cost,
+            rows=result.rows,
+            plans_costed=result.plans_costed,
+            modeled_memory_mb=result.modeled_memory_mb,
+            elapsed_seconds=result.elapsed_seconds,
+            jcrs_created=result.jcrs_created,
+            jcrs_pruned=result.jcrs_pruned,
+            cache_hit=False,
+            fingerprint=fingerprint,
+            stats_epoch=self._epoch,
+        )
+        self._cache.put(key, served)
+        return served
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction/invalidation counters of the plan cache."""
+        return self._cache.stats
+
+    def __repr__(self) -> str:
+        stats = self._cache.stats
+        return (
+            f"OptimizationService(technique={self.technique!r}, "
+            f"epoch={self._epoch}, cached={len(self._cache)}, "
+            f"hit_rate={stats.hit_rate:.2f})"
+        )

@@ -1,0 +1,60 @@
+"""Smoke test for the hot-path benchmark harness.
+
+Marked ``perf``: it runs the real harness end-to-end (one repeat, reduced
+workers) and checks the report it writes, guarding the perf-tracking
+entry point itself against bit-rot. Deselect with ``-m "not perf"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HARNESS = os.path.join(REPO_ROOT, "benchmarks", "bench_hot_paths.py")
+
+
+@pytest.mark.perf
+def test_bench_harness_end_to_end(tmp_path):
+    output = tmp_path / "BENCH_optimize.json"
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, HARNESS, "--repeats", "1", "--output", str(output)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    elapsed = time.perf_counter() - started
+    assert completed.returncode == 0, completed.stderr
+    assert elapsed < 60.0, f"harness smoke run took {elapsed:.1f}s"
+
+    report = json.loads(output.read_text())
+    benches = report["benchmarks"]
+    assert set(benches) == {
+        "dp_star_12",
+        "sdp_star_25",
+        "grid_workers",
+        "plan_cache",
+    }
+    # Search counters are deterministic: they only move when the search
+    # itself changes, so the smoke run pins them.
+    assert benches["dp_star_12"]["plans_costed"] == 78871
+    assert benches["dp_star_12"]["median_seconds"] > 0
+    assert benches["sdp_star_25"]["plans_costed"] == 157472
+    assert benches["grid_workers"]["identical_outcomes"] is True
+    assert benches["plan_cache"]["speedup"] >= 10.0
+
+
+def test_committed_report_matches_current_counters():
+    """The committed BENCH_optimize.json must track the current search."""
+    path = os.path.join(REPO_ROOT, "BENCH_optimize.json")
+    report = json.loads(open(path, encoding="utf-8").read())
+    benches = report["benchmarks"]
+    assert benches["dp_star_12"]["plans_costed"] == 78871
+    assert benches["sdp_star_25"]["plans_costed"] == 157472
+    assert benches["grid_workers"]["identical_outcomes"] is True

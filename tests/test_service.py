@@ -1,0 +1,354 @@
+"""Tests for the serving layer: fingerprints, plan cache, batch executor."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench.runner import run_comparison
+from repro.bench.workloads import WorkloadSpec
+from repro.core.base import SearchBudget
+from repro.errors import OptimizationBudgetExceeded, ServiceError
+from repro.query import JoinGraph, Query
+from repro.service import (
+    BatchItem,
+    OptimizationService,
+    PlanCache,
+    fingerprint_components,
+    optimize_many,
+    query_fingerprint,
+)
+from tests.conftest import make_chain_query, make_star_query
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_for_same_query(self, small_schema):
+        a = make_star_query(small_schema, 5)
+        b = make_star_query(small_schema, 5)
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_label_is_ignored(self, small_schema):
+        a = make_star_query(small_schema, 5, label="first")
+        b = make_star_query(small_schema, 5, label="second")
+        assert a.label != b.label
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_relation_listing_order_is_canonicalized(self, small_schema):
+        """The same star written down in a different relation order aliases."""
+        hub = small_schema.largest_relation().name
+        spokes = [n for n in small_schema.relation_names if n != hub][:4]
+        from repro.query import star_joins
+
+        joins = star_joins(small_schema, hub, spokes)
+        a = Query(small_schema, JoinGraph([hub, *spokes], joins))
+        b = Query(
+            small_schema, JoinGraph([*reversed(spokes), hub], joins)
+        )
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_join_endpoint_order_is_canonicalized(self, small_schema):
+        names = list(small_schema.relation_names[:3])
+        from repro.query import chain_joins
+
+        joins = chain_joins(small_schema, names)
+        flipped = [(r, rc, l, lc) for (l, lc, r, rc) in joins]
+        a = Query(small_schema, JoinGraph(names, joins))
+        b = Query(small_schema, JoinGraph(names, flipped))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_implied_transitive_edge_aliases_explicit_one(self, small_schema):
+        """A closure-implied predicate and a written-out one fingerprint equal."""
+        a, b, c = small_schema.relation_names[:3]
+        ca = small_schema.relation(a).columns[0].name
+        cb = small_schema.relation(b).columns[0].name
+        cc = small_schema.relation(c).columns[0].name
+        chain = [(a, ca, b, cb), (b, cb, c, cc)]
+        explicit = chain + [(a, ca, c, cc)]
+        qa = Query(small_schema, JoinGraph([a, b, c], chain))
+        qb = Query(small_schema, JoinGraph([a, b, c], explicit))
+        assert query_fingerprint(qa) == query_fingerprint(qb)
+
+    def test_different_topologies_differ(self, small_schema):
+        star = make_star_query(small_schema, 5)
+        chain = make_chain_query(small_schema, 5)
+        assert query_fingerprint(star) != query_fingerprint(chain)
+
+    def test_order_by_is_significant(self, small_schema):
+        plain = make_star_query(small_schema, 4)
+        rel = plain.graph.relation_names[0]
+        pred = plain.graph.predicates[0]
+        column = pred.left_column if plain.graph.relation_names[pred.left] == rel else pred.right_column
+        ordered = Query(
+            small_schema, plain.graph, order_by=(rel, column)
+        )
+        assert query_fingerprint(plain) != query_fingerprint(ordered)
+        assert fingerprint_components(ordered)[-1] == f"{rel}.{column}"
+
+    def test_components_are_name_based(self, small_schema):
+        components = fingerprint_components(make_star_query(small_schema, 4))
+        assert components[0] == small_schema.name
+        assert components[1] == tuple(sorted(components[1]))
+
+
+# ---------------------------------------------------------------------------
+# PlanCache
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            PlanCache(0)
+
+    def test_hit_miss_counters(self):
+        cache = PlanCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" becomes MRU, so "b" is next out
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_drops_everything(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+# ---------------------------------------------------------------------------
+# OptimizationService
+# ---------------------------------------------------------------------------
+
+
+class TestOptimizationService:
+    def test_warm_hit_returns_same_plan(self, small_schema, small_stats):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        query = make_star_query(small_schema, 6)
+        cold = service.optimize(query)
+        warm = service.optimize(query)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.cost == cold.cost
+        assert warm.rows == cold.rows
+        assert warm.plans_costed == cold.plans_costed
+        assert repr(warm.plan) == repr(cold.plan)
+        assert warm.fingerprint == cold.fingerprint == query_fingerprint(query)
+        assert service.cache_stats.hits == 1
+
+    def test_equivalent_query_hits(self, small_schema, small_stats):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        service.optimize(make_star_query(small_schema, 6, label="one"))
+        again = service.optimize(make_star_query(small_schema, 6, label="two"))
+        assert again.cache_hit
+
+    def test_analyze_bumps_epoch_and_invalidates(self, small_schema):
+        service = OptimizationService(technique="SDP")
+        assert service.stats_epoch == 0
+        query = make_star_query(small_schema, 5)
+        first = service.optimize(query)  # auto-analyzes -> epoch 1
+        assert service.stats_epoch == 1 and first.stats_epoch == 1
+        service.analyze(small_schema)
+        assert service.stats_epoch == 2
+        assert len(service.cache) == 0
+        re_optimized = service.optimize(query)
+        assert not re_optimized.cache_hit
+        assert re_optimized.stats_epoch == 2
+        assert service.cache_stats.invalidations == 1
+
+    def test_passing_new_snapshot_invalidates(self, small_schema, small_stats):
+        from repro.catalog import analyze
+
+        service = OptimizationService(technique="SDP")
+        query = make_star_query(small_schema, 5)
+        service.optimize(query, stats=small_stats)
+        # Same snapshot object again: cache survives.
+        assert service.optimize(query, stats=small_stats).cache_hit
+        # A different snapshot object is a statistics refresh.
+        fresh = analyze(small_schema)
+        assert not service.optimize(query, stats=fresh).cache_hit
+        assert service.stats_epoch == 2
+
+    def test_lru_eviction_in_service(self, small_schema, small_stats):
+        service = OptimizationService(technique="GOO", cache_capacity=2)
+        service.install_statistics(small_stats)
+        queries = [make_star_query(small_schema, n) for n in (3, 4, 5)]
+        for query in queries:
+            service.optimize(query)
+        assert len(service.cache) == 2
+        assert service.cache_stats.evictions == 1
+        assert not service.optimize(queries[0]).cache_hit  # evicted
+        assert service.optimize(queries[2]).cache_hit  # still resident
+
+    def test_budget_trips_are_not_cached(self, small_schema, small_stats):
+        service = OptimizationService(
+            technique="DP", budget=SearchBudget(max_plans_costed=10)
+        )
+        service.install_statistics(small_stats)
+        query = make_star_query(small_schema, 6)
+        for _ in range(2):
+            with pytest.raises(OptimizationBudgetExceeded):
+                service.optimize(query)
+        assert len(service.cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# optimize_many / parallel grids
+# ---------------------------------------------------------------------------
+
+
+def _grid_key(item: BatchItem):
+    if item.result is None:
+        return (item.query_index, item.technique, item.label, None)
+    return (
+        item.query_index,
+        item.technique,
+        item.label,
+        item.result.cost,
+        item.result.rows,
+        item.result.plans_costed,
+        repr(item.result.plan),
+    )
+
+
+class TestOptimizeMany:
+    def test_rejects_empty_inputs(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 4)
+        with pytest.raises(ServiceError):
+            optimize_many([], ["SDP"], stats=small_stats)
+        with pytest.raises(ServiceError):
+            optimize_many([query], [], stats=small_stats)
+
+    def test_parallel_matches_serial_elementwise(self, small_schema, small_stats):
+        queries = [make_star_query(small_schema, n) for n in (4, 5, 6)]
+        techniques = ["SDP", "GOO"]
+        serial = optimize_many(
+            queries, techniques, stats=small_stats, workers=1
+        )
+        parallel = optimize_many(
+            queries, techniques, stats=small_stats, workers=2
+        )
+        assert [[_grid_key(i) for i in row] for row in serial] == [
+            [_grid_key(i) for i in row] for row in parallel
+        ]
+
+    def test_budget_trips_become_error_cells(self, small_schema, small_stats):
+        # On star-7, GOO costs 55 plans and DP 1357: a 100-plan cap trips
+        # DP only.
+        queries = [make_star_query(small_schema, 7)]
+        tight = SearchBudget(max_plans_costed=100)
+        for workers in (1, 2):
+            grid = optimize_many(
+                queries,
+                ["DP", "GOO"],
+                stats=small_stats,
+                budget=tight,
+                workers=workers,
+            )
+            dp, goo = grid[0]
+            assert not dp.feasible
+            assert isinstance(dp.error, OptimizationBudgetExceeded)
+            assert dp.error.resource == "costing"
+            assert goo.feasible
+
+    def test_robust_mode_degrades_instead_of_erroring(
+        self, small_schema, small_stats
+    ):
+        grid = optimize_many(
+            [make_star_query(small_schema, 7)],
+            ["DP"],
+            stats=small_stats,
+            budget=SearchBudget(max_plans_costed=200),
+            workers=2,
+            robust=True,
+        )
+        item = grid[0][0]
+        assert item.feasible  # the ladder answered with a cheaper rung
+        assert item.result.degraded
+
+    def test_budget_error_survives_pickling(self):
+        error = OptimizationBudgetExceeded("costing", 10, 11)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.resource == "costing"
+        assert clone.limit == 10 and clone.used == 11
+        assert str(clone) == str(error)
+
+
+class TestParallelComparison:
+    def _outcome_key(self, result):
+        return {
+            name: (
+                o.ratios,
+                o.plans_costed,
+                o.memory_mb,
+                o.infeasible_count,
+                o.skipped,
+                o.fallback_events,
+                o.fallback_winners,
+            )
+            for name, o in result.outcomes.items()
+        }
+
+    def test_workers_preserve_outcomes(self, small_schema, small_stats):
+        spec = WorkloadSpec("star", 5)
+        serial = run_comparison(
+            spec, small_schema, ["SDP", "GOO"], 3, stats=small_stats
+        )
+        parallel = run_comparison(
+            spec, small_schema, ["SDP", "GOO"], 3, stats=small_stats, workers=2
+        )
+        assert serial.reference == parallel.reference
+        assert self._outcome_key(serial) == self._outcome_key(parallel)
+
+    def test_workers_preserve_skip_bookkeeping(self, small_schema, small_stats):
+        # 600-plan cap: DP (1357 plans on star-7) trips, SDP (454) and
+        # GOO (55) stay feasible.
+        spec = WorkloadSpec("star", 7)
+        tight = SearchBudget(max_plans_costed=600)
+        kwargs = dict(
+            stats=small_stats,
+            budget=tight,
+            reference_candidates=("SDP", "GOO"),
+            instances=3,
+        )
+        serial = run_comparison(
+            spec, small_schema, ["DP", "SDP", "GOO"], **kwargs
+        )
+        parallel = run_comparison(
+            spec, small_schema, ["DP", "SDP", "GOO"], workers=2, **kwargs
+        )
+        assert serial.outcomes["DP"].skipped  # DP trips its tight budget
+        assert self._outcome_key(serial) == self._outcome_key(parallel)
+
+    def test_workers_preserve_robust_mode(self, small_schema, small_stats):
+        spec = WorkloadSpec("star", 7)
+        kwargs = dict(
+            stats=small_stats,
+            budget=SearchBudget(max_plans_costed=600),
+            robust=True,
+            instances=2,
+        )
+        serial = run_comparison(spec, small_schema, ["DP", "GOO"], **kwargs)
+        parallel = run_comparison(
+            spec, small_schema, ["DP", "GOO"], workers=2, **kwargs
+        )
+        assert serial.outcomes["DP"].fallback_events > 0
+        assert self._outcome_key(serial) == self._outcome_key(parallel)
