@@ -10,6 +10,7 @@ Run with::
     python examples/custom_schema.py
 """
 
+import repro
 from repro import (
     Column,
     Index,
@@ -17,7 +18,6 @@ from repro import (
     Query,
     Relation,
     Schema,
-    SDPOptimizer,
     analyze,
     explain,
     render_sql,
@@ -77,7 +77,7 @@ def main() -> None:
     print(render_sql(query))
     print()
 
-    result = SDPOptimizer().optimize(query, stats)
+    result = repro.optimize(query, stats=stats)
     print(
         f"SDP plan (cost {result.cost:.1f}, estimated rows {result.rows:.0f}, "
         f"{result.plans_costed} plans costed):\n"

@@ -11,11 +11,10 @@ Run with::
     python examples/interesting_orders.py
 """
 
+import repro
 from repro import (
-    DynamicProgrammingOptimizer,
     JoinGraph,
     Query,
-    SDPOptimizer,
     analyze,
     explain,
     paper_schema,
@@ -40,9 +39,8 @@ def main() -> None:
     )
     print(f"ORDER BY {order_rel}.{order_col} (a join column)\n")
 
-    dp = DynamicProgrammingOptimizer()
-    unordered_result = dp.optimize(plain, stats)
-    ordered_result = dp.optimize(ordered, stats)
+    unordered_result = repro.optimize(plain, technique="dp", stats=stats)
+    ordered_result = repro.optimize(ordered, technique="dp", stats=stats)
 
     print(f"optimal cost without ORDER BY: {unordered_result.cost:12.1f}")
     print(f"optimal cost with ORDER BY:    {ordered_result.cost:12.1f}")
@@ -59,7 +57,7 @@ def main() -> None:
         )
     print(explain(root))
 
-    sdp_result = SDPOptimizer().optimize(ordered, stats)
+    sdp_result = repro.optimize(ordered, stats=stats)
     ratio = sdp_result.cost / ordered_result.cost
     print(f"\nSDP on the ordered query: {ratio:.4f}x the optimum")
 

@@ -5,16 +5,8 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import (
-    DynamicProgrammingOptimizer,
-    JoinGraph,
-    Query,
-    SDPOptimizer,
-    analyze,
-    explain,
-    paper_schema,
-    star_joins,
-)
+import repro
+from repro import JoinGraph, Query, analyze, explain, paper_schema, star_joins
 
 
 def main() -> None:
@@ -32,8 +24,10 @@ def main() -> None:
 
     print(f"optimizing {query.label}: hub={hub}, {len(spokes)} spokes\n")
 
-    sdp = SDPOptimizer().optimize(query, stats)
-    dp = DynamicProgrammingOptimizer().optimize(query, stats)
+    # repro.optimize() is the front door: SDP by default, any registry
+    # technique by (case-insensitive) name.
+    sdp = repro.optimize(query, stats=stats)
+    dp = repro.optimize(query, technique="dp", stats=stats)
 
     print(f"{'technique':10s} {'cost':>14s} {'plans costed':>14s} {'time':>8s}")
     for result in (dp, sdp):

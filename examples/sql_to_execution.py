@@ -9,7 +9,8 @@ Run with::
     python examples/sql_to_execution.py
 """
 
-from repro import SDPOptimizer, analyze, explain, parse_sql
+import repro
+from repro import analyze, explain, parse_sql
 from repro.catalog import SchemaBuilder
 from repro.engine import Executor, materialize
 
@@ -42,7 +43,7 @@ def main() -> None:
     print(sql)
 
     query = parse_sql(database.schema, sql, label="demo")
-    result = SDPOptimizer().optimize(query, stats)
+    result = repro.optimize(query, stats=stats)
     print("SDP plan:")
     print(explain(result.tree(query)))
 

@@ -7,27 +7,33 @@ evaluation needs — a synthetic relational catalog, a PostgreSQL-style cost
 model, join-graph machinery, a skyline engine, and the full benchmark
 harness regenerating the paper's tables and figures.
 
-Quickstart::
+Quickstart — :func:`repro.optimize` is the front door::
 
-    from repro import (
-        paper_schema, analyze, Query, JoinGraph, star_joins,
-        SDPOptimizer, DynamicProgrammingOptimizer,
-    )
+    import repro
 
-    schema = paper_schema(seed=0)
-    stats = analyze(schema)
+    schema = repro.paper_schema(seed=0)
     hub = schema.largest_relation().name
     spokes = [n for n in schema.relation_names if n != hub][:9]
-    graph = JoinGraph([hub, *spokes], star_joins(schema, hub, spokes))
-    query = Query(schema, graph, label="star-10")
+    graph = repro.JoinGraph(
+        [hub, *spokes], repro.star_joins(schema, hub, spokes)
+    )
+    query = repro.Query(schema, graph, label="star-10")
 
-    sdp = SDPOptimizer().optimize(query, stats)
-    dp = DynamicProgrammingOptimizer().optimize(query, stats)
+    sdp = repro.optimize(query)                    # SDP by default
+    dp = repro.optimize(query, technique="dp")     # the optimal reference
     print(sdp.cost / dp.cost, sdp.plans_costed, dp.plans_costed)
 
-See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
-inventory.
+    traced = repro.optimize(query, trace=True)     # spans attached
+    print(traced.trace.profile())                  # per-level work table
+
+The optimizer classes (:class:`SDPOptimizer` & co.),
+:class:`RobustOptimizer` and :class:`OptimizationService` remain public
+as the low-level API for callers holding state across queries. See
+``examples/`` for runnable scenarios, ``docs/observability.md`` for
+tracing/metrics/profiling, and ``DESIGN.md`` for the system inventory.
 """
+
+from repro.api import optimize, resolve_technique
 
 from repro.catalog import (
     Column,
@@ -50,6 +56,7 @@ from repro.core import (
     IterativeImprovementOptimizer,
     Optimizer,
     OptimizerResult,
+    PlanResult,
     SDPConfig,
     SDPOptimizer,
     RandomizedConfig,
@@ -100,6 +107,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # facade
+    "optimize",
+    "resolve_technique",
+    "PlanResult",
     # catalog
     "Column",
     "Index",

@@ -72,6 +72,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(env REPRO_BENCH_WORKERS)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace every optimization and print the per-DP-level "
+        "search-profile table after each experiment (serial runs only "
+        "trace fully; worker processes run untraced)",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -127,7 +134,18 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.perf_counter()
         print(f"== {name} ==")
-        report = EXPERIMENTS[name].run(settings)
+        if args.profile:
+            # Captured per experiment so each profile table covers exactly
+            # one experiment's searches.
+            from repro.obs import capture, render_search_profile
+
+            with capture() as exporter:
+                report = EXPERIMENTS[name].run(settings)
+            report += "\n\n" + render_search_profile(
+                exporter.spans, title=f"Search profile: {name}"
+            )
+        else:
+            report = EXPERIMENTS[name].run(settings)
         print(report)
         print(f"[{name} done in {time.perf_counter() - started:.1f}s]\n")
         if args.output is not None:

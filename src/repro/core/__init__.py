@@ -20,6 +20,7 @@ overhead-accounting mechanism (:class:`SearchBudget`,
 from repro.core.base import (
     Optimizer,
     OptimizerResult,
+    PlanResult,
     SearchBudget,
     SearchCounters,
 )
@@ -43,6 +44,7 @@ from repro.core.table import JCRTable
 __all__ = [
     "Optimizer",
     "OptimizerResult",
+    "PlanResult",
     "SearchBudget",
     "SearchCounters",
     "DynamicProgrammingOptimizer",

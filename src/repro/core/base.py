@@ -24,10 +24,15 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.cost.model import DEFAULT_COST_MODEL, CostModel
 from repro.errors import OptimizationBudgetExceeded, OptimizationError, ReproError
+from repro.obs.runtime import current_tracer as _obs_tracer
+from repro.obs.runtime import enabled as _obs_enabled
+from repro.obs.runtime import metrics as _obs_metrics
+from repro.obs.trace import TraceRecording
 from repro.plans.nodes import PlanNode, build_plan_tree
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -37,6 +42,7 @@ __all__ = [
     "SearchBudget",
     "SearchCounters",
     "OptimizerResult",
+    "PlanResult",
     "Optimizer",
     "BYTES_PER_COSTED_PLAN",
     "BYTES_PER_RETAINED_PLAN",
@@ -222,6 +228,26 @@ class SearchCounters:
         return self.modeled_memory_bytes / 1e6
 
 
+@runtime_checkable
+class PlanResult(Protocol):
+    """The read-only protocol every result layer satisfies.
+
+    :class:`OptimizerResult`, :class:`~repro.service.ServiceResult` and
+    :class:`~repro.robust.RobustResult` all expose these members, so a
+    caller can consume any layer's answer without branching on which one
+    produced it: the plan, its cost, the costing effort, whether the
+    answer is degraded (fallback-ladder runs only set this), and the
+    optional trace recording.
+    """
+
+    technique: str
+    plan: PlanRecord
+    cost: float
+    plans_costed: int
+    degraded: bool
+    trace: TraceRecording | None
+
+
 @dataclass(frozen=True)
 class OptimizerResult:
     """The outcome of one ``optimize()`` call.
@@ -236,6 +262,12 @@ class OptimizerResult:
         elapsed_seconds: Wall-clock optimization time.
         jcrs_created: JCRs materialized during the search.
         jcrs_pruned: JCRs discarded by pruning (SDP) or restarts (IDP).
+        degraded: True when the plan did not come from the requested
+            technique (set by fallback-ladder results; always False for
+            direct optimizer runs) — part of the :class:`PlanResult`
+            protocol shared by every result layer.
+        trace: Span recording attached by ``repro.optimize(...,
+            trace=True)``; None on untraced runs.
     """
 
     technique: str
@@ -247,6 +279,8 @@ class OptimizerResult:
     elapsed_seconds: float
     jcrs_created: int
     jcrs_pruned: int
+    degraded: bool = False
+    trace: TraceRecording | None = None
 
     def tree(self, query: Query) -> PlanNode:
         """The plan as a public, validated tree."""
@@ -303,7 +337,71 @@ class Optimizer(ABC):
         annotated with ``plans_costed``, ``modeled_memory_mb`` and
         ``elapsed_seconds`` attributes so supervisors (e.g. the robust
         fallback ladder) can account for the aborted attempt's effort.
+
+        When observability is enabled (:func:`repro.obs.configure`), the
+        run is wrapped in an ``optimize`` span and the entry-point metrics
+        (``repro_optimizations_total``, ``repro_optimize_seconds``,
+        ``repro_plans_costed_total``) are recorded; disabled, this method
+        is byte-for-byte the untraced hot path plus one boolean check.
         """
+        if not _obs_enabled():
+            return self._optimize_impl(query, stats)
+
+        tracer = _obs_tracer()
+        registry = _obs_metrics()
+        status = "ok"
+        if tracer is None:
+            span = None
+        else:
+            span = tracer.start_span(
+                "optimize",
+                technique=self.name,
+                query=query.label,
+                relations=query.graph.n,
+            )
+        try:
+            result = self._optimize_impl(query, stats)
+        except ReproError as exc:
+            status = type(exc).__name__
+            if span is not None:
+                span.set(
+                    error=status,
+                    plans_costed=getattr(exc, "plans_costed", 0),
+                )
+                tracer.end_span(span, status="error")
+            raise
+        finally:
+            registry.counter(
+                "repro_optimizations_total",
+                "optimize() calls by technique and outcome",
+                ("technique", "status"),
+            ).inc(technique=self.name, status=status)
+        if span is not None:
+            span.set(
+                plans_costed=result.plans_costed,
+                cost=result.cost,
+                rows=result.rows,
+                modeled_memory_mb=result.modeled_memory_mb,
+            )
+            tracer.end_span(span)
+        registry.histogram(
+            "repro_optimize_seconds",
+            "wall-clock seconds per optimize() call",
+            ("technique",),
+        ).observe(result.elapsed_seconds, technique=self.name)
+        registry.counter(
+            "repro_plans_costed_total",
+            "plan alternatives costed, by technique",
+            ("technique",),
+        ).inc(result.plans_costed, technique=self.name)
+        return result
+
+    def _optimize_impl(
+        self,
+        query: Query,
+        stats: CatalogStatistics | None,
+    ) -> OptimizerResult:
+        """The untraced optimize path (see :meth:`optimize` for contract)."""
         if stats is None:
             stats = analyze(query.schema)
         timer = Timer().start()

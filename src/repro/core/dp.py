@@ -21,6 +21,8 @@ from repro.core.dpccp import csg_cmp_pairs
 from repro.core.planspace import PlanSpace
 from repro.core.table import JCRTable
 from repro.errors import OptimizationError
+from repro.obs.runtime import current_tracer
+from repro.obs.trace import maybe_span
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
 from repro.util.timer import Timer
@@ -43,28 +45,53 @@ class DynamicProgrammingOptimizer(Optimizer):
         graph = query.graph
         space = PlanSpace(query, stats, self.cost_model, counters)
         table = JCRTable(space.est)
-        for index in range(graph.n):
-            space.base_jcr(table, index)
+        tracer = current_tracer()
+        with maybe_span(tracer, "dp.level", level=1) as span:
+            costed_before = counters.plans_costed
+            for index in range(graph.n):
+                space.base_jcr(table, index)
+            span.set(
+                subsets=graph.n,
+                plans_costed=counters.plans_costed - costed_before,
+            )
         if graph.n == 1:
             return space.finalize(table.require(graph.all_mask))
 
-        neighbors = [graph.neighbor_mask(i) for i in range(graph.n)]
-        buckets: dict[int, list[tuple[int, int]]] = {}
-        for s1, s2 in csg_cmp_pairs(neighbors):
-            counters.note_pairs()
-            buckets.setdefault((s1 | s2).bit_count(), []).append((s1, s2))
+        with maybe_span(tracer, "dp.enumerate") as span:
+            neighbors = [graph.neighbor_mask(i) for i in range(graph.n)]
+            buckets: dict[int, list[tuple[int, int]]] = {}
+            for s1, s2 in csg_cmp_pairs(neighbors):
+                counters.note_pairs()
+                buckets.setdefault((s1 | s2).bit_count(), []).append((s1, s2))
+            span.set(
+                pairs=sum(len(pairs) for pairs in buckets.values()),
+                levels=len(buckets),
+            )
 
         for level in sorted(buckets):
-            for s1, s2 in buckets[level]:
-                left = table.get(s1)
-                right = table.get(s2)
-                if left is None or right is None:
-                    raise OptimizationError(
-                        "DP enumeration order violated: missing sub-JCR"
+            pairs = buckets[level]
+            with maybe_span(tracer, "dp.level", level=level) as span:
+                costed_before = counters.plans_costed
+                for s1, s2 in pairs:
+                    left = table.get(s1)
+                    right = table.get(s2)
+                    if left is None or right is None:
+                        raise OptimizationError(
+                            "DP enumeration order violated: missing sub-JCR"
+                        )
+                    space.join(table, left, right)
+                if tracer is not None:
+                    span.set(
+                        pairs=len(pairs),
+                        subsets=len(table.level(level)),
+                        plans_costed=counters.plans_costed - costed_before,
                     )
-                space.join(table, left, right)
 
         full = table.get(graph.all_mask)
         if full is None:
             raise OptimizationError("DP failed to build a complete plan")
-        return space.finalize(full)
+        with maybe_span(tracer, "dp.finalize") as span:
+            costed_before = counters.plans_costed
+            record = space.finalize(full)
+            span.set(plans_costed=counters.plans_costed - costed_before)
+        return record

@@ -37,6 +37,8 @@ from repro.core.planspace import PlanSpace
 from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
+from repro.obs.runtime import current_tracer
+from repro.obs.trace import maybe_span
 from repro.plans.jcr import JCR
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -116,47 +118,82 @@ class IDPOptimizer(Optimizer):
     ) -> PlanRecord:
         graph = query.graph
         space = PlanSpace(query, stats, self.cost_model, counters)
+        tracer = current_tracer()
 
         seed_table = JCRTable(space.est)
-        nodes: list[JCR] = [
-            space.base_jcr(seed_table, index) for index in range(graph.n)
-        ]
+        with maybe_span(tracer, "idp.level", level=1) as span:
+            costed_before = counters.plans_costed
+            nodes: list[JCR] = [
+                space.base_jcr(seed_table, index) for index in range(graph.n)
+            ]
+            span.set(
+                built=graph.n,
+                plans_costed=counters.plans_costed - costed_before,
+            )
         if graph.n == 1:
             return space.finalize(nodes[0])
 
+        iteration = 0
         while True:
+            iteration += 1
             node_count = len(nodes)
             block = self._block_size(node_count)
 
-            table = JCRTable(space.est)
-            for node in nodes:
-                table.insert(node)
-            node_levels: dict[int, list[JCR]] = {1: list(nodes)}
-            node_level_of: dict[int, int] = {node.mask: 1 for node in nodes}
+            with maybe_span(
+                tracer, "idp.iteration",
+                iteration=iteration, nodes=node_count, block=block,
+            ):
+                table = JCRTable(space.est)
+                for node in nodes:
+                    table.insert(node)
+                node_levels: dict[int, list[JCR]] = {1: list(nodes)}
+                node_level_of: dict[int, int] = {
+                    node.mask: 1 for node in nodes
+                }
 
-            for level in range(2, block + 1):
-                created: list[JCR] = []
-                for a, b in level_pairs(node_levels, level, graph, counters):
-                    jcr = space.join(table, a, b)
-                    if jcr is not None and jcr.mask not in node_level_of:
-                        node_level_of[jcr.mask] = level
-                        created.append(jcr)
-                node_levels[level] = created
+                for level in range(2, block + 1):
+                    with maybe_span(
+                        tracer, "idp.level", level=level
+                    ) as span:
+                        costed_before = counters.plans_costed
+                        pairs_before = counters.enumerated_pairs
+                        created: list[JCR] = []
+                        for a, b in level_pairs(
+                            node_levels, level, graph, counters
+                        ):
+                            jcr = space.join(table, a, b)
+                            if jcr is not None and jcr.mask not in node_level_of:
+                                node_level_of[jcr.mask] = level
+                                created.append(jcr)
+                        node_levels[level] = created
+                        span.set(
+                            pairs=counters.enumerated_pairs - pairs_before,
+                            built=len(created),
+                            plans_costed=counters.plans_costed - costed_before,
+                        )
 
-            if block == node_count:
-                full = table.get(graph.all_mask)
-                if full is None:
-                    raise OptimizationError("IDP failed to build a complete plan")
-                return space.finalize(full)
+                if block == node_count:
+                    full = table.get(graph.all_mask)
+                    if full is None:
+                        raise OptimizationError(
+                            "IDP failed to build a complete plan"
+                        )
+                    return space.finalize(full)
 
-            winner = self._select(
-                node_levels.get(block, []), nodes, space, table
-            )
-            nodes = [winner] + [
-                node for node in nodes if not node.mask & winner.mask
-            ]
-            carried = sum(len(node.plans) for node in nodes)
-            counters.reset_arena(carried * BYTES_PER_RETAINED_PLAN)
+                with maybe_span(tracer, "idp.select") as span:
+                    costed_before = counters.plans_costed
+                    candidates = node_levels.get(block, [])
+                    winner = self._select(candidates, nodes, space, table)
+                    span.set(
+                        candidates=len(candidates),
+                        winner_mask=hex(winner.mask),
+                        plans_costed=counters.plans_costed - costed_before,
+                    )
+                nodes = [winner] + [
+                    node for node in nodes if not node.mask & winner.mask
+                ]
+                carried = sum(len(node.plans) for node in nodes)
+                counters.reset_arena(carried * BYTES_PER_RETAINED_PLAN)
 
     # -- block sizing -----------------------------------------------------------------
 

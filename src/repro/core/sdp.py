@@ -47,6 +47,8 @@ from repro.core.planspace import PlanSpace
 from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
+from repro.obs.runtime import current_tracer
+from repro.obs.trace import maybe_span
 from repro.plans.jcr import JCR
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -162,8 +164,16 @@ class SDPOptimizer(Optimizer):
         graph = query.graph
         space = PlanSpace(query, stats, self.cost_model, counters)
         table = JCRTable(space.est)
-        for index in range(graph.n):
-            space.base_jcr(table, index)
+        tracer = current_tracer()
+        with maybe_span(tracer, "sdp.level", level=1) as span:
+            costed_before = counters.plans_costed
+            for index in range(graph.n):
+                space.base_jcr(table, index)
+            span.set(
+                built=graph.n,
+                survivors=graph.n,
+                plans_costed=counters.plans_costed - costed_before,
+            )
         n = graph.n
         if n == 1:
             return space.finalize(table.require(graph.all_mask))
@@ -173,28 +183,44 @@ class SDPOptimizer(Optimizer):
 
         levels: dict[int, list[JCR]] = {1: list(table.level(1))}
         for level in range(2, n + 1):
-            for a, b in level_pairs(levels, level, graph, counters):
-                space.join(table, a, b)
-            built = list(table.level(level))
-            if level <= n - 2 and built:
-                survivors = self._prune(
-                    built,
-                    level,
-                    levels,
-                    graph,
-                    root_hub_masks,
-                    order_relation_masks,
+            with maybe_span(tracer, "sdp.level", level=level) as span:
+                costed_before = counters.plans_costed
+                pairs_before = counters.enumerated_pairs
+                for a, b in level_pairs(levels, level, graph, counters):
+                    space.join(table, a, b)
+                built = list(table.level(level))
+                built_count = len(built)
+                if level <= n - 2 and built:
+                    survivors = self._prune(
+                        built,
+                        level,
+                        levels,
+                        graph,
+                        root_hub_masks,
+                        order_relation_masks,
+                        tracer,
+                    )
+                    if len(survivors) != len(built):
+                        pruned = table.replace_level(level, survivors)
+                        counters.note_jcrs_pruned(pruned)
+                    built = survivors
+                levels[level] = built
+                span.set(
+                    pairs=counters.enumerated_pairs - pairs_before,
+                    built=built_count,
+                    survivors=len(built),
+                    pruned=built_count - len(built),
+                    plans_costed=counters.plans_costed - costed_before,
                 )
-                if len(survivors) != len(built):
-                    pruned = table.replace_level(level, survivors)
-                    counters.note_jcrs_pruned(pruned)
-                built = survivors
-            levels[level] = built
 
         full = table.get(graph.all_mask)
         if full is None:
             raise OptimizationError("SDP failed to build a complete plan")
-        return space.finalize(full)
+        with maybe_span(tracer, "sdp.finalize") as span:
+            costed_before = counters.plans_costed
+            record = space.finalize(full)
+            span.set(plans_costed=counters.plans_costed - costed_before)
+        return record
 
     # -- pruning -----------------------------------------------------------------
 
@@ -224,6 +250,7 @@ class SDPOptimizer(Optimizer):
         graph,
         root_hub_masks: list[int],
         order_relation_masks: list[int],
+        tracer=None,
     ) -> list[JCR]:
         """Apply the SDP pruning filter to one level's JCRs."""
         if self.config.partitioning == "either":
@@ -232,7 +259,7 @@ class SDPOptimizer(Optimizer):
                 for mode in ("root", "parent")
                 for jcr in self._prune_mode(
                     built, level, levels, graph, root_hub_masks,
-                    order_relation_masks, mode,
+                    order_relation_masks, mode, tracer,
                 )
             }
             return [jcr for jcr in built if jcr.mask in keep]
@@ -244,6 +271,7 @@ class SDPOptimizer(Optimizer):
             root_hub_masks,
             order_relation_masks,
             self.config.partitioning,
+            tracer,
         )
 
     def _prune_mode(
@@ -255,72 +283,116 @@ class SDPOptimizer(Optimizer):
         root_hub_masks: list[int],
         order_relation_masks: list[int],
         mode: str,
+        tracer=None,
     ) -> list[JCR]:
         """One partitioning mode's pruning pass."""
-        if mode == "global":
-            prune_group = built
-            partitions: dict[int, list[JCR]] = {-1: built}
-            free_group: list[JCR] = []
-        else:
-            parents = self._hub_parent_masks(
-                level, levels, graph, root_hub_masks, mode
-            )
-            if not parents:
-                return built  # no hub available at this level: no pruning
-            partitions = {}
-            prune_set: set[int] = set()
-            for parent in parents:
-                members = [jcr for jcr in built if jcr.mask & parent == parent]
-                if members:
-                    partitions[parent] = members
-                    prune_set.update(jcr.mask for jcr in members)
-            if not partitions:
-                return built
-            prune_group = [jcr for jcr in built if jcr.mask in prune_set]
-            free_group = [jcr for jcr in built if jcr.mask not in prune_set]
+        with maybe_span(tracer, "sdp.prune", level=level, mode=mode) as span:
+            if mode == "global":
+                prune_group = built
+                partitions: dict[int, list[JCR]] = {-1: built}
+                free_group: list[JCR] = []
+            else:
+                parents = self._hub_parent_masks(
+                    level, levels, graph, root_hub_masks, mode
+                )
+                if not parents:
+                    # no hub available at this level: no pruning
+                    span.set(
+                        prune_group=0,
+                        free_group=len(built),
+                        survivors=len(built),
+                    )
+                    return built
+                partitions = {}
+                prune_set: set[int] = set()
+                for parent in parents:
+                    members = [
+                        jcr for jcr in built if jcr.mask & parent == parent
+                    ]
+                    if members:
+                        partitions[parent] = members
+                        prune_set.update(jcr.mask for jcr in members)
+                if not partitions:
+                    span.set(
+                        prune_group=0,
+                        free_group=len(built),
+                        survivors=len(built),
+                    )
+                    return built
+                prune_group = [jcr for jcr in built if jcr.mask in prune_set]
+                free_group = [jcr for jcr in built if jcr.mask not in prune_set]
 
-        # A PruneGroup JCR must survive the skyline in every partition it
-        # belongs to (Section 2.1.3).
-        failed: set[int] = set()
-        for members in partitions.values():
-            if len(members) <= 1:
-                continue
-            surviving = self._skyline([jcr.feature_vector() for jcr in members])
-            for position, jcr in enumerate(members):
-                if position not in surviving:
-                    failed.add(jcr.mask)
-
-        # Interesting-order partitions rescue JCRs that can later combine
-        # with order-producing relations (Section 2.1.4).
-        rescued: set[int] = set()
-        if self.config.order_partitions and mode != "global":
-            for relation_mask in order_relation_masks:
-                members = [jcr for jcr in prune_group if not jcr.mask & relation_mask]
-                if not members:
+            # A PruneGroup JCR must survive the skyline in every partition it
+            # belongs to (Section 2.1.3).
+            failed: set[int] = set()
+            kept_per_partition: dict[int, int] = {}
+            for parent, members in partitions.items():
+                if len(members) <= 1:
+                    kept_per_partition[parent] = len(members)
                     continue
-                surviving = self._skyline([jcr.feature_vector() for jcr in members])
-                rescued.update(members[position].mask for position in surviving)
+                surviving = self._skyline(
+                    [jcr.feature_vector() for jcr in members]
+                )
+                kept_per_partition[parent] = len(surviving)
+                for position, jcr in enumerate(members):
+                    if position not in surviving:
+                        failed.add(jcr.mask)
 
-        survivors = list(free_group)
-        survivors.extend(
-            jcr
-            for jcr in prune_group
-            if jcr.mask not in failed or jcr.mask in rescued
-        )
-        if self.trace is not None:
-            self.trace(
-                {
-                    "level": level,
-                    "built": len(built),
-                    "prune_group": len(prune_group),
-                    "free_group": len(free_group),
-                    "partitions": {
-                        key: len(members) for key, members in partitions.items()
-                    },
-                    "survivors": len(survivors),
-                }
+            # Interesting-order partitions rescue JCRs that can later combine
+            # with order-producing relations (Section 2.1.4).
+            rescued: set[int] = set()
+            if self.config.order_partitions and mode != "global":
+                for relation_mask in order_relation_masks:
+                    members = [
+                        jcr for jcr in prune_group
+                        if not jcr.mask & relation_mask
+                    ]
+                    if not members:
+                        continue
+                    surviving = self._skyline(
+                        [jcr.feature_vector() for jcr in members]
+                    )
+                    rescued.update(
+                        members[position].mask for position in surviving
+                    )
+
+            survivors = list(free_group)
+            survivors.extend(
+                jcr
+                for jcr in prune_group
+                if jcr.mask not in failed or jcr.mask in rescued
             )
-        return survivors
+            if self.trace is not None:
+                self.trace(
+                    {
+                        "level": level,
+                        "built": len(built),
+                        "prune_group": len(prune_group),
+                        "free_group": len(free_group),
+                        "partitions": {
+                            key: len(members)
+                            for key, members in partitions.items()
+                        },
+                        "survivors": len(survivors),
+                    }
+                )
+            span.set(
+                prune_group=len(prune_group),
+                free_group=len(free_group),
+                survivors=len(survivors),
+                rescued=len(rescued),
+            )
+            if tracer is not None:
+                span.set(
+                    partitions={
+                        (hex(key) if key >= 0 else "global"): {
+                            "members": len(members),
+                            "kept": kept_per_partition.get(key, len(members)),
+                        }
+                        for key, members in partitions.items()
+                    }
+                )
+            return survivors
 
     def _skyline(self, vectors: list[tuple[float, float, float]]) -> set[int]:
         if self.config.skyline_option == 2:

@@ -95,3 +95,11 @@ class BenchmarkError(ReproError):
 
 class ServiceError(ReproError):
     """The optimization service was misused or misconfigured."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer (``repro.obs``) was misused or misconfigured.
+
+    Raised for invalid metric names, label mismatches, or conflicting
+    instrument registrations — never from the disabled no-op path.
+    """

@@ -1,0 +1,97 @@
+"""``repro.obs`` — zero-dependency observability for the optimizer stack.
+
+Three layers, all off by default and no-op-cheap until
+:func:`configure` flips them on:
+
+* **Tracing** (:mod:`repro.obs.trace`) — hierarchical :class:`Span` trees
+  with monotonic timing and structured attributes, emitted by the
+  instrumented optimizers (per-DP-level work), the robust fallback ladder
+  (one span per rung) and the serving layer (cache hits, batch cells).
+  Finished spans flow to a ring-buffered :class:`InMemorySpanExporter` or
+  an append-only :class:`JsonlSpanExporter`.
+* **Metrics** (:mod:`repro.obs.metrics`) — labelled :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments in a
+  :class:`MetricsRegistry` with dict snapshots and Prometheus text
+  rendering; the plan cache, fault harness and optimizer entry points all
+  publish here.
+* **Profiling** (:mod:`repro.obs.profile`) — aggregates level spans into
+  the per-level enumeration-work table behind ``sdp-bench --profile`` and
+  ``TraceRecording.profile()``.
+
+Quick capture of one run::
+
+    import repro, repro.obs as obs
+
+    with obs.capture() as exporter:
+        result = repro.SDPOptimizer().optimize(query, stats)
+    print(obs.render_span_tree(exporter.spans))
+    print(obs.render_search_profile(exporter.spans))
+
+or let the facade do it: ``repro.optimize(query, trace=True).trace``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    LevelProfile,
+    explain_trace,
+    render_search_profile,
+    search_profile,
+)
+from repro.obs.runtime import (
+    capture,
+    configure,
+    current_tracer,
+    disable,
+    enabled,
+    metrics,
+    reset,
+)
+from repro.obs.trace import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    Span,
+    TraceRecording,
+    Tracer,
+    maybe_span,
+    render_span_tree,
+    span_children,
+    span_roots,
+)
+
+__all__ = [
+    # runtime
+    "configure",
+    "disable",
+    "enabled",
+    "current_tracer",
+    "metrics",
+    "capture",
+    "reset",
+    # tracing
+    "Span",
+    "Tracer",
+    "TraceRecording",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "maybe_span",
+    "span_children",
+    "span_roots",
+    "render_span_tree",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    # profiling
+    "LevelProfile",
+    "search_profile",
+    "render_search_profile",
+    "explain_trace",
+]

@@ -1,0 +1,312 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The serving layer previously counted its traffic in ad-hoc structs
+(``CacheStats``) and the fault harness in local state. This module gives
+every layer one vocabulary — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, all optionally labelled — collected in a
+:class:`MetricsRegistry` that snapshots to plain dicts and renders
+Prometheus-style exposition text, so an operator can scrape the optimizer
+like any other service.
+
+Instruments are get-or-create by name (:meth:`MetricsRegistry.counter`
+et al.), so call sites do not coordinate registration order. Label values
+are stringified; a labelled instrument must be updated with exactly its
+declared label names.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: wide enough for microsecond cache hits and
+#: minute-scale exhaustive DP runs alike (seconds).
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    math.inf,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping (backslash, quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+class _Instrument:
+    """Shared naming/labelling machinery for all instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ObservabilityError(
+                f"metric name must be alphanumeric/underscore, got {name!r}"
+            )
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_suffix(self, key: tuple[str, ...]) -> str:
+        if not self.labelnames:
+            return ""
+        pairs = ",".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, key)
+        )
+        return "{" + pairs + "}"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, plans costed, hits)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def snapshot(self) -> dict[tuple[str, ...], float]:
+        return dict(self._values)
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._label_suffix(key)} {value:g}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (cache size, epoch, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def snapshot(self) -> dict[tuple[str, ...], float]:
+        return dict(self._values)
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._label_suffix(key)} {value:g}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Bucketed observations with sum and count (latencies, work sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be sorted, got {bounds}"
+            )
+        if not bounds or bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+        # Per label set: ([per-bucket counts], sum, count).
+        self._series: dict[tuple[str, ...], list] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * len(self.buckets), 0.0, 0]
+            self._series[key] = series
+        counts, _, _ = series
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        series[1] += value
+        series[2] += 1
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(self._key(labels))
+        return series[2] if series is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(self._key(labels))
+        return series[1] if series is not None else 0.0
+
+    def snapshot(self) -> dict[tuple[str, ...], dict[str, Any]]:
+        return {
+            key: {
+                "buckets": dict(zip(self.buckets, counts)),
+                "sum": total,
+                "count": count,
+            }
+            for key, (counts, total, count) in self._series.items()
+        }
+
+    def render(self) -> list[str]:
+        lines: list[str] = []
+        for key, (counts, total, count) in sorted(self._series.items()):
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                le = "+Inf" if bound == math.inf else f"{bound:g}"
+                pairs = [
+                    f'{name}="{_escape_label_value(value)}"'
+                    for name, value in zip(self.labelnames, key)
+                ]
+                pairs.append(f'le="{le}"')
+                lines.append(
+                    f"{self.name}_bucket{{{','.join(pairs)}}} {cumulative}"
+                )
+            suffix = self._label_suffix(key)
+            lines.append(f"{self.name}_sum{suffix} {total:g}")
+            lines.append(f"{self.name}_count{suffix} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named collection of instruments with snapshot + exposition rendering."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {cls.kind}"
+            )
+        if tuple(labelnames) != instrument.labelnames:
+            raise ObservabilityError(
+                f"metric {name!r} registered with labels "
+                f"{instrument.labelnames}, requested {tuple(labelnames)}"
+            )
+        return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Instrument | None:
+        """The registered instrument, or None (no implicit creation)."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-dict view of every instrument's current series."""
+        return {
+            name: {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "labelnames": instrument.labelnames,
+                "values": instrument.snapshot(),
+            }
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per instrument)."""
+        blocks: list[str] = []
+        for name, instrument in sorted(self._instruments.items()):
+            lines = [f"# HELP {name} {instrument.help}".rstrip()]
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            lines.extend(instrument.render())
+            blocks.append("\n".join(lines))
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh capture windows)."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments

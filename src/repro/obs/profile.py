@@ -1,0 +1,178 @@
+"""Search profiler: turn a span collection into a per-level work table.
+
+The paper's overhead tables (1.2, 1.4, 3.2, 3.3) report *end-of-run*
+scalars; the interesting dynamics — how enumeration work and skyline
+pruning distribute over DP levels — happen inside the search. The
+per-level spans emitted by the instrumented optimizers (``dp.level``,
+``sdp.level``, ``idp.level``) carry exactly that work: pairs enumerated,
+JCRs built, skyline survivors, plans costed, wall-clock. This module
+aggregates them into :class:`LevelProfile` rows and renders the
+paper-style plain-text table behind ``sdp-bench --profile`` and
+``TraceRecording.profile()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Span, render_span_tree
+from repro.util.tables import TextTable
+
+__all__ = [
+    "LevelProfile",
+    "search_profile",
+    "render_search_profile",
+    "explain_trace",
+]
+
+#: Span names that describe one search level's work.
+LEVEL_SPAN_SUFFIX = ".level"
+
+#: Attributes summed across runs into the profile rows.
+_SUMMED = ("pairs", "subsets", "built", "survivors", "pruned", "plans_costed")
+
+
+@dataclass
+class LevelProfile:
+    """Aggregated enumeration work for one (technique, level) cell.
+
+    Counts are summed over every traced run of that technique in the span
+    collection; ``runs`` says how many optimize calls contributed, so
+    per-run averages are one division away.
+    """
+
+    technique: str
+    level: int
+    runs: int = 0
+    seconds: float = 0.0
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def total(self, key: str) -> int | None:
+        """Summed attribute value, or None when no span carried it."""
+        return self.totals.get(key)
+
+
+def _technique_of(span: Span, by_id: dict[int, Span]) -> str:
+    """The technique owning ``span``: nearest ancestor optimize-like span."""
+    current: Span | None = span
+    while current is not None:
+        technique = current.attributes.get("technique")
+        if technique is not None:
+            return str(technique)
+        parent = current.parent_id
+        current = by_id.get(parent) if parent is not None else None
+    return "?"
+
+
+def _optimize_ancestor(span: Span, by_id: dict[int, Span]) -> int | None:
+    """Span id of the enclosing ``optimize`` span, if any."""
+    current: Span | None = span
+    while current is not None:
+        if current.name == "optimize":
+            return current.span_id
+        parent = current.parent_id
+        current = by_id.get(parent) if parent is not None else None
+    return None
+
+
+def search_profile(spans) -> list[LevelProfile]:
+    """Aggregate level spans into per-(technique, level) profile rows.
+
+    Accepts any iterable of finished spans (an exporter's ``spans``, a
+    :class:`~repro.obs.trace.TraceRecording`, a raw list). Rows come back
+    sorted by technique then level.
+    """
+    spans = list(spans)
+    by_id = {span.span_id: span for span in spans}
+    cells: dict[tuple[str, int], LevelProfile] = {}
+    contributing: dict[tuple[str, int], set[int | None]] = {}
+
+    for span in spans:
+        if not span.name.endswith(LEVEL_SPAN_SUFFIX):
+            continue
+        level = span.attributes.get("level")
+        if level is None:
+            continue
+        technique = _technique_of(span, by_id)
+        key = (technique, int(level))
+        cell = cells.get(key)
+        if cell is None:
+            cell = LevelProfile(technique=technique, level=int(level))
+            cells[key] = cell
+            contributing[key] = set()
+        cell.seconds += span.duration_seconds
+        for name in _SUMMED:
+            value = span.attributes.get(name)
+            if value is not None:
+                cell.totals[name] = cell.totals.get(name, 0) + int(value)
+        contributing[key].add(_optimize_ancestor(span, by_id))
+
+    for key, cell in cells.items():
+        cell.runs = len(contributing[key])
+    return [cells[key] for key in sorted(cells)]
+
+
+def render_search_profile(spans, title: str | None = None) -> str:
+    """The per-level enumeration-work table for a span collection.
+
+    One row per (technique, DP level): pairs enumerated, JCRs built,
+    skyline survivors and pruned counts (SDP only — DP keeps everything),
+    plans costed, and summed wall-clock. Cross-check against the paper's
+    Tables 5.x per-level narratives.
+    """
+    rows = search_profile(spans)
+    if not rows:
+        return "(no level spans recorded — was the run traced?)"
+    table = TextTable(
+        [
+            "Technique",
+            "Level",
+            "Runs",
+            "Pairs",
+            "Built",
+            "Survivors",
+            "Pruned",
+            "Plans costed",
+            "Time (s)",
+        ],
+        title=title or "Search profile (per DP level, summed over runs)",
+    )
+
+    def cell(row: LevelProfile, key: str) -> str:
+        value = row.total(key)
+        return f"{value:,}" if value is not None else "-"
+
+    previous = None
+    for row in rows:
+        if previous is not None and row.technique != previous:
+            table.add_separator()
+        previous = row.technique
+        table.add_row(
+            [
+                row.technique,
+                row.level,
+                row.runs,
+                cell(row, "pairs"),
+                cell(row, "built") if row.total("built") is not None
+                else cell(row, "subsets"),
+                cell(row, "survivors"),
+                cell(row, "pruned"),
+                cell(row, "plans_costed"),
+                f"{row.seconds:.4f}",
+            ]
+        )
+    return table.render()
+
+
+def explain_trace(trace) -> str:
+    """Render a span tree from a recording, an exporter, or a result.
+
+    Accepts a :class:`~repro.obs.trace.TraceRecording`, anything with a
+    ``spans`` attribute (exporters), an optimizer result carrying a
+    ``trace``, or a plain span iterable.
+    """
+    inner = getattr(trace, "trace", None)
+    if inner is not None:
+        trace = inner
+    spans = getattr(trace, "spans", trace)
+    return render_span_tree(list(spans))

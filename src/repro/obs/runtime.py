@@ -1,0 +1,134 @@
+"""Module-level observability state: one switch, one tracer, one registry.
+
+Instrumentation points across the repository (optimizer base class, DP/SDP
+level loops, the robust ladder, the serving layer) all consult this module
+and nothing else:
+
+* :func:`enabled` — the single boolean guard. When False (the default),
+  every hook degrades to one function call and an early return, preserving
+  the hot-path numbers tracked in ``BENCH_optimize.json``.
+* :func:`current_tracer` — the installed :class:`~repro.obs.trace.Tracer`,
+  or None when observability is off.
+* :func:`metrics` — the global :class:`~repro.obs.metrics.MetricsRegistry`.
+
+State changes go through :func:`configure` (or the :func:`capture` context
+manager, which installs a fresh in-memory world and restores the previous
+one on exit — what ``repro.optimize(..., trace=True)`` and ``sdp-bench
+--profile`` use).
+
+Worker processes spawned by ``optimize_many`` start with observability
+disabled: the state is process-local by design, so parallel batches stay
+byte-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import InMemorySpanExporter, Tracer
+
+__all__ = [
+    "configure",
+    "disable",
+    "enabled",
+    "current_tracer",
+    "metrics",
+    "capture",
+    "reset",
+]
+
+_lock = threading.Lock()
+_enabled = False
+_tracer: Tracer | None = None
+_registry = MetricsRegistry()
+
+
+def configure(
+    enabled: bool = True,
+    tracer: Tracer | None = None,
+    exporter=None,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Install observability state.
+
+    Args:
+        enabled: Master switch. False makes every hook a cheap no-op.
+        tracer: Tracer to install; mutually exclusive with ``exporter``.
+        exporter: Convenience — wrap this exporter in a fresh tracer.
+        registry: Replacement metrics registry (the global one otherwise).
+
+    ``configure(enabled=True)`` with no tracer installs a default tracer
+    over a ring-buffered in-memory exporter, so enabling always yields a
+    place for spans to go.
+    """
+    global _enabled, _tracer, _registry
+    with _lock:
+        if registry is not None:
+            _registry = registry
+        if tracer is not None:
+            _tracer = tracer
+        elif exporter is not None:
+            _tracer = Tracer(exporter)
+        elif enabled and _tracer is None:
+            _tracer = Tracer(InMemorySpanExporter())
+        _enabled = bool(enabled)
+
+
+def disable() -> None:
+    """Turn every observability hook back into a no-op."""
+    global _enabled
+    with _lock:
+        _enabled = False
+
+
+def enabled() -> bool:
+    """Whether observability hooks should record anything."""
+    return _enabled
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or None when observability is disabled."""
+    return _tracer if _enabled else None
+
+
+def metrics() -> MetricsRegistry:
+    """The global metrics registry (always exists, even when disabled)."""
+    return _registry
+
+
+def reset() -> None:
+    """Back to the pristine state: disabled, no tracer, empty registry."""
+    global _enabled, _tracer, _registry
+    with _lock:
+        _enabled = False
+        _tracer = None
+        _registry = MetricsRegistry()
+
+
+@contextmanager
+def capture(
+    capacity: int = 65536, registry: MetricsRegistry | None = None
+) -> Iterator[InMemorySpanExporter]:
+    """Temporarily enable observability into a fresh in-memory exporter.
+
+    Yields the exporter (``exporter.spans`` afterwards holds the recorded
+    spans); the previous enabled/tracer/registry state is restored on
+    exit, so captures nest and never leak into steady-state serving. The
+    window gets its own fresh registry unless ``registry`` is supplied —
+    read ``metrics()`` inside the block (or pass a registry to keep).
+    """
+    global _enabled, _tracer, _registry
+    exporter = InMemorySpanExporter(capacity)
+    with _lock:
+        prior = (_enabled, _tracer, _registry)
+        _tracer = Tracer(exporter)
+        _registry = registry if registry is not None else MetricsRegistry()
+        _enabled = True
+    try:
+        yield exporter
+    finally:
+        with _lock:
+            _enabled, _tracer, _registry = prior

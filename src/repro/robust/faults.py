@@ -33,6 +33,7 @@ from typing import Iterator
 from repro.catalog.statistics import CatalogStatistics, TableStats
 from repro.core.base import Optimizer, SearchCounters
 from repro.errors import FaultInjected, OptimizationBudgetExceeded
+from repro.obs.runtime import enabled as _obs_enabled, metrics as _obs_metrics
 from repro.util.rng import derive_rng
 
 __all__ = [
@@ -41,6 +42,16 @@ __all__ = [
     "FaultyCostModel",
     "FaultHarness",
 ]
+
+
+def _note_fault(kind: str) -> None:
+    """Count one injected fault in the metrics registry (when enabled)."""
+    if _obs_enabled():
+        _obs_metrics().counter(
+            "repro_faults_injected_total",
+            "Synthetic faults injected by the fault harness, by kind.",
+            ("kind",),
+        ).inc(kind=kind)
 
 
 class CostModelFault(FaultInjected):
@@ -89,6 +100,7 @@ class FaultyCostModel:
         state["_reads"] += 1
         offset = state["_reads"] - state["_fail_after"]
         if 0 <= offset < state["_fail_count"]:
+            _note_fault("cost-model")
             raise CostModelFault(
                 f"injected cost-model fault on read #{state['_reads']} "
                 f"of {name!r}"
@@ -146,6 +158,7 @@ class FaultHarness:
                 prior(counters)
             if not state["tripped"] and counters.total_events >= at_event:
                 state["tripped"] = True
+                _note_fault("budget-trip")
                 raise InjectedBudgetExceeded(
                     resource, at_event, counters.total_events
                 )
@@ -206,6 +219,7 @@ class FaultHarness:
             raise ValueError(f"unknown perturbation mode {mode!r}")
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        _note_fault(f"stats-{mode}")
         rng = derive_rng(self.seed, "stats", mode)
         names = sorted(stats.table_names)
         count = max(1, math.ceil(fraction * len(names)))

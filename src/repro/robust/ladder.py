@@ -41,6 +41,8 @@ from repro.errors import (
     OptimizationError,
     ReproError,
 )
+from repro.obs.runtime import current_tracer, enabled as _obs_enabled, metrics
+from repro.obs.trace import maybe_span
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
 from repro.robust.deadline import Deadline
@@ -140,12 +142,12 @@ class RobustResult(OptimizerResult):
     Attributes:
         attempts: Every stage tried, in ladder order (the last is the
             winner).
-        degraded: True when the plan did not come from the first rung.
+        degraded: Inherited — True when the plan did not come from the
+            first rung.
         winner: Technique name that produced the plan.
     """
 
     attempts: tuple[Attempt, ...] = ()
-    degraded: bool = False
     winner: str = ""
 
     @property
@@ -239,92 +241,156 @@ class RobustOptimizer(Optimizer):
         plans_spent = 0
         peak_memory_mb = 0.0
         last = len(self.ladder) - 1
+        observing = _obs_enabled()
+        tracer = current_tracer() if observing else None
+        rung_counter = (
+            metrics().counter(
+                "repro_robust_rungs_total",
+                "Fallback-ladder rung executions by technique and outcome.",
+                ("technique", "outcome"),
+            )
+            if observing
+            else None
+        )
 
-        for position, technique in enumerate(self.ladder):
-            stage_budget = self._stage_budget(
-                deadline, plans_spent, terminal=position == last
-            )
-            if isinstance(stage_budget, str):
-                attempts.append(
-                    Attempt(
-                        technique,
-                        SKIPPED,
-                        stage_budget,
-                        0.0,
-                        0,
-                        f"overall {stage_budget} budget exhausted before stage",
-                    )
-                )
-                continue
-            optimizer = make_optimizer(
-                technique, budget=stage_budget, cost_model=self.cost_model
-            )
-            optimizer.checkpoint = self.checkpoint
-            try:
-                result = optimizer.optimize(query, stats)
-            except OptimizationCancelled:
-                raise
-            except OptimizationBudgetExceeded as exc:
-                plans_spent += getattr(exc, "plans_costed", 0)
-                peak_memory_mb = max(
-                    peak_memory_mb, getattr(exc, "modeled_memory_mb", 0.0)
-                )
-                attempts.append(
-                    Attempt(
-                        technique,
-                        BUDGET_EXCEEDED,
-                        exc.resource,
-                        getattr(exc, "elapsed_seconds", 0.0),
-                        getattr(exc, "plans_costed", 0),
-                        str(exc),
-                    )
-                )
-                continue
-            except ReproError as exc:
-                plans_spent += getattr(exc, "plans_costed", 0)
-                peak_memory_mb = max(
-                    peak_memory_mb, getattr(exc, "modeled_memory_mb", 0.0)
-                )
-                attempts.append(
-                    Attempt(
-                        technique,
-                        ERROR,
-                        None,
-                        getattr(exc, "elapsed_seconds", 0.0),
-                        getattr(exc, "plans_costed", 0),
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                )
-                if position == last:
-                    error = OptimizationError(
-                        f"every rung of the fallback ladder failed for "
-                        f"{query.label!r}: "
-                        + "; ".join(a.describe() for a in attempts)
-                    )
-                    error.attempts = tuple(attempts)
-                    raise error from exc
-                continue
+        def _note_rung(span, technique: str, outcome: str, **attrs) -> None:
+            span.set(outcome=outcome, **attrs)
+            if rung_counter is not None:
+                rung_counter.inc(technique=technique, outcome=outcome)
 
-            plans_spent += result.plans_costed
-            attempts.append(
-                Attempt(
-                    technique, OK, None, result.elapsed_seconds, result.plans_costed
-                )
-            )
-            return RobustResult(
-                technique=f"Robust({result.technique})",
-                plan=result.plan,
-                cost=result.cost,
-                rows=result.rows,
-                plans_costed=plans_spent,
-                modeled_memory_mb=max(peak_memory_mb, result.modeled_memory_mb),
-                elapsed_seconds=overall.stop(),
-                jcrs_created=result.jcrs_created,
-                jcrs_pruned=result.jcrs_pruned,
-                attempts=tuple(attempts),
-                degraded=position > 0,
-                winner=result.technique,
-            )
+        with maybe_span(
+            tracer, "robust.ladder",
+            query=query.label, rungs=len(self.ladder),
+        ) as ladder_span:
+            for position, technique in enumerate(self.ladder):
+                with maybe_span(
+                    tracer, "robust.rung",
+                    technique=technique, position=position,
+                ) as rung_span:
+                    stage_budget = self._stage_budget(
+                        deadline, plans_spent, terminal=position == last
+                    )
+                    if isinstance(stage_budget, str):
+                        _note_rung(
+                            rung_span, technique, SKIPPED,
+                            resource=stage_budget,
+                        )
+                        attempts.append(
+                            Attempt(
+                                technique,
+                                SKIPPED,
+                                stage_budget,
+                                0.0,
+                                0,
+                                f"overall {stage_budget} budget exhausted "
+                                f"before stage",
+                            )
+                        )
+                        continue
+                    rung_span.set(
+                        budget_seconds=stage_budget.max_seconds,
+                        budget_plans=stage_budget.max_plans_costed,
+                    )
+                    optimizer = make_optimizer(
+                        technique,
+                        budget=stage_budget,
+                        cost_model=self.cost_model,
+                    )
+                    optimizer.checkpoint = self.checkpoint
+                    try:
+                        result = optimizer.optimize(query, stats)
+                    except OptimizationCancelled:
+                        raise
+                    except OptimizationBudgetExceeded as exc:
+                        plans_spent += getattr(exc, "plans_costed", 0)
+                        peak_memory_mb = max(
+                            peak_memory_mb,
+                            getattr(exc, "modeled_memory_mb", 0.0),
+                        )
+                        _note_rung(
+                            rung_span, technique, BUDGET_EXCEEDED,
+                            resource=exc.resource,
+                            plans_costed=getattr(exc, "plans_costed", 0),
+                        )
+                        attempts.append(
+                            Attempt(
+                                technique,
+                                BUDGET_EXCEEDED,
+                                exc.resource,
+                                getattr(exc, "elapsed_seconds", 0.0),
+                                getattr(exc, "plans_costed", 0),
+                                str(exc),
+                            )
+                        )
+                        continue
+                    except ReproError as exc:
+                        plans_spent += getattr(exc, "plans_costed", 0)
+                        peak_memory_mb = max(
+                            peak_memory_mb,
+                            getattr(exc, "modeled_memory_mb", 0.0),
+                        )
+                        _note_rung(
+                            rung_span, technique, ERROR,
+                            detail=f"{type(exc).__name__}: {exc}",
+                            plans_costed=getattr(exc, "plans_costed", 0),
+                        )
+                        attempts.append(
+                            Attempt(
+                                technique,
+                                ERROR,
+                                None,
+                                getattr(exc, "elapsed_seconds", 0.0),
+                                getattr(exc, "plans_costed", 0),
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        if position == last:
+                            error = OptimizationError(
+                                f"every rung of the fallback ladder failed "
+                                f"for {query.label!r}: "
+                                + "; ".join(a.describe() for a in attempts)
+                            )
+                            error.attempts = tuple(attempts)
+                            raise error from exc
+                        continue
+
+                    plans_spent += result.plans_costed
+                    _note_rung(
+                        rung_span, technique, OK,
+                        plans_costed=result.plans_costed,
+                        cost=result.cost,
+                    )
+                    attempts.append(
+                        Attempt(
+                            technique,
+                            OK,
+                            None,
+                            result.elapsed_seconds,
+                            result.plans_costed,
+                        )
+                    )
+                    ladder_span.set(
+                        winner=result.technique,
+                        degraded=position > 0,
+                        attempts=len(attempts),
+                        plans_costed=plans_spent,
+                    )
+                    return RobustResult(
+                        technique=f"Robust({result.technique})",
+                        plan=result.plan,
+                        cost=result.cost,
+                        rows=result.rows,
+                        plans_costed=plans_spent,
+                        modeled_memory_mb=max(
+                            peak_memory_mb, result.modeled_memory_mb
+                        ),
+                        elapsed_seconds=overall.stop(),
+                        jcrs_created=result.jcrs_created,
+                        jcrs_pruned=result.jcrs_pruned,
+                        attempts=tuple(attempts),
+                        degraded=position > 0,
+                        winner=result.technique,
+                    )
 
         # Unreachable: the terminal stage either returns or raises above.
         raise OptimizationError(

@@ -20,8 +20,18 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.errors import ServiceError
+from repro.obs.runtime import enabled as _obs_enabled, metrics as _obs_metrics
 
 __all__ = ["CacheStats", "PlanCache"]
+
+
+def _cache_events():
+    """The shared plan-cache traffic counter (observability enabled only)."""
+    return _obs_metrics().counter(
+        "repro_plan_cache_events_total",
+        "Plan-cache traffic by event (hit/miss/eviction/invalidation).",
+        ("event",),
+    )
 
 
 @dataclass
@@ -76,9 +86,13 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self._stats.misses += 1
+            if _obs_enabled():
+                _cache_events().inc(event="miss")
             return None
         self._entries.move_to_end(key)
         self._stats.hits += 1
+        if _obs_enabled():
+            _cache_events().inc(event="hit")
         return entry
 
     def put(self, key: Hashable, value: object) -> None:
@@ -87,15 +101,30 @@ class PlanCache:
         if key in entries:
             entries.move_to_end(key)
         entries[key] = value
+        evicted = 0
         while len(entries) > self.capacity:
             entries.popitem(last=False)
-            self._stats.evictions += 1
+            evicted += 1
+        if evicted:
+            self._stats.evictions += evicted
+            if _obs_enabled():
+                _cache_events().inc(evicted, event="eviction")
+        if _obs_enabled():
+            _obs_metrics().gauge(
+                "repro_plan_cache_size", "Entries currently cached."
+            ).set(len(entries))
 
     def invalidate(self) -> int:
         """Drop every entry (statistics refresh); returns the count dropped."""
         dropped = len(self._entries)
         self._entries.clear()
         self._stats.invalidations += dropped
+        if _obs_enabled():
+            if dropped:
+                _cache_events().inc(dropped, event="invalidation")
+            _obs_metrics().gauge(
+                "repro_plan_cache_size", "Entries currently cached."
+            ).set(0)
         return dropped
 
     @property

@@ -39,6 +39,8 @@ from repro.core.base import OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
 from repro.errors import OptimizationBudgetExceeded, ServiceError
+from repro.obs.runtime import current_tracer
+from repro.obs.trace import maybe_span
 from repro.query.query import Query
 
 __all__ = ["BatchItem", "optimize_many"]
@@ -103,18 +105,31 @@ def _make_cell_optimizer(technique: str, budget, cost_model, robust: bool):
 
 
 def _run_cell(task: tuple[int, str]) -> BatchItem:
-    """Optimize one grid cell inside a worker (or inline when serial)."""
+    """Optimize one grid cell inside a worker (or inline when serial).
+
+    Observability state is process-local, so cell spans only appear when
+    the batch runs serially (or for the coordinating process): worker
+    processes start with observability disabled and stay no-op-cheap,
+    keeping parallel results identical to serial ones.
+    """
     query_index, technique = task
     assert _CONTEXT is not None, "worker context not initialized"
     query = _CONTEXT["queries"][query_index]
     optimizer = _make_cell_optimizer(
         technique, _CONTEXT["budget"], _CONTEXT["cost_model"], _CONTEXT["robust"]
     )
-    try:
-        result = optimizer.optimize(query, _CONTEXT["stats"])
-    except OptimizationBudgetExceeded as exc:
-        return BatchItem(query_index, technique, query.label, None, exc)
-    return BatchItem(query_index, technique, query.label, result, None)
+    with maybe_span(
+        current_tracer(), "service.cell",
+        query=query.label, technique=technique,
+        query_index=query_index, worker_pid=os.getpid(),
+    ) as span:
+        try:
+            result = optimizer.optimize(query, _CONTEXT["stats"])
+        except OptimizationBudgetExceeded as exc:
+            span.set(feasible=False, resource=exc.resource)
+            return BatchItem(query_index, technique, query.label, None, exc)
+        span.set(feasible=True, cost=result.cost)
+        return BatchItem(query_index, technique, query.label, result, None)
 
 
 def optimize_many(
@@ -166,24 +181,29 @@ def optimize_many(
         for technique in techniques
     ]
 
-    if workers <= 1 or len(tasks) == 1:
-        global _CONTEXT
-        _init_worker(queries, stats, budget, cost_model, robust)
-        try:
-            items = [_run_cell(task) for task in tasks]
-        finally:
-            _CONTEXT = None
-    else:
-        # Small chunks keep workers busy near the end of the batch while
-        # amortizing task dispatch; the grid stays in submission order
-        # because Executor.map preserves input ordering.
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)),
-            initializer=_init_worker,
-            initargs=(queries, stats, budget, cost_model, robust),
-        ) as pool:
-            items = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+    with maybe_span(
+        current_tracer(), "service.batch",
+        queries=len(queries), techniques=len(techniques),
+        cells=len(tasks), workers=workers,
+    ):
+        if workers <= 1 or len(tasks) == 1:
+            global _CONTEXT
+            _init_worker(queries, stats, budget, cost_model, robust)
+            try:
+                items = [_run_cell(task) for task in tasks]
+            finally:
+                _CONTEXT = None
+        else:
+            # Small chunks keep workers busy near the end of the batch while
+            # amortizing task dispatch; the grid stays in submission order
+            # because Executor.map preserves input ordering.
+            chunksize = max(1, len(tasks) // (workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks)),
+                initializer=_init_worker,
+                initargs=(queries, stats, budget, cost_model, robust),
+            ) as pool:
+                items = list(pool.map(_run_cell, tasks, chunksize=chunksize))
 
     width = len(techniques)
     return [items[row * width : (row + 1) * width] for row in range(len(queries))]

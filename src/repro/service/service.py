@@ -28,6 +28,8 @@ from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.core.base import OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
+from repro.obs.runtime import current_tracer
+from repro.obs.trace import maybe_span
 from repro.query.query import Query
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.fingerprint import query_fingerprint
@@ -130,33 +132,41 @@ class OptimizationService:
             self.analyze(query.schema)
 
         timer = Timer().start()
-        fingerprint = query_fingerprint(query)
-        key = (fingerprint, self._epoch)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return replace(
-                cached,  # type: ignore[arg-type]
-                cache_hit=True,
-                elapsed_seconds=timer.stop(),
-            )
+        with maybe_span(
+            current_tracer(), "service.optimize",
+            technique=self.technique, query=query.label,
+        ) as span:
+            fingerprint = query_fingerprint(query)
+            span.set(fingerprint=fingerprint, epoch=self._epoch)
+            key = (fingerprint, self._epoch)
+            cached = self._cache.get(key)
+            if cached is not None:
+                span.set(cache_hit=True)
+                return replace(
+                    cached,  # type: ignore[arg-type]
+                    cache_hit=True,
+                    elapsed_seconds=timer.stop(),
+                )
 
-        result = self._optimizer.optimize(query, self._stats)
-        served = ServiceResult(
-            technique=result.technique,
-            plan=result.plan,
-            cost=result.cost,
-            rows=result.rows,
-            plans_costed=result.plans_costed,
-            modeled_memory_mb=result.modeled_memory_mb,
-            elapsed_seconds=result.elapsed_seconds,
-            jcrs_created=result.jcrs_created,
-            jcrs_pruned=result.jcrs_pruned,
-            cache_hit=False,
-            fingerprint=fingerprint,
-            stats_epoch=self._epoch,
-        )
-        self._cache.put(key, served)
-        return served
+            span.set(cache_hit=False)
+            result = self._optimizer.optimize(query, self._stats)
+            served = ServiceResult(
+                technique=result.technique,
+                plan=result.plan,
+                cost=result.cost,
+                rows=result.rows,
+                plans_costed=result.plans_costed,
+                modeled_memory_mb=result.modeled_memory_mb,
+                elapsed_seconds=result.elapsed_seconds,
+                jcrs_created=result.jcrs_created,
+                jcrs_pruned=result.jcrs_pruned,
+                degraded=result.degraded,
+                cache_hit=False,
+                fingerprint=fingerprint,
+                stats_epoch=self._epoch,
+            )
+            self._cache.put(key, served)
+            return served
 
     # -- introspection -----------------------------------------------------------
 

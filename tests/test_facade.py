@@ -1,0 +1,166 @@
+"""The ``repro.optimize()`` facade and the shared result protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.obs as obs
+from repro.core.base import SearchBudget
+from repro.errors import OptimizationBudgetExceeded, OptimizationError
+from tests.conftest import make_star_query
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestTechniqueResolution:
+    @pytest.mark.parametrize(
+        ("spelled", "resolved"),
+        [
+            ("sdp", "SDP"),
+            ("SDP", "SDP"),
+            ("Sdp", "SDP"),
+            ("dp", "DP"),
+            ("idp(7)", "IDP(7)"),
+            ("IDP(4)", "IDP(4)"),
+            ("sdp/global", "SDP/Global"),
+            ("goo", "GOO"),
+            ("geqo", "GEQO"),
+            (" sdp ", "SDP"),
+        ],
+    )
+    def test_case_insensitive(self, spelled, resolved):
+        assert repro.resolve_technique(spelled) == resolved
+
+    def test_unknown_technique_lists_known(self):
+        with pytest.raises(OptimizationError, match="known:"):
+            repro.resolve_technique("postgres")
+
+
+class TestFacade:
+    def test_default_matches_direct_sdp(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        facade = repro.optimize(query, stats=small_stats)
+        direct = repro.SDPOptimizer().optimize(query, small_stats)
+        assert facade.technique == "SDP"
+        assert facade.cost == direct.cost
+        assert facade.plans_costed == direct.plans_costed
+        assert repro.explain(facade.tree(query)) == repro.explain(
+            direct.tree(query)
+        )
+
+    def test_technique_matches_direct_dp(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        facade = repro.optimize(query, technique="dp", stats=small_stats)
+        direct = repro.DynamicProgrammingOptimizer().optimize(
+            query, small_stats
+        )
+        assert facade.cost == direct.cost
+        assert facade.plans_costed == direct.plans_costed
+
+    def test_numeric_budget_is_seconds(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        result = repro.optimize(query, stats=small_stats, budget=30.0)
+        assert result.plans_costed > 0
+
+    def test_budget_object_passthrough(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 8)
+        with pytest.raises(OptimizationBudgetExceeded):
+            repro.optimize(
+                query,
+                technique="dp",
+                stats=small_stats,
+                budget=SearchBudget(max_plans_costed=10),
+            )
+
+    @pytest.mark.parametrize("bad", [0, -2.5, True, "fast"])
+    def test_invalid_budget_rejected(self, small_schema, small_stats, bad):
+        query = make_star_query(small_schema, 5)
+        with pytest.raises(OptimizationError):
+            repro.optimize(query, stats=small_stats, budget=bad)
+
+    def test_robust_degrades_instead_of_raising(
+        self, small_schema, small_stats
+    ):
+        query = make_star_query(small_schema, 8)
+        tight = SearchBudget(max_plans_costed=10)
+        result = repro.optimize(
+            query, technique="dp", stats=small_stats,
+            budget=tight, robust=True,
+        )
+        assert result.degraded
+        assert result.technique.startswith("Robust(")
+        assert result.attempts[0].outcome == "budget-exceeded"
+
+    def test_trace_attaches_recording(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        result = repro.optimize(query, stats=small_stats, trace=True)
+        assert result.trace is not None
+        assert result.trace.find("optimize")
+        assert result.trace.find("sdp.level")
+        assert "sdp.level" in result.trace.explain()
+        assert "Plans costed" in result.trace.profile()
+        # Tracing never leaks into steady state.
+        assert not obs.enabled()
+
+    def test_untraced_result_has_no_trace(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        result = repro.optimize(query, stats=small_stats)
+        assert result.trace is None
+
+    def test_service_routing(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        service = repro.OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        cold = repro.optimize(query, service=service)
+        warm = repro.optimize(query, service=service)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.cost == cold.cost
+
+    def test_service_conflicts_rejected(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        service = repro.OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        for kwargs in (
+            {"robust": True},
+            {"budget": 1.0},
+            {"cost_model": repro.DEFAULT_COST_MODEL},
+        ):
+            with pytest.raises(OptimizationError):
+                repro.optimize(query, service=service, **kwargs)
+
+
+class TestPlanResultProtocol:
+    def test_every_path_satisfies_protocol(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        service = repro.OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        results = [
+            repro.optimize(query, stats=small_stats),
+            repro.optimize(query, stats=small_stats, robust=True),
+            repro.optimize(query, service=service),
+            repro.SDPOptimizer().optimize(query, small_stats),
+            repro.RobustOptimizer().optimize(query, small_stats),
+        ]
+        for result in results:
+            assert isinstance(result, repro.PlanResult)
+            assert isinstance(result.degraded, bool)
+            assert result.plans_costed >= 0
+            assert result.cost > 0
+            assert result.trace is None
+
+    def test_protocol_rejects_strangers(self):
+        assert not isinstance(object(), repro.PlanResult)
+
+    def test_robust_result_single_degraded_field(self):
+        from dataclasses import fields
+
+        from repro.robust import RobustResult
+
+        names = [f.name for f in fields(RobustResult)]
+        assert names.count("degraded") == 1

@@ -1,0 +1,54 @@
+"""Repository hygiene: no build artifacts tracked by git."""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        ["git", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+
+
+def _require_git_repo() -> None:
+    probe = _git("rev-parse", "--is-inside-work-tree")
+    if probe.returncode != 0 or probe.stdout.strip() != "true":
+        pytest.skip("not running inside a git checkout")
+
+
+def test_no_tracked_bytecode():
+    _require_git_repo()
+    tracked = _git("ls-files", "*.pyc", "*.pyo")
+    assert tracked.returncode == 0, tracked.stderr
+    assert tracked.stdout.strip() == "", (
+        f"compiled bytecode is tracked by git:\n{tracked.stdout}"
+    )
+
+
+def test_no_tracked_pycache_directories():
+    _require_git_repo()
+    tracked = _git("ls-files")
+    assert tracked.returncode == 0, tracked.stderr
+    offenders = [
+        line for line in tracked.stdout.splitlines() if "__pycache__" in line
+    ]
+    assert offenders == [], (
+        f"__pycache__ contents are tracked by git:\n" + "\n".join(offenders)
+    )
+
+
+def test_gitignore_covers_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8")
+    for pattern in ("__pycache__/", ".pytest_cache/", "dist/"):
+        assert pattern in gitignore, f".gitignore misses {pattern!r}"
+    assert "*.py[cod]" in gitignore or "*.pyc" in gitignore
