@@ -1,28 +1,16 @@
-"""Hot-path benchmark harness — tracks the repo's optimizer perf trajectory.
+"""Hot-path benchmark harness — thin CLI over :mod:`repro.bench.hotpaths`.
 
-Times the scenarios this codebase optimizes hardest:
-
-* ``dp_star_12`` — exhaustive DP on a 12-relation star (the join-graph
-  memoization and plan-space hot loops dominate here);
-* ``sdp_star_25`` — SDP on a 25-relation star (the scale DP cannot reach;
-  exercises skyline pruning plus the same hot paths);
-* ``grid_workers`` — a full ``run_comparison`` grid serially and with a
-  process pool, asserting the aggregated outcomes are identical and
-  recording the speedup;
-* ``plan_cache`` — cold vs. warm :class:`repro.service.OptimizationService`
-  lookups on a repeated query.
-
-Each scenario reports the **median** wall-clock over ``--repeats`` runs
-(medians shrug off one-off scheduler noise) plus the deterministic search
-counters (``plans_costed``), which must not drift when only performance
-work lands. Results go to ``BENCH_optimize.json`` (``--output``) so PRs
-can diff perf against the committed trajectory::
+The scenarios, timing policy, and the regression-guard comparison live in
+the package (``src/repro/bench/hotpaths.py``) so the ``sdp-bench --check``
+command and the ``perf``-marked tests share one implementation. This
+script keeps the historical entry point::
 
     python benchmarks/bench_hot_paths.py                  # full run
     python benchmarks/bench_hot_paths.py --repeats 1 ...  # smoke run
 
-The file is committed; compare your run's medians against it, expecting
-machine-dependent absolute numbers but stable counters and ratios.
+Results go to ``BENCH_optimize.json`` (``--output``), which is committed;
+compare your run against it with ``sdp-bench --check BENCH_optimize.json``,
+expecting machine-dependent absolute numbers but stable counters.
 """
 
 from __future__ import annotations
@@ -30,149 +18,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
-import statistics
 import sys
-import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.bench.runner import run_comparison  # noqa: E402
-from repro.bench.workloads import WorkloadSpec, make_query  # noqa: E402
-from repro.catalog.schema import SchemaBuilder, paper_schema  # noqa: E402
-from repro.catalog.statistics import analyze  # noqa: E402
-from repro.core.base import SearchBudget  # noqa: E402
-from repro.core.registry import make_optimizer  # noqa: E402
-from repro.service import OptimizationService  # noqa: E402
+from repro.bench.hotpaths import run_harness  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_optimize.json"
 )
-BUDGET = SearchBudget(max_seconds=120.0)
-
-
-def _timed(fn, repeats: int):
-    """Median wall-clock over ``repeats`` calls plus the last result."""
-    samples, result = [], None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = fn()
-        samples.append(time.perf_counter() - started)
-    return statistics.median(samples), samples, result
-
-
-def bench_optimizer(technique: str, spec: WorkloadSpec, schema, stats, repeats: int):
-    query = make_query(spec, schema, 0)
-    optimizer = make_optimizer(technique, budget=BUDGET)
-    median, samples, result = _timed(
-        lambda: optimizer.optimize(query, stats), repeats
-    )
-    return {
-        "technique": technique,
-        "workload": spec.label,
-        "median_seconds": round(median, 6),
-        "samples_seconds": [round(s, 6) for s in samples],
-        "plans_costed": result.plans_costed,
-        "cost": result.cost,
-    }
-
-
-def bench_grid(schema, stats, repeats: int, workers: int):
-    spec = WorkloadSpec("star-chain", 10)
-    techniques = ["DP", "SDP", "GOO"]
-
-    def run(n):
-        return run_comparison(
-            spec, schema, techniques, instances=4, stats=stats,
-            budget=BUDGET, workers=n,
-        )
-
-    serial_median, serial_samples, serial = _timed(lambda: run(1), repeats)
-    parallel_median, parallel_samples, parallel = _timed(
-        lambda: run(workers), repeats
-    )
-    identical = all(
-        serial.outcomes[name].ratios == parallel.outcomes[name].ratios
-        and serial.outcomes[name].plans_costed
-        == parallel.outcomes[name].plans_costed
-        for name in serial.outcomes
-    )
-    return {
-        "workload": spec.label,
-        "techniques": techniques,
-        "instances": 4,
-        "workers": workers,
-        "serial_median_seconds": round(serial_median, 6),
-        "serial_samples_seconds": [round(s, 6) for s in serial_samples],
-        "parallel_median_seconds": round(parallel_median, 6),
-        "parallel_samples_seconds": [round(s, 6) for s in parallel_samples],
-        "speedup": round(serial_median / parallel_median, 3),
-        "identical_outcomes": identical,
-        "plans_costed": {
-            name: serial.outcomes[name].plans_costed for name in serial.outcomes
-        },
-    }
-
-
-def bench_plan_cache(schema, stats, repeats: int):
-    query = make_query(WorkloadSpec("star", 10), schema, 0)
-    cold_samples, warm_samples = [], []
-    for _ in range(repeats):
-        service = OptimizationService(technique="SDP", budget=BUDGET)
-        service.install_statistics(stats)
-        cold = service.optimize(query)
-        warm = service.optimize(query)
-        assert not cold.cache_hit and warm.cache_hit
-        assert warm.cost == cold.cost
-        cold_samples.append(cold.elapsed_seconds)
-        warm_samples.append(warm.elapsed_seconds)
-    cold_median = statistics.median(cold_samples)
-    warm_median = statistics.median(warm_samples)
-    return {
-        "workload": "star-10",
-        "technique": "SDP",
-        "cold_median_seconds": round(cold_median, 6),
-        "warm_median_seconds": round(warm_median, 6),
-        "speedup": round(cold_median / warm_median, 1),
-    }
-
-
-def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
-    """Run every scenario and return the report dictionary."""
-    # At least 2 so the grid scenario really crosses process boundaries
-    # (speedup on a single-core box is then expectedly ~1x or below, but
-    # outcome identity is still exercised and recorded).
-    workers = workers or max(2, min(4, os.cpu_count() or 1))
-    schema = paper_schema(seed=0)
-    stats = analyze(schema)
-    # The paper's 24-column schema cannot anchor a 25-spoke star (each
-    # spoke consumes a distinct hub column), so the SDP scale point uses
-    # a wider synthetic catalog, as the scale-up experiments do.
-    wide_schema = SchemaBuilder(
-        seed=0, relation_count=25, column_count=27, name="bench-wide-25"
-    ).build()
-    wide_stats = analyze(wide_schema)
-
-    report = {
-        "generated_unix": int(time.time()),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        "repeats": repeats,
-        "benchmarks": {
-            "dp_star_12": bench_optimizer(
-                "DP", WorkloadSpec("star", 12), schema, stats, repeats
-            ),
-            "sdp_star_25": bench_optimizer(
-                "SDP", WorkloadSpec("star", 25), wide_schema, wide_stats, repeats
-            ),
-            "grid_workers": bench_grid(schema, stats, repeats, workers),
-            "plan_cache": bench_plan_cache(schema, stats, repeats),
-        },
-    }
-    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -209,6 +65,7 @@ def main(argv: list[str] | None = None) -> int:
             "parallel_median_seconds",
             "cold_median_seconds",
             "warm_median_seconds",
+            "mode",
             "speedup",
             "plans_costed",
         )

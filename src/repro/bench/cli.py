@@ -6,9 +6,13 @@ Usage::
     sdp-bench table-1.1            # one experiment
     sdp-bench all                  # every experiment, in paper order
     sdp-bench table-3.1 --instances 30 --seed 7
+    sdp-bench --check BENCH_optimize.json   # hot-path regression guard
 
 Each experiment prints a paper-style plain-text table; EXPERIMENTS.md
-records a reference run against the paper's numbers.
+records a reference run against the paper's numbers. ``--check`` runs the
+hot-path harness (:mod:`repro.bench.hotpaths`) against a committed
+baseline report and exits non-zero on counter/cost drift or a large time
+regression.
 """
 
 from __future__ import annotations
@@ -31,7 +35,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         help="experiment id (e.g. table-1.1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        metavar="BASELINE",
+        help="run the hot-path harness and compare against a committed "
+        "BENCH_optimize.json; exits 1 on plans_costed/cost drift or a "
+        ">2.5x time regression (--repeats controls run count, default 3)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repeats per scenario for --check (default 3)",
     )
     parser.add_argument(
         "--instances",
@@ -110,9 +132,59 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
+def _run_check(baseline_path: str, repeats: int, workers: int | None) -> int:
+    """Run the hot-path harness and diff it against a committed baseline."""
+    import json
+
+    from repro.bench.hotpaths import compare_reports, run_harness
+
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"sdp-bench --check: cannot read {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    current = run_harness(repeats=repeats, workers=workers)
+    elapsed = time.perf_counter() - started
+    problems = compare_reports(baseline, current)
+    for name in ("dp_star_12", "sdp_star_25"):
+        bench = current["benchmarks"][name]
+        base = baseline["benchmarks"][name]
+        print(
+            f"{name:14s} median={bench['median_seconds']}s "
+            f"(baseline {base['median_seconds']}s) "
+            f"plans_costed={bench['plans_costed']} cost={bench['cost']}"
+        )
+    grid = current["benchmarks"]["grid_workers"]
+    print(
+        f"{'grid_workers':14s} mode={grid['mode']} speedup={grid['speedup']} "
+        f"identical_outcomes={grid['identical_outcomes']}"
+    )
+    print(f"{'plan_cache':14s} speedup={current['benchmarks']['plan_cache']['speedup']}")
+    if problems:
+        print(f"\nREGRESSIONS ({elapsed:.1f}s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\nok: within committed trajectory ({elapsed:.1f}s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.check is not None:
+        return _run_check(args.check, args.repeats, args.workers)
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print(
+            "sdp-bench: an experiment id (or --check BASELINE) is required",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():
             print(f"{name:12s} {module.TITLE}")

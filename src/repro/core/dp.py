@@ -18,8 +18,7 @@ from __future__ import annotations
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import Optimizer, SearchCounters
 from repro.core.dpccp import csg_cmp_pairs
-from repro.core.planspace import PlanSpace
-from repro.core.table import JCRTable
+from repro.core.kernel import make_planspace
 from repro.errors import OptimizationError
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
@@ -28,6 +27,11 @@ from repro.query.query import Query
 from repro.util.timer import Timer
 
 __all__ = ["DynamicProgrammingOptimizer"]
+
+#: Pairs buffered between budget charges during enumeration. Small enough
+#: that a memory-budget trip on a dense graph happens after O(chunk)
+#: extra pairs, large enough to amortize the checkpoint machinery.
+_PAIR_CHARGE_CHUNK = 512
 
 
 class DynamicProgrammingOptimizer(Optimizer):
@@ -43,8 +47,8 @@ class DynamicProgrammingOptimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         tracer = current_tracer()
         with maybe_span(tracer, "dp.level", level=1) as span:
             costed_before = counters.plans_costed
@@ -60,26 +64,44 @@ class DynamicProgrammingOptimizer(Optimizer):
         with maybe_span(tracer, "dp.enumerate") as span:
             neighbors = [graph.neighbor_mask(i) for i in range(graph.n)]
             buckets: dict[int, list[tuple[int, int]]] = {}
-            for s1, s2 in csg_cmp_pairs(neighbors):
-                counters.note_pairs()
-                buckets.setdefault((s1 | s2).bit_count(), []).append((s1, s2))
-            span.set(
-                pairs=sum(len(pairs) for pairs in buckets.values()),
-                levels=len(buckets),
-            )
+            buckets_get = buckets.get
+            pair_count = 0
+            uncharged = 0
+            for pair in csg_cmp_pairs(neighbors):
+                s1, s2 = pair
+                level = (s1 | s2).bit_count()
+                bucket = buckets_get(level)
+                if bucket is None:
+                    buckets[level] = [pair]
+                else:
+                    bucket.append(pair)
+                pair_count += 1
+                uncharged += 1
+                # Chunked charging: same totals as per-pair notes with
+                # amortized checkpoint overhead, but still frequent enough
+                # that pair/memory budgets trip *during* enumeration —
+                # dense graphs must not buffer an unbounded pair list
+                # before the first budget check.
+                if uncharged == _PAIR_CHARGE_CHUNK:
+                    counters.note_pairs(uncharged)
+                    uncharged = 0
+            if uncharged:
+                counters.note_pairs(uncharged)
+            span.set(pairs=pair_count, levels=len(buckets))
 
+        by_mask = table._by_mask
+        join_batch = space.join_batch
         for level in sorted(buckets):
             pairs = buckets[level]
             with maybe_span(tracer, "dp.level", level=level) as span:
                 costed_before = counters.plans_costed
-                for s1, s2 in pairs:
-                    left = table.get(s1)
-                    right = table.get(s2)
-                    if left is None or right is None:
-                        raise OptimizationError(
-                            "DP enumeration order violated: missing sub-JCR"
-                        )
-                    space.join(table, left, right)
+                try:
+                    jcr_pairs = [(by_mask[s1], by_mask[s2]) for s1, s2 in pairs]
+                except KeyError as exc:
+                    raise OptimizationError(
+                        "DP enumeration order violated: missing sub-JCR"
+                    ) from exc
+                join_batch(table, jcr_pairs)
                 if tracer is not None:
                     span.set(
                         pairs=len(pairs),

@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.util.bitset import subsets_of
-
 __all__ = ["csg_cmp_pairs", "connected_subgraphs"]
 
 
@@ -37,17 +35,41 @@ def _neighborhood(neighbors: list[int], mask: int) -> int:
 
 
 def _enumerate_csg_rec(
-    neighbors: list[int], subgraph: int, forbidden: int
+    neighbors: list[int],
+    subgraph: int,
+    forbidden: int,
+    memo: dict[int, int],
 ) -> Iterator[int]:
-    """Emit connected supersets of ``subgraph`` avoiding ``forbidden``."""
-    frontier = _neighborhood(neighbors, subgraph) & ~forbidden
+    """Emit connected supersets of ``subgraph`` avoiding ``forbidden``.
+
+    ``memo`` caches raw neighborhoods per subgraph mask — the same mask is
+    revisited under many different ``forbidden`` contexts (once while
+    enumerating connected sets, again per complement seed), and the
+    neighborhood itself is context-free.
+    """
+    hood = memo.get(subgraph)
+    if hood is None:
+        hood = _neighborhood(neighbors, subgraph)
+        memo[subgraph] = hood
+    frontier = hood & ~forbidden
     if frontier == 0:
         return
-    for grow in subsets_of(frontier):
+    # The subsets_of() trick, inlined: this generator runs once per
+    # emitted connected set, so the extra generator frame per subset is
+    # measurable. Same `(sub - frontier) & frontier` walk, same order.
+    grow = 0
+    while True:
+        grow = (grow - frontier) & frontier
+        if grow == 0:
+            break
         yield subgraph | grow
     blocked = forbidden | frontier
-    for grow in subsets_of(frontier):
-        yield from _enumerate_csg_rec(neighbors, subgraph | grow, blocked)
+    grow = 0
+    while True:
+        grow = (grow - frontier) & frontier
+        if grow == 0:
+            break
+        yield from _enumerate_csg_rec(neighbors, subgraph | grow, blocked, memo)
 
 
 def connected_subgraphs(neighbors: list[int]) -> Iterator[int]:
@@ -57,11 +79,12 @@ def connected_subgraphs(neighbors: list[int]) -> Iterator[int]:
     only through nodes with index > i, which makes every connected set be
     emitted from its minimum node exactly once.
     """
+    memo: dict[int, int] = {}
     n = len(neighbors)
     for i in range(n - 1, -1, -1):
         start = 1 << i
         yield start
-        yield from _enumerate_csg_rec(neighbors, start, (start << 1) - 1)
+        yield from _enumerate_csg_rec(neighbors, start, (start << 1) - 1, memo)
 
 
 def csg_cmp_pairs(neighbors: list[int]) -> Iterator[tuple[int, int]]:
@@ -70,11 +93,17 @@ def csg_cmp_pairs(neighbors: list[int]) -> Iterator[tuple[int, int]]:
     Both halves are connected, disjoint, and linked by at least one edge.
     The convention is ``min(S1) < min(S2)``.
     """
+    memo: dict[int, int] = {}
+    memo_get = memo.get
     for s1 in connected_subgraphs(neighbors):
         low = s1 & -s1
         below_min = (low << 1) - 1
         forbidden = below_min | s1
-        frontier = _neighborhood(neighbors, s1) & ~forbidden
+        hood = memo_get(s1)
+        if hood is None:
+            hood = _neighborhood(neighbors, s1)
+            memo[s1] = hood
+        frontier = hood & ~forbidden
         if frontier == 0:
             continue
         # EnumerateCmp: seed from each frontier node (descending index),
@@ -89,5 +118,5 @@ def csg_cmp_pairs(neighbors: list[int]) -> Iterator[tuple[int, int]]:
         for seed in reversed(seeds):
             yield s1, seed
             blocked = forbidden | (frontier & ((seed << 1) - 1))
-            for s2 in _enumerate_csg_rec(neighbors, seed, blocked):
+            for s2 in _enumerate_csg_rec(neighbors, seed, blocked, memo):
                 yield s1, s2

@@ -21,9 +21,8 @@ from dataclasses import dataclass
 
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import Optimizer, SearchBudget, SearchCounters
-from repro.core.planspace import PlanSpace
+from repro.core.kernel import make_planspace
 from repro.core.randomized import _JoinOrderWalk
-from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -87,8 +86,8 @@ class GeneticOptimizer(Optimizer):
         counters: SearchCounters,
         timer: Timer,
     ) -> PlanRecord:
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         rng = derive_rng(self.config.seed, "geqo", query.label)
         walk = _JoinOrderWalk(space, table, rng)
         graph = query.graph

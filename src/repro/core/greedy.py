@@ -12,8 +12,7 @@ import math
 
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import Optimizer, SearchCounters
-from repro.core.planspace import PlanSpace
-from repro.core.table import JCRTable
+from repro.core.kernel import make_planspace
 from repro.errors import OptimizationError
 from repro.plans.records import PlanRecord
 from repro.query.query import Query
@@ -35,8 +34,8 @@ class GreedyOptimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         nodes = [space.base_jcr(table, index) for index in range(graph.n)]
 
         while len(nodes) > 1:

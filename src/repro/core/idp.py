@@ -33,7 +33,7 @@ from repro.core.base import (
     SearchCounters,
 )
 from repro.core.enumeration import level_pairs
-from repro.core.planspace import PlanSpace
+from repro.core.kernel import make_planspace
 from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
@@ -117,10 +117,10 @@ class IDPOptimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = PlanSpace(query, stats, self.cost_model, counters)
+        space = make_planspace(query, stats, self.cost_model, counters)
         tracer = current_tracer()
 
-        seed_table = JCRTable(space.est)
+        seed_table = space.new_table()
         with maybe_span(tracer, "idp.level", level=1) as span:
             costed_before = counters.plans_costed
             nodes: list[JCR] = [
@@ -143,7 +143,7 @@ class IDPOptimizer(Optimizer):
                 tracer, "idp.iteration",
                 iteration=iteration, nodes=node_count, block=block,
             ):
-                table = JCRTable(space.est)
+                table = space.new_table()
                 for node in nodes:
                     table.insert(node)
                 node_levels: dict[int, list[JCR]] = {1: list(nodes)}
@@ -192,7 +192,7 @@ class IDPOptimizer(Optimizer):
                 nodes = [winner] + [
                     node for node in nodes if not node.mask & winner.mask
                 ]
-                carried = sum(len(node.plans) for node in nodes)
+                carried = sum(node.plan_count for node in nodes)
                 counters.reset_arena(carried * BYTES_PER_RETAINED_PLAN)
 
     # -- block sizing -----------------------------------------------------------------
@@ -214,14 +214,14 @@ class IDPOptimizer(Optimizer):
         if self.config.evaluation == "minrows":
             return jcr.rows
         if self.config.evaluation == "mincost":
-            return jcr.best.cost
+            return jcr.best_cost
         return jcr.log_sel
 
     def _select(
         self,
         candidates: list[JCR],
         nodes: list[JCR],
-        space: PlanSpace,
+        space,
         table: JCRTable,
     ) -> JCR:
         """Pick the block-top JCR to collapse into a compound relation."""
@@ -250,7 +250,7 @@ class IDPOptimizer(Optimizer):
         self,
         candidate: JCR,
         nodes: list[JCR],
-        space: PlanSpace,
+        space,
         table: JCRTable,
     ) -> float:
         """Greedily complete ``candidate`` by MinRows; its final plan cost.
@@ -279,4 +279,4 @@ class IDPOptimizer(Optimizer):
                 return math.inf
             current = joined
             remaining = [node for node in remaining if node is not best_node]
-        return current.best.cost
+        return current.best_cost

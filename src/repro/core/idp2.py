@@ -32,7 +32,7 @@ from repro.core.base import (
     SearchCounters,
 )
 from repro.core.enumeration import level_pairs
-from repro.core.planspace import PlanSpace
+from repro.core.kernel import make_planspace
 from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
@@ -83,8 +83,8 @@ class IDP2Optimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        seed_table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        seed_table = space.new_table()
         nodes: list[JCR] = [
             space.base_jcr(seed_table, index) for index in range(graph.n)
         ]
@@ -93,14 +93,14 @@ class IDP2Optimizer(Optimizer):
 
         while len(nodes) > 1:
             group = self._greedy_group(nodes, space)
-            table = JCRTable(space.est)
+            table = space.new_table()
             for node in group:
                 table.insert(node)
             compound = self._dp_over(group, table, space)
             nodes = [compound] + [
                 node for node in nodes if not node.mask & compound.mask
             ]
-            carried = sum(len(node.plans) for node in nodes)
+            carried = sum(node.plan_count for node in nodes)
             counters.reset_arena(carried * BYTES_PER_RETAINED_PLAN)
 
         full = nodes[0]
@@ -110,7 +110,7 @@ class IDP2Optimizer(Optimizer):
 
     # -- phases ----------------------------------------------------------------------
 
-    def _greedy_group(self, nodes: list[JCR], space: PlanSpace) -> list[JCR]:
+    def _greedy_group(self, nodes: list[JCR], space) -> list[JCR]:
         """Min-rows greedy merging until one cluster holds ``k`` nodes.
 
         Only the *grouping* is greedy; the group members are re-optimized
@@ -158,7 +158,7 @@ class IDP2Optimizer(Optimizer):
         self,
         cluster: list[JCR],
         clusters: list[list[JCR]],
-        space: PlanSpace,
+        space,
         limit: int,
     ) -> list[JCR]:
         graph = space.graph
@@ -184,7 +184,7 @@ class IDP2Optimizer(Optimizer):
         return mask
 
     def _dp_over(
-        self, group: list[JCR], table: JCRTable, space: PlanSpace
+        self, group: list[JCR], table: JCRTable, space
     ) -> JCR:
         """Exhaustive level-wise DP over the group's nodes."""
         node_levels: dict[int, list[JCR]] = {1: list(group)}

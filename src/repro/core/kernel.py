@@ -1,0 +1,64 @@
+"""Search-kernel selection.
+
+Two costing kernels implement the same plan-space surface:
+
+* ``fast`` — the mask-native struct-of-arrays kernel
+  (:class:`repro.core.planspace.PlanSpace`), the default;
+* ``reference`` — the preserved eager object-graph kernel
+  (:class:`repro.core.reference.ReferencePlanSpace`), the equivalence
+  oracle.
+
+Every optimizer builds its plan space through :func:`make_planspace`, so
+the whole stack (DP/SDP/IDP/IDP2/GOO/II-2PO/GEQO, the robust ladder, the
+service layer, the bench harness) can be flipped to the reference kernel
+with ``REPRO_KERNEL=reference`` — which is exactly what the kernel
+equivalence tests do to assert identical winning costs, plan shapes, and
+counter values.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.base import SearchCounters
+from repro.errors import OptimizationError
+
+__all__ = ["KERNEL_ENV", "kernel_name", "make_planspace"]
+
+#: Environment variable selecting the process-wide default kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_KERNELS = ("fast", "reference")
+
+
+def kernel_name(kernel: str | None = None) -> str:
+    """Resolve the kernel to use: explicit arg, else env, else ``fast``."""
+    name = kernel if kernel is not None else os.environ.get(KERNEL_ENV, "fast")
+    name = name.strip().lower()
+    if name not in _KERNELS:
+        raise OptimizationError(
+            f"unknown search kernel {name!r} (expected one of {_KERNELS})"
+        )
+    return name
+
+
+def make_planspace(
+    query,
+    stats,
+    cost_model,
+    counters: SearchCounters,
+    kernel: str | None = None,
+):
+    """Build the plan space for the selected kernel.
+
+    Args:
+        kernel: ``"fast"`` or ``"reference"``; None reads ``REPRO_KERNEL``
+            (defaulting to fast).
+    """
+    if kernel_name(kernel) == "reference":
+        from repro.core.reference import ReferencePlanSpace
+
+        return ReferencePlanSpace(query, stats, cost_model, counters)
+    from repro.core.planspace import PlanSpace
+
+    return PlanSpace(query, stats, cost_model, counters)

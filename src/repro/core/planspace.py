@@ -16,40 +16,57 @@ For a pair of input JCRs the space costs, per direction where asymmetric:
 * a merge join per connecting equivalence class, sorting whichever inputs
   lack the order (output sorted on that class).
 
-Every costed alternative is charged to the search counters (the paper's
-"Costing (in plans)" overhead). Because the exhaustive DP costs hundreds of
-thousands of alternatives per query, the hot path avoids materializing a
-:class:`~repro.plans.PlanRecord` unless :meth:`repro.plans.JCR.improves`
-says the candidate would actually be retained.
+This is the mask-native kernel. The hot path works entirely on raw floats
+and integer entry ids:
+
+* per-pair invariants (output rows x tuple cost, build/probe terms, rescan
+  products, qual terms, sort costs) are hoisted out of the per-plan loops,
+  with the remaining additions kept in the *exact* association order of the
+  formulas in :mod:`repro.cost.joins` — float addition is not associative,
+  and the kernel's costs must be bit-identical to the reference kernel's;
+* candidate costs are compared against slot incumbents by plain float
+  comparison on :attr:`repro.plans.JCR.slot_costs`; nothing is allocated
+  for a losing candidate;
+* winners append one row to the shared struct-of-arrays
+  :class:`~repro.plans.store.PlanStore` — (operator, order, left entry,
+  right entry) parent pointers — and :class:`~repro.plans.PlanRecord`
+  trees are only reconstructed for the final winning plan at
+  :meth:`finalize` time;
+* counter/budget traffic is batched to one ``note_plans_costed(n)`` call
+  per pair (the budget checkpoint interval in :mod:`repro.core.base`
+  amortizes the rest), so the disabled-observability path costs one
+  boolean per pair.
+
+Every costed alternative is still charged to the search counters (the
+paper's "Costing (in plans)" overhead) with exactly the same totals as the
+reference kernel in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.catalog.statistics import CatalogStatistics, ColumnStats, TableStats
 from repro.core.base import SearchCounters
 from repro.core.table import JCRTable
 from repro.cost.cardinality import CardinalityEstimator
-from repro.cost.joins import (
-    hash_join_cost,
-    index_nestloop_cost,
-    merge_join_cost,
-    nestloop_cost,
-)
 from repro.cost.model import CostModel
-from repro.cost.scans import index_lookup_cost, index_scan_full_cost, seq_scan_cost
+from repro.cost.scans import index_scan_full_cost, seq_scan_cost
 from repro.cost.sorts import sort_cost
 from repro.errors import OptimizationError
 from repro.plans.jcr import JCR
 from repro.plans.ordering import useful_orders
-from repro.plans.records import (
-    HASH_JOIN,
-    INDEX_NESTLOOP,
-    INDEX_SCAN,
-    MERGE_JOIN,
-    NESTLOOP,
-    SEQ_SCAN,
-    SORT,
-    PlanRecord,
+from repro.plans.records import PlanRecord
+from repro.plans.store import (
+    M_HASH_JOIN,
+    M_INDEX_NESTLOOP,
+    M_INDEX_SCAN,
+    M_MERGE_JOIN,
+    M_NESTLOOP,
+    M_SEQ_SCAN,
+    M_SORT,
+    NO_FIELD,
+    PlanStore,
 )
 from repro.query.query import Query
 
@@ -99,7 +116,49 @@ class PlanSpace:
         self._useful_cache: dict[int, set[int]] = {}
         self._sort_cost_cache: dict[int, float] = {}
 
+        # One plan arena per space: IDP re-seeds fresh tables every
+        # iteration while carrying composite JCRs across, so their entry
+        # ids must stay valid beyond any single table's lifetime.
+        self.store = PlanStore()
+
+        # Cost-model constants, hoisted once per space.
+        self._ctc = cost_model.cpu_tuple_cost
+        self._coc = cost_model.cpu_operator_cost
+        self._oc_tc = cost_model.cpu_operator_cost + cost_model.cpu_tuple_cost
+        self._rescan_discount = cost_model.rescan_discount
+        self._work_mem = cost_model.work_mem_bytes
+        self._page_size = cost_model.page_size
+        self._spc = cost_model.seq_page_cost
+
+        # Decomposed index-lookup cost (see repro.cost.scans.index_lookup_cost):
+        # ``descent + max(1.0, matched) * per_match`` with a per-table descent
+        # term and a constant per-match term. Precomputing both keeps the index
+        # nested-loop probe cost bit-identical while skipping the per-pair
+        # TableStats/ColumnStats traffic.
+        self._probe_per_match = (
+            cost_model.cpu_index_tuple_cost
+            + cost_model.cpu_tuple_cost
+            + cost_model.random_page_cost * (1.0 - cost_model.index_cache_factor)
+        )
+        self._probe_descent: list[float] = [
+            math.ceil(math.log2(t.row_count + 2)) * cost_model.cpu_operator_cost
+            for t in self._tables
+        ]
+        # Per relation: the join-column names that carry an index.
+        self._indexed_names: list[frozenset[str]] = [
+            frozenset(
+                column
+                for column in graph.join_columns_of(index)
+                if t.column(column).has_index
+            )
+            for index, t in enumerate(self._tables)
+        ]
+
     # -- helpers ---------------------------------------------------------------
+
+    def new_table(self) -> JCRTable:
+        """A fresh memo table backed by this space's shared plan arena."""
+        return JCRTable(self.est, self.store)
 
     def useful(self, mask: int) -> set[int]:
         """Useful order keys for ``mask`` (cached)."""
@@ -117,12 +176,6 @@ class PlanSpace:
             self._sort_cost_cache[jcr.mask] = cached
         return cached
 
-    def _offer(self, jcr: JCR, plan: PlanRecord, useful: set[int]) -> None:
-        slots_before = len(jcr.plans)
-        jcr.add(plan, useful)
-        if len(jcr.plans) > slots_before:
-            self.counters.note_retained()
-
     # -- level 1: access paths ---------------------------------------------------
 
     def base_jcr(self, table: JCRTable, relation_index: int) -> JCR:
@@ -134,31 +187,34 @@ class PlanSpace:
         useful = self.useful(mask)
         stats_table = self._tables[relation_index]
         cm = self.cm
+        store_add = table.store.add
+        counters = self.counters
 
-        seq = PlanRecord(
-            mask,
-            jcr.rows,
-            seq_scan_cost(stats_table, cm),
-            SEQ_SCAN,
-            rel=relation_index,
-        )
-        self.counters.note_plans_costed()
-        self._offer(jcr, seq, useful)
+        cost = seq_scan_cost(stats_table, cm)
+        counters.note_plans_costed()
+        if jcr.improves(None, cost):
+            eid = store_add(M_SEQ_SCAN, cost, jcr.rows, rel=relation_index)
+            _, new_slot = jcr.put(None, None, cost, eid)
+            if new_slot:
+                counters.note_retained()
 
         for eclass, _col_stats in self._indexed_join_columns[relation_index]:
             if eclass not in useful:
                 continue
-            idx = PlanRecord(
-                mask,
-                jcr.rows,
-                index_scan_full_cost(stats_table, cm),
-                INDEX_SCAN,
-                order=eclass,
-                rel=relation_index,
-                eclass=eclass,
-            )
-            self.counters.note_plans_costed()
-            self._offer(jcr, idx, useful)
+            cost = index_scan_full_cost(stats_table, cm)
+            counters.note_plans_costed()
+            if jcr.improves(eclass, cost):
+                eid = store_add(
+                    M_INDEX_SCAN,
+                    cost,
+                    jcr.rows,
+                    order=eclass,
+                    rel=relation_index,
+                    eclass=eclass,
+                )
+                _, new_slot = jcr.put(eclass, eclass, cost, eid)
+                if new_slot:
+                    counters.note_retained()
         return jcr
 
     # -- joins ---------------------------------------------------------------------
@@ -168,226 +224,428 @@ class PlanSpace:
 
         Returns the (created or updated) output JCR, or None when the inputs
         overlap or are not connected (cartesian products are not explored).
+
+        Single-pair convenience over :meth:`join_batch` (the connectivity
+        probe repeats the batch's, but ``JoinGraph.connecting`` memoizes per
+        mask pair, so the second lookup is one dict hit).
         """
-        if left.mask & right.mask:
+        lmask = left.mask
+        rmask = right.mask
+        if lmask & rmask:
             return None
-        preds = self.graph.connecting(left.mask, right.mask)
-        if not preds:
+        if not self.graph.connecting(lmask, rmask):
             return None
-        union = left.mask | right.mask
-        jcr, created = table.get_or_create(union)
-        if created:
-            self.counters.note_jcr_created()
-        useful = self.useful(union)
-        out_rows = jcr.rows
-        cm = self.cm
-        costed = 0
-        slots_before = len(jcr.plans)
-        # This is the hottest loop in the repository (exhaustive DP calls it
-        # hundreds of thousands of times per query), so method and attribute
-        # lookups are hoisted into locals before the per-plan loops.
-        jcr_improves = jcr.improves
-        jcr_add = jcr.add
-        width = self.est.width
+        self.join_batch(table, ((left, right),))
+        return table._by_mask[lmask | rmask]
 
-        for outer, inner in ((left, right), (right, left)):
-            outer_best = outer.best
-            inner_best = inner.best
-            inner_best_cost = inner_best.cost
-            outer_rows = outer.rows
-            inner_rows = inner.rows
+    def join_batch(self, table: JCRTable, pairs) -> None:
+        """Cost all join alternatives for every ``(left, right)`` JCR pair.
 
-            # Hash join: cheapest inputs, order destroyed.
-            cost = hash_join_cost(
-                outer_rows,
-                outer_best.cost,
-                inner_rows,
-                inner_best_cost,
-                width(inner.mask),
-                out_rows,
-                cm,
-            )
-            costed += 1
-            if jcr_improves(None, cost):
-                jcr_add(
-                    PlanRecord(
-                        union,
-                        out_rows,
-                        cost,
-                        HASH_JOIN,
-                        left=outer_best,
-                        right=inner_best,
-                    ),
-                    useful,
-                )
+        This is the hottest loop in the repository (exhaustive DP pushes
+        hundreds of thousands of pairs per query through it, a level at a
+        time). Everything is local floats and ints: every batch-invariant —
+        cost constants, store columns, caches, counter methods — is hoisted
+        into locals once per call, and the cost expressions inline the
+        formulas of :mod:`repro.cost.joins` term by term, preserving their
+        association order exactly so costs stay bit-identical to the
+        reference kernel. Pairs that overlap or are not connected are
+        skipped (cartesian products are not explored).
+        """
+        graph = self.graph
+        connecting = graph.connecting
+        by_mask = table._by_mask
+        get_or_create = table.get_or_create
+        counters = self.counters
+        note_plans_costed = counters.note_plans_costed
+        note_retained = counters.note_retained
+        note_jcr_created = counters.note_jcr_created
+        useful_cache = self._useful_cache
+        useful_fn = self.useful
+        sort_cache = self._sort_cost_cache
+        sort_fn = self._sort_cost
+        probe_descent = self._probe_descent
+        probe_per_match = self._probe_per_match
+        indexed_names_all = self._indexed_names
 
-            # Nested loop per retained outer plan (outer order preserved).
-            for outer_plan in outer.plans.values():
-                cost = nestloop_cost(
-                    outer_rows,
-                    outer_plan.cost,
-                    inner_rows,
-                    inner_best_cost,
-                    out_rows,
-                    cm,
-                )
+        # Store columns, aliased for inline appends (store.add is too hot to
+        # call ~100k times per query; the append sequence below is its body).
+        store = table.store
+        st_method = store.method
+        st_order = store.order
+        st_left = store.left
+        st_right = store.right
+        st_rel = store.rel
+        st_eclass = store.eclass
+        st_rows = store.rows
+        st_cost = store.cost
+
+        ctc = self._ctc
+        coc = self._coc
+        oc_tc = self._oc_tc
+        rescan_discount = self._rescan_discount
+        work_mem = self._work_mem
+        page_size = self._page_size
+        spc = self._spc
+
+        # Costed-plan charges accumulate across pairs and flush in chunks
+        # (and once at batch end, so callers reading the counter after the
+        # batch see exact totals). Budget trips for plans-costed therefore
+        # fire within one chunk of the precise crossing point.
+        pending_costed = 0
+
+        for left, right in pairs:
+            lmask = left.mask
+            rmask = right.mask
+            if lmask & rmask:
+                continue
+            preds = connecting(lmask, rmask)
+            if not preds:
+                continue
+            union = lmask | rmask
+            jcr = by_mask.get(union)
+            if jcr is None:
+                jcr, _ = get_or_create(union)
+                note_jcr_created()
+            useful = useful_cache.get(union)
+            if useful is None:
+                useful = useful_fn(union)
+            out_rows = jcr.rows
+            out_tc = out_rows * ctc
+            costed = 0
+            new_slots = 0
+
+            slots = jcr.slots
+            slots_get = slots.get
+            slot_orders = jcr.slot_orders
+            slot_costs = jcr.slot_costs
+            slot_entries = jcr.slot_entries
+            best_cost = jcr.best_cost
+            best_entry = jcr.best_entry
+            # The unordered slot is hit by most candidates (hash joins
+            # always, NL/merge whenever the order is not useful); track its
+            # position in a local instead of a dict probe per candidate.
+            none_index = slots_get(None)
+
+            for outer, inner in ((left, right), (right, left)):
+                outer_rows = outer.rows
+                inner_rows = inner.rows
+                outer_best_cost = outer.best_cost
+                outer_best_entry = outer.best_entry
+                inner_best_cost = inner.best_cost
+                inner_best_entry = inner.best_entry
+
+                # Hash join: cheapest inputs, order destroyed.
+                build = inner_rows * oc_tc
+                probe = outer_rows * coc * 1.5
+                cost = outer_best_cost + inner_best_cost + build + probe + out_tc
+                inner_width = inner.width
+                iw = inner_width if inner_width > 1 else 1
+                build_bytes = inner_rows * iw
+                if build_bytes > work_mem:
+                    # Grace/hybrid hash: both sides written and read back once.
+                    spill_pages = (build_bytes + outer_rows * iw) / page_size
+                    cost = cost + 2.0 * spill_pages * spc
                 costed += 1
-                order = outer_plan.order
-                key = order if order in useful else None
-                if jcr_improves(key, cost):
-                    jcr_add(
-                        PlanRecord(
-                            union,
-                            out_rows,
-                            cost,
-                            NESTLOOP,
-                            order=order,
-                            left=outer_plan,
-                            right=inner_best,
-                        ),
-                        useful,
-                    )
+                index = none_index
+                if index is None or cost < slot_costs[index]:
+                    entry = len(st_method)
+                    st_method.append(M_HASH_JOIN)
+                    st_order.append(NO_FIELD)
+                    st_left.append(outer_best_entry)
+                    st_right.append(inner_best_entry)
+                    st_rel.append(NO_FIELD)
+                    st_eclass.append(NO_FIELD)
+                    st_rows.append(out_rows)
+                    st_cost.append(cost)
+                    if index is None:
+                        none_index = slots[None] = len(slot_costs)
+                        slot_orders.append(None)
+                        slot_costs.append(cost)
+                        slot_entries.append(entry)
+                        new_slots += 1
+                    else:
+                        slot_orders[index] = None
+                        slot_costs[index] = cost
+                        slot_entries[index] = entry
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_entry = entry
 
-            # Index nested loop: inner must be a base relation with an index
-            # on a join column connecting to the outer.
-            if inner.level == 1:
-                costed += self._index_nestloops(
-                    jcr, outer, inner, preds, out_rows, useful
-                )
+                # Nested loop per retained outer plan (outer order preserved).
+                rescans = outer_rows - 1.0
+                if rescans < 0.0:
+                    rescans = 0.0
+                rescan_term = rescans * (inner_rows * ctc * rescan_discount)
+                qual = outer_rows * inner_rows * coc
+                outer_orders = outer.slot_orders
+                outer_entries = outer.slot_entries
+                for position, outer_cost in enumerate(outer.slot_costs):
+                    cost = outer_cost + inner_best_cost + rescan_term + qual + out_tc
+                    costed += 1
+                    order = outer_orders[position]
+                    key = order if order in useful else None
+                    index = none_index if key is None else slots_get(key)
+                    if index is None or cost < slot_costs[index]:
+                        entry = len(st_method)
+                        st_method.append(M_NESTLOOP)
+                        st_order.append(order if order is not None else NO_FIELD)
+                        st_left.append(outer_entries[position])
+                        st_right.append(inner_best_entry)
+                        st_rel.append(NO_FIELD)
+                        st_eclass.append(NO_FIELD)
+                        st_rows.append(out_rows)
+                        st_cost.append(cost)
+                        if index is None:
+                            slots[key] = len(slot_costs)
+                            if key is None:
+                                none_index = slots[None]
+                            slot_orders.append(order)
+                            slot_costs.append(cost)
+                            slot_entries.append(entry)
+                            new_slots += 1
+                        else:
+                            slot_orders[index] = order
+                            slot_costs[index] = cost
+                            slot_entries[index] = entry
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_entry = entry
 
-        # Merge joins, one per connecting equivalence class (symmetric).
-        for eclass in {p.eclass for p in preds}:
-            left_plan, left_cost = self._sorted_input(left, eclass)
-            right_plan, right_cost = self._sorted_input(right, eclass)
-            cost = merge_join_cost(
-                left.rows, left_cost, right.rows, right_cost, out_rows, cm
-            )
-            costed += 1
-            key = eclass if eclass in useful else None
-            if jcr_improves(key, cost):
-                jcr_add(
-                    PlanRecord(
-                        union,
-                        out_rows,
-                        cost,
-                        MERGE_JOIN,
-                        order=eclass,
-                        left=self._materialize_sorted(left, eclass, left_plan),
-                        right=self._materialize_sorted(right, eclass, right_plan),
-                        eclass=eclass,
-                    ),
-                    useful,
-                )
+                # Index nested loop: inner must be a base relation with an
+                # index on a join column connecting to the outer. The probe
+                # cost is the decomposed index_lookup_cost (descent constant
+                # per relation, per-match constant per model) — it does not
+                # vary by eclass, so it is hoisted above the predicate loop.
+                if inner.level == 1:
+                    inner_index = (inner.mask & -inner.mask).bit_length() - 1
+                    indexed_names = indexed_names_all[inner_index]
+                    if indexed_names:
+                        per_probe_rows = out_rows / (
+                            outer_rows if outer_rows > 1.0 else 1.0
+                        )
+                        matches = per_probe_rows if per_probe_rows > 1.0 else 1.0
+                        probe = (
+                            probe_descent[inner_index] + matches * probe_per_match
+                        )
+                        probe_term = outer_rows * probe
+                        seen_eclasses: set[int] = set()
+                        for pred in preds:
+                            if pred.left == inner_index:
+                                column = pred.left_column
+                            elif pred.right == inner_index:
+                                column = pred.right_column
+                            else:
+                                continue
+                            eclass = pred.eclass
+                            if eclass in seen_eclasses:
+                                continue
+                            seen_eclasses.add(eclass)
+                            if column not in indexed_names:
+                                continue
+                            # The inner child of an index NL is a per-probe
+                            # index access, not a full scan of the inner
+                            # relation; its entry is only created if some
+                            # candidate is retained.
+                            probe_entry = -1
+                            for position, outer_cost in enumerate(
+                                outer.slot_costs
+                            ):
+                                cost = outer_cost + probe_term + out_tc
+                                costed += 1
+                                order = outer_orders[position]
+                                key = order if order in useful else None
+                                index = (
+                                    none_index if key is None else slots_get(key)
+                                )
+                                if index is None or cost < slot_costs[index]:
+                                    if probe_entry < 0:
+                                        probe_entry = len(st_method)
+                                        st_method.append(M_INDEX_SCAN)
+                                        st_order.append(NO_FIELD)
+                                        st_left.append(NO_FIELD)
+                                        st_right.append(NO_FIELD)
+                                        st_rel.append(inner_index)
+                                        st_eclass.append(eclass)
+                                        st_rows.append(per_probe_rows)
+                                        st_cost.append(probe)
+                                    entry = len(st_method)
+                                    st_method.append(M_INDEX_NESTLOOP)
+                                    st_order.append(
+                                        order if order is not None else NO_FIELD
+                                    )
+                                    st_left.append(outer_entries[position])
+                                    st_right.append(probe_entry)
+                                    st_rel.append(NO_FIELD)
+                                    st_eclass.append(eclass)
+                                    st_rows.append(out_rows)
+                                    st_cost.append(cost)
+                                    if index is None:
+                                        slots[key] = len(slot_costs)
+                                        if key is None:
+                                            none_index = slots[None]
+                                        slot_orders.append(order)
+                                        slot_costs.append(cost)
+                                        slot_entries.append(entry)
+                                        new_slots += 1
+                                    else:
+                                        slot_orders[index] = order
+                                        slot_costs[index] = cost
+                                        slot_entries[index] = entry
+                                    if cost < best_cost:
+                                        best_cost = cost
+                                        best_entry = entry
 
-        self.counters.note_plans_costed(costed)
-        new_slots = len(jcr.plans) - slots_before
-        if new_slots > 0:
-            self.counters.note_retained(new_slots)
-        return jcr
-
-    def _index_nestloops(
-        self,
-        jcr: JCR,
-        outer: JCR,
-        inner: JCR,
-        preds,
-        out_rows: float,
-        useful: set[int],
-    ) -> int:
-        """Cost index-NL candidates; returns how many were costed."""
-        inner_index = (inner.mask & -inner.mask).bit_length() - 1
-        inner_table = self._tables[inner_index]
-        cm = self.cm
-        costed = 0
-        jcr_improves = jcr.improves
-        jcr_add = jcr.add
-        outer_rows = outer.rows
-        seen_eclasses: set[int] = set()
-        for pred in preds:
-            if pred.left == inner_index:
-                column = pred.left_column
-            elif pred.right == inner_index:
-                column = pred.right_column
+            # Merge joins, one per connecting equivalence class (symmetric).
+            # The eclass tuple is derived straight from `preds` — same
+            # construction (and therefore same set-iteration order) as the
+            # reference kernel.
+            if len(preds) == 1:
+                eclasses: tuple[int, ...] = (preds[0].eclass,)
             else:
-                continue
-            if pred.eclass in seen_eclasses:
-                continue
-            seen_eclasses.add(pred.eclass)
-            col_stats = inner_table.column(column)
-            if not col_stats.has_index:
-                continue
-            per_probe_rows = out_rows / max(1.0, outer_rows)
-            probe = index_lookup_cost(inner_table, col_stats, per_probe_rows, cm)
-            # The inner child of an index NL is a per-probe index access,
-            # not a full scan of the inner relation.
-            probe_record = PlanRecord(
-                inner.mask,
-                per_probe_rows,
-                probe,
-                INDEX_SCAN,
-                rel=inner_index,
-                eclass=pred.eclass,
-            )
-            for outer_plan in outer.plans.values():
-                cost = index_nestloop_cost(
-                    outer_rows, outer_plan.cost, probe, out_rows, cm
-                )
-                costed += 1
-                order = outer_plan.order
-                key = order if order in useful else None
-                if jcr_improves(key, cost):
-                    jcr_add(
-                        PlanRecord(
-                            jcr.mask,
-                            out_rows,
-                            cost,
-                            INDEX_NESTLOOP,
-                            order=order,
-                            left=outer_plan,
-                            right=probe_record,
-                            eclass=pred.eclass,
-                        ),
-                        useful,
-                    )
-        return costed
+                eclasses = tuple({pred.eclass for pred in preds})
+            if eclasses:
+                left_rows_plus_right = left.rows + right.rows
+                left_sort = sort_cache.get(lmask)
+                if left_sort is None:
+                    left_sort = sort_fn(left)
+                right_sort = sort_cache.get(rmask)
+                if right_sort is None:
+                    right_sort = sort_fn(right)
+                left_slots_get = left.slots.get
+                right_slots_get = right.slots.get
+                for eclass in eclasses:
+                    # Cheapest way to feed each side sorted on `eclass`: an
+                    # already-ordered retained plan, or the unordered best
+                    # plus an explicit sort (ties keep the ordered plan,
+                    # matching the reference kernel's `<=`).
+                    left_cost = left.best_cost + left_sort
+                    left_entry = left.best_entry
+                    position = left_slots_get(eclass)
+                    if (
+                        position is not None
+                        and left.slot_costs[position] <= left_cost
+                    ):
+                        left_cost = left.slot_costs[position]
+                        left_entry = left.slot_entries[position]
+                    right_cost = right.best_cost + right_sort
+                    right_entry = right.best_entry
+                    position = right_slots_get(eclass)
+                    if (
+                        position is not None
+                        and right.slot_costs[position] <= right_cost
+                    ):
+                        right_cost = right.slot_costs[position]
+                        right_entry = right.slot_entries[position]
+                    merge = left_rows_plus_right * coc
+                    cost = left_cost + right_cost + merge + out_tc
+                    costed += 1
+                    key = eclass if eclass in useful else None
+                    index = none_index if key is None else slots_get(key)
+                    if index is None or cost < slot_costs[index]:
+                        # Wrap an input in a Sort entry only if the chosen
+                        # plan lacks the physical order (a demoted-but-ordered
+                        # best still skips its sort).
+                        if st_order[left_entry] != eclass:
+                            left_child = len(st_method)
+                            st_method.append(M_SORT)
+                            st_order.append(eclass)
+                            st_left.append(left_entry)
+                            st_right.append(NO_FIELD)
+                            st_rel.append(NO_FIELD)
+                            st_eclass.append(eclass)
+                            st_rows.append(left.rows)
+                            st_cost.append(left_cost)
+                        else:
+                            left_child = left_entry
+                        if st_order[right_entry] != eclass:
+                            right_child = len(st_method)
+                            st_method.append(M_SORT)
+                            st_order.append(eclass)
+                            st_left.append(right_entry)
+                            st_right.append(NO_FIELD)
+                            st_rel.append(NO_FIELD)
+                            st_eclass.append(eclass)
+                            st_rows.append(right.rows)
+                            st_cost.append(right_cost)
+                        else:
+                            right_child = right_entry
+                        entry = len(st_method)
+                        st_method.append(M_MERGE_JOIN)
+                        st_order.append(eclass)
+                        st_left.append(left_child)
+                        st_right.append(right_child)
+                        st_rel.append(NO_FIELD)
+                        st_eclass.append(eclass)
+                        st_rows.append(out_rows)
+                        st_cost.append(cost)
+                        if index is None:
+                            slots[key] = len(slot_costs)
+                            if key is None:
+                                none_index = slots[None]
+                            slot_orders.append(eclass)
+                            slot_costs.append(cost)
+                            slot_entries.append(entry)
+                            new_slots += 1
+                        else:
+                            slot_orders[index] = eclass
+                            slot_costs[index] = cost
+                            slot_entries[index] = entry
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_entry = entry
 
-    def _sorted_input(self, jcr: JCR, eclass: int) -> tuple[PlanRecord, float]:
-        """The cheapest way to feed ``jcr`` sorted on ``eclass``.
+            jcr.best_cost = best_cost
+            jcr.best_entry = best_entry
+            pending_costed += costed
+            if pending_costed >= 1024:
+                note_plans_costed(pending_costed)
+                pending_costed = 0
+            if new_slots > 0:
+                note_retained(new_slots)
 
-        Returns ``(plan, cost)`` where ``plan`` is either an already-ordered
-        retained plan, or the unordered best — in which case ``cost``
-        includes a sort that :meth:`_materialize_sorted` will wrap lazily.
-        """
-        base = jcr.best
-        sorted_cost = base.cost + self._sort_cost(jcr)
-        ordered = jcr.plans.get(eclass)
-        if ordered is not None and ordered.cost <= sorted_cost:
-            return ordered, ordered.cost
-        return base, sorted_cost
-
-    def _materialize_sorted(
-        self, jcr: JCR, eclass: int, plan: PlanRecord
-    ) -> PlanRecord:
-        """Wrap ``plan`` in a Sort node if it lacks the ``eclass`` order."""
-        if plan.order == eclass:
-            return plan
-        return PlanRecord(
-            jcr.mask,
-            jcr.rows,
-            plan.cost + self._sort_cost(jcr),
-            SORT,
-            order=eclass,
-            left=plan,
-            eclass=eclass,
-        )
+        if pending_costed:
+            note_plans_costed(pending_costed)
 
     # -- finishing --------------------------------------------------------------
+
+    def _final_slot(self, jcr: JCR) -> tuple[float, int, bool]:
+        """Pick the winning finalize slot: ``(cost, slot position, wrapped)``.
+
+        Charges one costed plan per retained slot, exactly like the
+        reference kernel's finalize loop.
+        """
+        final_sort = self._sort_cost(jcr)
+        order_by_eclass = self.order_by_eclass
+        note = self.counters.note_plans_costed
+        best_cost = 0.0
+        best_position = -1
+        best_wrapped = False
+        slot_orders = jcr.slot_orders
+        for position, cost in enumerate(jcr.slot_costs):
+            if (
+                order_by_eclass is not None
+                and slot_orders[position] == order_by_eclass
+            ):
+                wrapped = False
+            else:
+                cost = cost + final_sort
+                wrapped = True
+            note()
+            if best_position < 0 or cost < best_cost:
+                best_cost = cost
+                best_position = position
+                best_wrapped = wrapped
+        if best_position < 0:
+            raise OptimizationError("JCR has no plans to finalize")
+        return best_cost, best_position, best_wrapped
 
     def finalize(self, jcr: JCR) -> PlanRecord:
         """Pick the final plan, appending the ORDER BY sort when required.
 
         With an ORDER BY on a join column, a retained plan already sorted on
-        that column skips the sort — the interesting-order payoff.
+        that column skips the sort — the interesting-order payoff. Only the
+        winning plan is materialized into a :class:`PlanRecord` tree; every
+        losing retained slot stays a store entry.
         """
         if jcr.mask != self.graph.all_mask:
             raise OptimizationError(
@@ -395,30 +653,36 @@ class PlanSpace:
             )
         if self.query.order_by is None:
             return jcr.best
-        final_sort = self._sort_cost(jcr)
-        best: PlanRecord | None = None
-        for plan in jcr.plans.values():
-            if (
-                self.order_by_eclass is not None
-                and plan.order == self.order_by_eclass
-            ):
-                candidate = plan
-            else:
-                candidate = PlanRecord(
-                    jcr.mask,
-                    jcr.rows,
-                    plan.cost + final_sort,
-                    SORT,
-                    order=self.order_by_eclass,
-                    left=plan,
-                    eclass=self.order_by_eclass,
-                )
-            self.counters.note_plans_costed()
-            if best is None or candidate.cost < best.cost:
-                best = candidate
-        if best is None:
-            raise OptimizationError("JCR has no plans to finalize")
-        return best
+        cost, position, wrapped = self._final_slot(jcr)
+        entry = jcr.slot_entries[position]
+        store = jcr.store
+        if not wrapped:
+            return store.materialize(entry)
+        order_by_eclass = self.order_by_eclass
+        eid = store.add(
+            M_SORT,
+            cost,
+            jcr.rows,
+            order=order_by_eclass if order_by_eclass is not None else NO_FIELD,
+            left=entry,
+            eclass=order_by_eclass if order_by_eclass is not None else NO_FIELD,
+        )
+        return store.materialize(eid)
+
+    def final_cost(self, jcr: JCR) -> float:
+        """Cost of :meth:`finalize` without materializing anything.
+
+        The randomized and genetic walkers score every explored join order
+        with this; counter charges match :meth:`finalize` exactly.
+        """
+        if jcr.mask != self.graph.all_mask:
+            raise OptimizationError(
+                f"finalize() called on incomplete JCR {jcr.mask:#x}"
+            )
+        if self.query.order_by is None:
+            return jcr.best_cost
+        cost, _, _ = self._final_slot(jcr)
+        return cost
 
     # -- estimation passthroughs ---------------------------------------------------
 

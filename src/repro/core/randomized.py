@@ -23,8 +23,7 @@ from dataclasses import dataclass
 
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import Optimizer, SearchBudget, SearchCounters
-from repro.core.planspace import PlanSpace
-from repro.core.table import JCRTable
+from repro.core.kernel import make_planspace
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
 from repro.plans.records import PlanRecord
@@ -70,7 +69,7 @@ class RandomizedConfig:
 class _JoinOrderWalk:
     """Shared machinery: valid left-deep orders, moves, and costing."""
 
-    def __init__(self, space: PlanSpace, table: JCRTable, rng):
+    def __init__(self, space, table, rng):
         self.space = space
         self.table = table
         self.graph = space.graph
@@ -130,7 +129,7 @@ class _JoinOrderWalk:
             if joined is None:
                 raise OptimizationError("invalid join order slipped through")
             current = joined
-        return self.space.finalize(current).cost
+        return self.space.final_cost(current)
 
     def final_plan(self) -> PlanRecord:
         full = self.table.get(self.graph.all_mask)
@@ -160,8 +159,8 @@ class IterativeImprovementOptimizer(Optimizer):
         counters: SearchCounters,
         timer: Timer,
     ) -> PlanRecord:
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         rng = derive_rng(self.config.seed, "ii", query.label)
         walk = _JoinOrderWalk(space, table, rng)
         if query.graph.n == 1:
@@ -202,8 +201,8 @@ class TwoPhaseOptimizer(Optimizer):
         counters: SearchCounters,
         timer: Timer,
     ) -> PlanRecord:
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         rng = derive_rng(self.config.seed, "2po", query.label)
         walk = _JoinOrderWalk(space, table, rng)
         if query.graph.n == 1:

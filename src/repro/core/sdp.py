@@ -43,8 +43,7 @@ from dataclasses import dataclass
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import Optimizer, SearchBudget, SearchCounters
 from repro.core.enumeration import level_pairs
-from repro.core.planspace import PlanSpace
-from repro.core.table import JCRTable
+from repro.core.kernel import make_planspace
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
 from repro.obs.runtime import current_tracer
@@ -162,8 +161,8 @@ class SDPOptimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = PlanSpace(query, stats, self.cost_model, counters)
-        table = JCRTable(space.est)
+        space = make_planspace(query, stats, self.cost_model, counters)
+        table = space.new_table()
         tracer = current_tracer()
         with maybe_span(tracer, "sdp.level", level=1) as span:
             costed_before = counters.plans_costed

@@ -5,6 +5,14 @@ per-level (set-size) survivor lists, which is what the level-wise algorithms
 (SDP, IDP's blocks) iterate over. SDP's pruning replaces a level's list with
 its survivors; the discarded JCRs leave the search but their modeled arena
 bytes remain allocated (see :mod:`repro.core.base`).
+
+Tables are thin: the plans themselves live in a single
+:class:`~repro.plans.store.PlanStore` arena shared across every table of an
+optimizer run (obtain tables via ``PlanSpace.new_table()``). That sharing is
+what lets IDP re-seed a *fresh* table each iteration while carrying composite
+JCRs from the previous one — the carried JCRs' entry ids stay valid because
+the arena outlives the tables. A table constructed without an explicit store
+creates a private one (standalone use in tests and tooling).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from repro.cost.cardinality import CardinalityEstimator
 from repro.errors import OptimizationError
 from repro.plans.jcr import JCR
+from repro.plans.store import PlanStore
 
 __all__ = ["JCRTable"]
 
@@ -19,10 +28,11 @@ __all__ = ["JCRTable"]
 class JCRTable:
     """Bitmask-keyed table of JCRs with per-level lists."""
 
-    __slots__ = ("_by_mask", "_by_level", "_est")
+    __slots__ = ("_by_mask", "_by_level", "_est", "store")
 
-    def __init__(self, est: CardinalityEstimator):
+    def __init__(self, est: CardinalityEstimator, store: PlanStore | None = None):
         self._est = est
+        self.store = store if store is not None else PlanStore()
         self._by_mask: dict[int, JCR] = {}
         self._by_level: dict[int, list[JCR]] = {}
 
@@ -46,7 +56,14 @@ class JCRTable:
         jcr = self._by_mask.get(mask)
         if jcr is not None:
             return jcr, False
-        jcr = JCR(mask, self._est.rows(mask), self._est.log_selectivity(mask))
+        est = self._est
+        jcr = JCR(
+            mask,
+            est.rows(mask),
+            est.log_selectivity(mask),
+            self.store,
+            width=est.width(mask),
+        )
         self._by_mask[mask] = jcr
         self._by_level.setdefault(jcr.level, []).append(jcr)
         return jcr, True

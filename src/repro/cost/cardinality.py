@@ -74,6 +74,7 @@ class CardinalityEstimator:
 
         self._rows_cache: dict[int, float] = {}
         self._logsel_cache: dict[int, float] = {}
+        self._logprod_cache: dict[int, float] = {}
         self._width_cache: dict[int, int] = {}
         # (eclass index, member-relations-inside mask) -> log factor. Many
         # distinct relation sets share the same eclass intersection, so this
@@ -122,12 +123,16 @@ class CardinalityEstimator:
     # -- internals -------------------------------------------------------------
 
     def _log_base_product(self, mask: int) -> float:
+        cached = self._logprod_cache.get(mask)
+        if cached is not None:
+            return cached
         total = 0.0
         remaining = mask
         while remaining:
             bit = remaining & -remaining
             total += self._base_log_rows[bit.bit_length() - 1]
             remaining ^= bit
+        self._logprod_cache[mask] = total
         return total
 
     def _log_selectivity(self, mask: int) -> float:

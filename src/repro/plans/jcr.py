@@ -10,12 +10,32 @@ Selectivity is stored in natural-log space (a strictly monotone transform,
 hence skyline-equivalent) so that the cartesian products of 40+-relation
 composites stay inside float range; see
 :meth:`repro.cost.CardinalityEstimator.log_selectivity`.
+
+Mask-native layout: retained plans live in three parallel lists —
+``slot_orders`` (the occupant's *physical* order), ``slot_costs`` (raw
+floats the hot path compares without attribute chasing) and
+``slot_entries`` — indexed through the interned ``slots`` map (order key →
+slot index; key None is the unordered slot). An entry is an integer id
+into the shared :class:`~repro.plans.store.PlanStore` when the JCR is
+store-backed, or a fully built :class:`PlanRecord` when constructed
+standalone (record mode — what direct ``add()`` users get). The search
+kernel mutates the lists in place; everything record-shaped
+(:attr:`best`, :attr:`plans`, :meth:`plan_for_order`) materializes lazily
+and memoized from the store.
+
+The physical order in ``slot_orders`` can differ from the slot key: a plan
+whose order is not *useful* for this relation set is demoted into the None
+slot but keeps its physical order, which downstream merge/finalize
+decisions consult (a demoted-but-ordered plan still skips its sort).
 """
 
 from __future__ import annotations
 
+from math import inf
+
 from repro.errors import PlanError
 from repro.plans.records import PlanRecord
+from repro.plans.store import PlanStore
 
 __all__ = ["JCR"]
 
@@ -28,37 +48,110 @@ class JCR:
         level: Number of member relations.
         rows: Estimated output cardinality (shared by all plans).
         log_sel: Output selectivity (natural log), the S feature.
-        plans: Retained plans keyed by order (None = cheapest unordered).
+        width: Estimated output row width in bytes (0 when unknown —
+            standalone record mode; the hash-spill check reads it).
+        store: Shared plan arena (None in standalone record mode).
+        slots: Order key -> slot index (None = cheapest unordered).
+        slot_orders: Physical order of each slot's occupant.
+        slot_costs: Total cost of each slot's occupant.
+        slot_entries: Store entry id (or PlanRecord in record mode) per slot.
+        best_cost: Cost of the cheapest retained plan (``inf`` when empty).
+        best_entry: Entry of the cheapest retained plan (None when empty).
     """
 
-    __slots__ = ("mask", "level", "rows", "log_sel", "plans", "_best")
+    __slots__ = (
+        "mask",
+        "level",
+        "rows",
+        "log_sel",
+        "width",
+        "store",
+        "slots",
+        "slot_orders",
+        "slot_costs",
+        "slot_entries",
+        "best_cost",
+        "best_entry",
+    )
 
-    def __init__(self, mask: int, rows: float, log_sel: float):
+    def __init__(
+        self,
+        mask: int,
+        rows: float,
+        log_sel: float,
+        store: PlanStore | None = None,
+        width: int = 0,
+    ):
         if mask == 0:
             raise PlanError("JCR mask must be non-empty")
         self.mask = mask
         self.level = mask.bit_count()
         self.rows = rows
         self.log_sel = log_sel
-        self.plans: dict[int | None, PlanRecord] = {}
-        self._best: PlanRecord | None = None
+        self.width = width
+        self.store = store
+        self.slots: dict[int | None, int] = {}
+        self.slot_orders: list[int | None] = []
+        self.slot_costs: list[float] = []
+        self.slot_entries: list = []
+        self.best_cost: float = inf
+        self.best_entry = None
 
     def improves(self, key: int | None, cost: float) -> bool:
         """Would a plan with order slot ``key`` and ``cost`` be retained?
 
-        The hot search path calls this *before* materializing a
-        :class:`PlanRecord`, skipping the allocation for the large majority
-        of costed alternatives that lose to an incumbent.
+        The hot search path checks this *before* creating a plan entry,
+        skipping any allocation for the large majority of costed
+        alternatives that lose to an incumbent.
 
         Args:
             key: The order slot, already demoted to None if not useful.
             cost: The candidate's total cost.
         """
-        incumbent = self.plans.get(key)
-        return incumbent is None or cost < incumbent.cost
+        index = self.slots.get(key)
+        return index is None or cost < self.slot_costs[index]
+
+    def put(
+        self, key: int | None, order: int | None, cost: float, entry
+    ) -> tuple[bool, bool]:
+        """Install ``entry`` in slot ``key`` if it beats the incumbent.
+
+        Args:
+            key: Order slot (already demoted to None if not useful).
+            order: The plan's *physical* order (may differ from ``key``).
+            cost: Total cost.
+            entry: Store entry id, or a PlanRecord in record mode.
+
+        Returns:
+            ``(improved, new_slot)`` — whether the plan was retained (in its
+            slot or as the new best), and whether it opened a new slot.
+        """
+        index = self.slots.get(key)
+        improved = False
+        new_slot = False
+        if index is None:
+            self.slots[key] = len(self.slot_costs)
+            self.slot_orders.append(order)
+            self.slot_costs.append(cost)
+            self.slot_entries.append(entry)
+            improved = True
+            new_slot = True
+        elif cost < self.slot_costs[index]:
+            self.slot_orders[index] = order
+            self.slot_costs[index] = cost
+            self.slot_entries[index] = entry
+            improved = True
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_entry = entry
+            improved = True
+        return improved, new_slot
 
     def add(self, plan: PlanRecord, useful: set[int] | None = None) -> bool:
-        """Offer a plan; keep it if it improves its order slot.
+        """Offer a fully built plan; keep it if it improves its order slot.
+
+        Record-mode convenience (tests and external tooling build JCRs this
+        way); the search kernel installs store entries via :meth:`put`.
 
         Args:
             plan: Candidate plan (``plan.mask`` must equal the JCR's mask).
@@ -75,39 +168,49 @@ class JCR:
         key = plan.order
         if key is not None and useful is not None and key not in useful:
             key = None
-        incumbent = self.plans.get(key)
-        improved = False
-        if incumbent is None or plan.cost < incumbent.cost:
-            self.plans[key] = plan
-            improved = True
-        if self._best is None or plan.cost < self._best.cost:
-            self._best = plan
-            improved = True
+        improved, _ = self.put(key, plan.order, plan.cost, plan)
         return improved
+
+    def _materialize(self, entry) -> PlanRecord:
+        if type(entry) is int:
+            return self.store.materialize(entry)
+        return entry
 
     @property
     def best(self) -> PlanRecord:
-        """The cheapest retained plan.
+        """The cheapest retained plan (materialized on demand).
 
         Raises:
             PlanError: if no plan has been added yet.
         """
-        if self._best is None:
+        entry = self.best_entry
+        if entry is None:
             raise PlanError(f"JCR {self.mask:#x} has no plans")
-        return self._best
+        return self._materialize(entry)
 
     @property
-    def best_cost(self) -> float:
-        return self.best.cost
+    def plans(self) -> dict[int | None, PlanRecord]:
+        """Retained plans keyed by order slot, in slot-creation order.
+
+        Materializes every retained entry — a read-model view for tests,
+        tooling and explain output, not for the hot path (which reads the
+        parallel slot lists directly).
+        """
+        materialize = self._materialize
+        entries = self.slot_entries
+        return {key: materialize(entries[i]) for key, i in self.slots.items()}
 
     def plan_for_order(self, eclass: int | None) -> PlanRecord | None:
         """Cheapest retained plan sorted on ``eclass`` (None = unordered)."""
-        return self.plans.get(eclass)
+        index = self.slots.get(eclass)
+        if index is None:
+            return None
+        return self._materialize(self.slot_entries[index])
 
     @property
     def plan_count(self) -> int:
         """Number of retained plan slots (the modeled-memory unit)."""
-        return len(self.plans)
+        return len(self.slot_costs)
 
     def feature_vector(self) -> tuple[float, float, float]:
         """The SDP feature vector ``(R, C, S)``, all minimized.
@@ -115,10 +218,12 @@ class JCR:
         R = estimated rows, C = cost of the cheapest plan, S = output
         selectivity in log space.
         """
-        return (self.rows, self.best.cost, self.log_sel)
+        if self.best_entry is None:
+            raise PlanError(f"JCR {self.mask:#x} has no plans")
+        return (self.rows, self.best_cost, self.log_sel)
 
     def __repr__(self) -> str:
         return (
             f"JCR(mask={self.mask:#x}, level={self.level}, rows={self.rows:.0f}, "
-            f"plans={len(self.plans)})"
+            f"plans={len(self.slot_costs)})"
         )

@@ -28,16 +28,15 @@ def useful_orders(
     order_by_eclass: int | None = None,
 ) -> set[int]:
     """Eclass ids whose orders are worth retaining for the set ``mask``."""
-    useful: set[int] = set()
     # Iterates the graph's precomputed eclass->relation-mask table rather
     # than calling is_useful_order per eclass: this runs once per relation
     # set the search visits, which makes it hot enough to inline.
-    for eclass, members in graph.eclass_relation_masks.items():
-        if members & mask == 0:
-            continue  # the set cannot even be sorted on this class
-        if eclass == order_by_eclass or members & ~mask:
-            useful.add(eclass)
-    return useful
+    outside = ~mask
+    return {
+        eclass
+        for eclass, members in graph.eclass_relation_masks.items()
+        if members & mask and (eclass == order_by_eclass or members & outside)
+    }
 
 
 def is_useful_order(

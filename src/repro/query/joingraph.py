@@ -119,12 +119,21 @@ class JoinGraph:
         self._neighbor_masks = [0] * self.n
         self._pair_predicates: dict[int, list[JoinPredicate]] = {}
         self._preds_of_rel: list[list[JoinPredicate]] = [[] for _ in range(self.n)]
+        # (endpoint mask, pred) pairs per relation: connecting() tests
+        # membership against a precomputed mask instead of rebuilding
+        # (1 << left) | (1 << right) per predicate per call.
+        self._masked_preds_of_rel: list[list[tuple[int, JoinPredicate]]] = [
+            [] for _ in range(self.n)
+        ]
         for pred in self._predicates:
             self._neighbor_masks[pred.left] |= 1 << pred.right
             self._neighbor_masks[pred.right] |= 1 << pred.left
             self._pair_predicates.setdefault(pred.mask, []).append(pred)
             self._preds_of_rel[pred.left].append(pred)
             self._preds_of_rel[pred.right].append(pred)
+            endpoint_mask = (1 << pred.left) | (1 << pred.right)
+            self._masked_preds_of_rel[pred.left].append((endpoint_mask, pred))
+            self._masked_preds_of_rel[pred.right].append((endpoint_mask, pred))
 
         # Per-eclass bitmask of member relations, precomputed for the
         # interesting-order hot path (useful_orders scans every eclass for
@@ -143,6 +152,7 @@ class JoinGraph:
         # distinct masks / mask pairs a search actually visits.
         self._neighbors_cache: dict[int, int] = {}
         self._connecting_cache: dict[tuple[int, int], tuple[JoinPredicate, ...]] = {}
+        self._eclass_pair_cache: dict[tuple[int, int], tuple[int, ...]] = {}
 
         if self.n > 1 and not self.is_connected(self.all_mask):
             raise JoinGraphError("join graph is disconnected")
@@ -348,17 +358,18 @@ class JoinGraph:
             raise JoinGraphError("connecting() requires disjoint sets")
         # Scan the per-relation predicate lists of the smaller side only.
         small, other = left_mask, right_mask
-        if bit_count(small) > bit_count(other):
+        if small.bit_count() > other.bit_count():
             small, other = other, small
         found = []
+        masked_preds = self._masked_preds_of_rel
         remaining = small
         while remaining:
             bit = remaining & -remaining
             remaining ^= bit
-            for pred in self._preds_of_rel[bit.bit_length() - 1]:
+            for endpoint_mask, pred in masked_preds[bit.bit_length() - 1]:
                 # A connecting predicate has exactly one endpoint in `small`,
                 # so scanning each small relation's list visits it once.
-                if ((1 << pred.left) | (1 << pred.right)) & other:
+                if endpoint_mask & other:
                     found.append(pred)
         result = tuple(found)
         self._connecting_cache[(left_mask, right_mask)] = result
@@ -367,6 +378,25 @@ class JoinGraph:
     def connected(self, left_mask: int, right_mask: int) -> bool:
         """True iff some edge links the two disjoint sets."""
         return bool(self.neighbors(left_mask) & right_mask)
+
+    def connecting_eclasses(
+        self, left_mask: int, right_mask: int
+    ) -> tuple[int, ...]:
+        """Distinct eclasses among the connecting predicates (memoized).
+
+        The tuple freezes the iteration order of a one-shot
+        ``{p.eclass for p in connecting(...)}`` set, so repeated calls —
+        and the mask-native kernel's merge-join loop — visit eclasses in
+        exactly the order a per-call set comprehension would.
+        """
+        key = (left_mask, right_mask)
+        cached = self._eclass_pair_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                {pred.eclass for pred in self.connecting(left_mask, right_mask)}
+            )
+            self._eclass_pair_cache[key] = cached
+        return cached
 
     # -- hubs and eclasses ---------------------------------------------------
 

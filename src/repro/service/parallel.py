@@ -2,17 +2,28 @@
 
 The paper's protocol — every instance optimized by every technique — is
 embarrassingly parallel: each cell is an independent, deterministic
-search. :func:`optimize_many` fans the grid out over a
+search. :func:`optimize_many` fans the grid out over a **persistent**
 ``ProcessPoolExecutor`` (processes, not threads: the searches are pure
 Python and CPU-bound, so the GIL would serialize threads) and returns the
 results in **grid order**, one row per query, one
 :class:`BatchItem` per technique — regardless of which worker finished
-first. ``workers <= 1`` runs the same code path serially in-process, so
-callers can switch between modes without behavioural drift.
+first.
 
-Per-worker context (queries, statistics, budget) ships once via the pool
-initializer; individual tasks are just ``(query index, technique index)``
-pairs, keeping per-task pickling negligible.
+Scheduling policy (the serial-vs-pool decision lives in
+:func:`execution_mode`, one source of truth shared with the benchmarks):
+
+* requested workers are **capped at the machine's CPU count** — the cells
+  are CPU-bound, so oversubscribing processes only adds scheduler churn;
+* the grid runs **serially in-process** when fewer than 2 effective
+  workers remain (single-core boxes) or the grid has fewer than
+  :data:`MIN_PARALLEL_CELLS` cells — pool dispatch (fork/spawn, context
+  pickling, result IPC) costs milliseconds per worker, which a tiny grid
+  cannot amortize;
+* otherwise the cells are split into one **contiguous chunk per worker**
+  and each chunk ships as a single task, so the batch context (queries,
+  statistics, budget) is pickled once per worker instead of once per
+  cell, and the pool itself is created once per process and reused across
+  batches (:func:`shutdown_pool` tears it down explicitly).
 
 Budget trips are part of the protocol (the paper's ``*`` cells), so they
 are captured per cell — :attr:`BatchItem.error` — instead of aborting the
@@ -20,15 +31,17 @@ batch. Any other exception propagates and cancels the batch: a malformed
 query should fail loudly, not produce a hole in a table.
 
 Determinism: optimizers are seeded and statistics are fixed, so a cell's
-outcome does not depend on which process computes it. The one caveat is
-wall-clock *budgets* (``SearchBudget.max_seconds``): elapsed time differs
-across processes and machine load, so a search near its time limit can
-trip in one mode and finish in the other. Memory and plans-costed budgets
-are modeled, hence exactly reproducible.
+outcome does not depend on which process computes it — serial and pool
+modes produce identical grids. The one caveat is wall-clock *budgets*
+(``SearchBudget.max_seconds``): elapsed time differs across processes and
+machine load, so a search near its time limit can trip in one mode and
+finish in the other. Memory and plans-costed budgets are modeled, hence
+exactly reproducible.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -43,7 +56,18 @@ from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.query.query import Query
 
-__all__ = ["BatchItem", "optimize_many"]
+__all__ = [
+    "BatchItem",
+    "optimize_many",
+    "execution_mode",
+    "shutdown_pool",
+    "MIN_PARALLEL_CELLS",
+]
+
+#: Smallest grid worth dispatching to the process pool. Below this the
+#: per-worker dispatch overhead (context pickling + IPC) dominates the
+#: cells' own runtime and the serial path wins outright.
+MIN_PARALLEL_CELLS = 4
 
 
 @dataclass(frozen=True)
@@ -70,18 +94,35 @@ class BatchItem:
         return self.result is not None
 
 
-#: Per-worker execution context installed by :func:`_init_worker`.
+def execution_mode(workers: int | None, cells: int) -> tuple[str, int]:
+    """The serial-vs-pool decision: ``("serial" | "pool", effective workers)``.
+
+    Requested ``workers`` (None = CPU count) are capped at the CPU count;
+    the pool only runs with at least 2 effective workers and at least
+    :data:`MIN_PARALLEL_CELLS` cells, and never with more workers than
+    cells. Exposed so benchmarks and tests can assert the decision rather
+    than re-deriving it.
+    """
+    cpu = os.cpu_count() or 1
+    requested = cpu if workers is None else workers
+    effective = max(1, min(requested, cpu, cells))
+    if effective < 2 or cells < MIN_PARALLEL_CELLS:
+        return "serial", 1
+    return "pool", effective
+
+
+#: Per-process execution context installed by :func:`_install_context`.
 _CONTEXT: dict | None = None
 
 
-def _init_worker(
+def _install_context(
     queries: list[Query],
     stats: CatalogStatistics,
     budget: SearchBudget | None,
     cost_model: CostModel | None,
     robust: bool,
 ) -> None:
-    """Install the batch context in this process (pool initializer)."""
+    """Install the batch context in this process."""
     global _CONTEXT
     _CONTEXT = {
         "queries": queries,
@@ -132,6 +173,49 @@ def _run_cell(task: tuple[int, str]) -> BatchItem:
         return BatchItem(query_index, technique, query.label, result, None)
 
 
+def _run_chunk(payload) -> list[BatchItem]:
+    """Worker entry: install the shipped context, run a chunk of cells.
+
+    Self-contained on purpose — the persistent pool is reused across
+    batches, so the context travels with the chunk (pickled once per
+    worker per batch) instead of via a pool initializer bound to one
+    batch's data.
+    """
+    context, chunk = payload
+    _install_context(*context)
+    return [_run_cell(task) for task in chunk]
+
+
+# -- persistent pool ----------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor, grown (never shrunk) to ``workers``."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (idempotent; re-created on demand)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def optimize_many(
     queries: Sequence[Query],
     techniques: Sequence[str],
@@ -151,8 +235,10 @@ def optimize_many(
             schema when omitted.
         budget: Per-cell search budget.
         cost_model: Cost-model override.
-        workers: Process count. ``<= 1`` runs serially in-process;
-            ``None`` uses the machine's CPU count.
+        workers: Requested process count; ``None`` means the CPU count.
+            The effective mode comes from :func:`execution_mode` — capped
+            at the CPU count, serial below 2 workers or
+            :data:`MIN_PARALLEL_CELLS` cells.
         robust: Wrap each technique in its fallback ladder
             (:func:`repro.robust.ladder_from`), as the bench runner's
             robust mode does.
@@ -172,38 +258,46 @@ def optimize_many(
         raise ServiceError("optimize_many() needs at least one technique")
     if stats is None:
         stats = analyze(queries[0].schema)
-    if workers is None:
-        workers = os.cpu_count() or 1
 
     tasks = [
         (query_index, technique)
         for query_index in range(len(queries))
         for technique in techniques
     ]
+    mode, effective = execution_mode(workers, len(tasks))
 
     with maybe_span(
         current_tracer(), "service.batch",
         queries=len(queries), techniques=len(techniques),
-        cells=len(tasks), workers=workers,
+        cells=len(tasks), workers=effective, mode=mode,
     ):
-        if workers <= 1 or len(tasks) == 1:
+        if mode == "serial":
             global _CONTEXT
-            _init_worker(queries, stats, budget, cost_model, robust)
+            _install_context(queries, stats, budget, cost_model, robust)
             try:
                 items = [_run_cell(task) for task in tasks]
             finally:
                 _CONTEXT = None
         else:
-            # Small chunks keep workers busy near the end of the batch while
-            # amortizing task dispatch; the grid stays in submission order
-            # because Executor.map preserves input ordering.
-            chunksize = max(1, len(tasks) // (workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(tasks)),
-                initializer=_init_worker,
-                initargs=(queries, stats, budget, cost_model, robust),
-            ) as pool:
-                items = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+            # One contiguous chunk per worker: context pickled once per
+            # worker, every worker busy for the whole batch, and chunk
+            # concatenation preserves submission order.
+            context = (queries, stats, budget, cost_model, robust)
+            base, extra = divmod(len(tasks), effective)
+            chunks = []
+            start = 0
+            for worker_index in range(effective):
+                size = base + (1 if worker_index < extra else 0)
+                if size == 0:
+                    break
+                chunks.append(tasks[start : start + size])
+                start += size
+            pool = _get_pool(effective)
+            items = []
+            for chunk_items in pool.map(
+                _run_chunk, [(context, chunk) for chunk in chunks]
+            ):
+                items.extend(chunk_items)
 
     width = len(techniques)
     return [items[row * width : (row + 1) * width] for row in range(len(queries))]

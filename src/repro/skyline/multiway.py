@@ -50,7 +50,11 @@ def pairwise_union_skyline(
     """
     survivors: set[int] = set()
     for dims in dimensions:
-        projected = [tuple(v[d] for d in dims) for v in vectors]
+        if len(dims) == 2:
+            a, b = dims
+            projected = [(v[a], v[b]) for v in vectors]
+        else:
+            projected = [tuple(v[d] for d in dims) for v in vectors]
         survivors |= skyline(projected)
     return survivors
 

@@ -24,11 +24,55 @@ __all__ = ["sfs_skyline"]
 def sfs_skyline(vectors: Sequence[Sequence[float]]) -> set[int]:
     """Indices of the skyline vectors; same result as ``naive_skyline``.
 
+    The 2- and 3-dimensional cases — the only ones SDP produces (pairwise
+    projections and the full RCS vector) — run a hand-inlined dominance
+    test; anything else falls back to the generic :func:`dominates` scan.
+
     >>> sorted(sfs_skyline([(1, 4), (2, 2), (3, 3), (4, 1)]))
     [0, 1, 3]
     """
+    if not vectors:
+        return set()
     order = sorted(range(len(vectors)), key=lambda i: sum(vectors[i]))
     accepted: list[int] = []
+    dims = len(vectors[0])
+    if dims == 2:
+        kept: list[Sequence[float]] = []
+        for i in order:
+            candidate = vectors[i]
+            cx = candidate[0]
+            cy = candidate[1]
+            for kept_vector in kept:
+                kx = kept_vector[0]
+                ky = kept_vector[1]
+                if kx <= cx and ky <= cy and (kx < cx or ky < cy):
+                    break
+            else:
+                accepted.append(i)
+                kept.append(candidate)
+        return set(accepted)
+    if dims == 3:
+        kept = []
+        for i in order:
+            candidate = vectors[i]
+            cx = candidate[0]
+            cy = candidate[1]
+            cz = candidate[2]
+            for kept_vector in kept:
+                kx = kept_vector[0]
+                ky = kept_vector[1]
+                kz = kept_vector[2]
+                if (
+                    kx <= cx
+                    and ky <= cy
+                    and kz <= cz
+                    and (kx < cx or ky < cy or kz < cz)
+                ):
+                    break
+            else:
+                accepted.append(i)
+                kept.append(candidate)
+        return set(accepted)
     for i in order:
         candidate = vectors[i]
         if not any(dominates(vectors[j], candidate) for j in accepted):

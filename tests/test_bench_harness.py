@@ -1,8 +1,9 @@
-"""Smoke test for the hot-path benchmark harness.
+"""Hot-path benchmark harness tests, including the perf regression guard.
 
-Marked ``perf``: it runs the real harness end-to-end (one repeat, reduced
-workers) and checks the report it writes, guarding the perf-tracking
-entry point itself against bit-rot. Deselect with ``-m "not perf"``.
+The ``perf``-marked tests run the real harness — minutes, not
+milliseconds — so they are **opt-in**: the default ``pytest`` run
+deselects them (``addopts`` carries ``-m "not perf"``); run them with
+``pytest -m perf``. The unmarked test only reads the committed report.
 """
 
 from __future__ import annotations
@@ -15,8 +16,16 @@ import time
 
 import pytest
 
+from repro.bench.hotpaths import compare_reports, run_harness
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 HARNESS = os.path.join(REPO_ROOT, "benchmarks", "bench_hot_paths.py")
+COMMITTED = os.path.join(REPO_ROOT, "BENCH_optimize.json")
+
+
+def _committed_report() -> dict:
+    with open(COMMITTED, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 @pytest.mark.perf
@@ -47,14 +56,108 @@ def test_bench_harness_end_to_end(tmp_path):
     assert benches["dp_star_12"]["median_seconds"] > 0
     assert benches["sdp_star_25"]["plans_costed"] == 157472
     assert benches["grid_workers"]["identical_outcomes"] is True
+    assert benches["grid_workers"]["mode"] in ("serial", "pool")
     assert benches["plan_cache"]["speedup"] >= 10.0
+
+
+@pytest.mark.perf
+def test_no_regression_against_committed_report():
+    """The regression guard: current run vs. the committed baseline.
+
+    Same comparison ``sdp-bench --check BENCH_optimize.json`` runs —
+    plans_costed and winning cost must match the committed report exactly
+    (a drift means the *search* changed, not just its speed), and scenario
+    medians may not regress past the bounded factor.
+    """
+    baseline = _committed_report()
+    current = run_harness(repeats=3)
+    problems = compare_reports(baseline, current)
+    assert not problems, "\n".join(problems)
+
+
+class TestCompareReports:
+    """Unit-level checks of the guard itself (fast, always selected)."""
+
+    def _report(self, **overrides):
+        base = {
+            "benchmarks": {
+                "dp_star_12": {
+                    "median_seconds": 0.1,
+                    "plans_costed": 100,
+                    "cost": 1.5,
+                },
+                "sdp_star_25": {
+                    "median_seconds": 0.5,
+                    "plans_costed": 200,
+                    "cost": 2.5,
+                },
+                "grid_workers": {
+                    "identical_outcomes": True,
+                    "plans_costed": {"DP": 10},
+                    "mode": "serial",
+                    "speedup": 1.0,
+                },
+                "plan_cache": {"speedup": 50.0},
+            }
+        }
+        for path, value in overrides.items():
+            bench, key = path.split(".")
+            base["benchmarks"][bench][key] = value
+        return base
+
+    def test_identical_reports_pass(self):
+        assert compare_reports(self._report(), self._report()) == []
+
+    def test_counter_drift_is_flagged(self):
+        problems = compare_reports(
+            self._report(), self._report(**{"dp_star_12.plans_costed": 101})
+        )
+        assert any("plans_costed drifted" in p for p in problems)
+
+    def test_cost_drift_is_flagged(self):
+        problems = compare_reports(
+            self._report(), self._report(**{"sdp_star_25.cost": 2.500001})
+        )
+        assert any("cost drifted" in p for p in problems)
+
+    def test_time_regression_is_flagged_beyond_factor(self):
+        slow = self._report(**{"dp_star_12.median_seconds": 0.26})
+        assert any(
+            "exceeds" in p for p in compare_reports(self._report(), slow)
+        )
+        ok = self._report(**{"dp_star_12.median_seconds": 0.24})
+        assert compare_reports(self._report(), ok) == []
+
+    def test_outcome_divergence_is_flagged(self):
+        problems = compare_reports(
+            self._report(),
+            self._report(**{"grid_workers.identical_outcomes": False}),
+        )
+        assert any("diverged" in p for p in problems)
+
+    def test_slow_pool_is_flagged_but_serial_fallback_is_not(self):
+        slow_pool = self._report(
+            **{"grid_workers.mode": "pool", "grid_workers.speedup": 0.8}
+        )
+        assert any(
+            "pool mode slower" in p
+            for p in compare_reports(self._report(), slow_pool)
+        )
+        # Serial fallback runs the same path twice: ~1x by construction,
+        # so 0.8 is timer noise, not a regression.
+        noisy_serial = self._report(**{"grid_workers.speedup": 0.8})
+        assert compare_reports(self._report(), noisy_serial) == []
+
+    def test_plan_cache_speedup_floor(self):
+        problems = compare_reports(
+            self._report(), self._report(**{"plan_cache.speedup": 5.0})
+        )
+        assert any("plan_cache" in p for p in problems)
 
 
 def test_committed_report_matches_current_counters():
     """The committed BENCH_optimize.json must track the current search."""
-    path = os.path.join(REPO_ROOT, "BENCH_optimize.json")
-    report = json.loads(open(path, encoding="utf-8").read())
-    benches = report["benchmarks"]
+    benches = _committed_report()["benchmarks"]
     assert benches["dp_star_12"]["plans_costed"] == 78871
     assert benches["sdp_star_25"]["plans_costed"] == 157472
     assert benches["grid_workers"]["identical_outcomes"] is True

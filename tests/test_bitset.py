@@ -123,3 +123,44 @@ class TestSubsetsOf:
         for sub in subsets_of(mask):
             assert is_subset(sub, mask)
             assert sub != 0
+
+
+class TestSubsetsOfEdgeCases:
+    """The flag combinations the DPccp hot loops actually exercise."""
+
+    def test_single_bit_mask(self):
+        assert list(subsets_of(0b1000)) == [0b1000]
+
+    def test_single_bit_proper_is_empty(self):
+        assert list(subsets_of(0b1000, proper=True)) == []
+
+    def test_single_bit_proper_nonempty_false_is_just_zero(self):
+        assert list(subsets_of(0b1000, proper=True, nonempty=False)) == [0]
+
+    def test_proper_nonempty_false_on_two_bits(self):
+        # Strict, possibly-empty subsets: the power set minus the set itself.
+        assert list(subsets_of(0b101, proper=True, nonempty=False)) == [0, 1, 4]
+
+    def test_zero_mask_proper(self):
+        assert list(subsets_of(0, proper=True)) == []
+        assert list(subsets_of(0, proper=True, nonempty=False)) == [0]
+
+    @given(st.integers(min_value=0, max_value=(1 << 12) - 1))
+    def test_increasing_numeric_order(self, mask):
+        subs = list(subsets_of(mask, nonempty=False))
+        assert subs == sorted(subs)
+        assert len(subs) == len(set(subs))
+
+    @given(st.integers(min_value=1, max_value=(1 << 10) - 1))
+    def test_flag_combinations_partition_the_power_set(self, mask):
+        everything = set(subsets_of(mask, nonempty=False))
+        assert set(subsets_of(mask)) == everything - {0}
+        assert set(subsets_of(mask, proper=True)) == everything - {0, mask}
+        assert (
+            set(subsets_of(mask, proper=True, nonempty=False))
+            == everything - {mask}
+        )
+
+    def test_noncontiguous_high_bits(self):
+        mask = (1 << 40) | (1 << 7)
+        assert list(subsets_of(mask)) == [1 << 7, 1 << 40, mask]

@@ -187,5 +187,103 @@ class TestCsgCmpPairs:
         assert got == (n - 1) * (1 << (n - 2))
 
 
+def clique(n: int) -> list[int]:
+    full = (1 << n) - 1
+    return [full & ~(1 << i) for i in range(n)]
+
+
+def cycle(n: int) -> list[int]:
+    neighbors = [0] * n
+    for i in range(n):
+        neighbors[i] |= 1 << ((i + 1) % n)
+        neighbors[(i + 1) % n] |= 1 << i
+    return neighbors
+
+
+def naive_split_pair_count(neighbors: list[int]) -> int:
+    """CCP count by the 3^n method DPccp exists to avoid.
+
+    For every connected union, try *every* proper nonempty subset as the
+    left half — the naive System-R-style split — and count the splits
+    whose halves are connected and edge-linked. Each unordered pair is
+    counted once (the subset enumeration visits both orientations; keep
+    the one where the left half holds the union's minimum bit).
+    """
+    connected = brute_connected_subsets(neighbors)
+    count = 0
+    for union in connected:
+        if union.bit_count() < 2:
+            continue
+        low = union & -union
+        for s1 in subsets_of(union, proper=True):
+            if not s1 & low:
+                continue  # orientation dedup: left half keeps the min bit
+            s2 = union ^ s1
+            if (
+                s1 in connected
+                and s2 in connected
+                and _edge_between(neighbors, s1, s2)
+            ):
+                count += 1
+    return count
+
+
+class TestPairCountIdentity:
+    """DPccp must emit exactly as many ccps as naive subset splitting.
+
+    This is the enumerator's whole contract: same pair population as the
+    3^n method, produced in time proportional to the pair count. The DP
+    optimizer charges its pair budget from this stream, so an over- or
+    under-count would silently skew every budget-trip experiment.
+    """
+
+    def test_chain_counts_match_naive_splitting(self):
+        for n in range(2, 8):
+            neighbors = chain(n)
+            assert (
+                len(list(csg_cmp_pairs(neighbors)))
+                == naive_split_pair_count(neighbors)
+            )
+
+    def test_star_counts_match_naive_splitting(self):
+        for n in range(2, 8):
+            neighbors = star(n)
+            assert (
+                len(list(csg_cmp_pairs(neighbors)))
+                == naive_split_pair_count(neighbors)
+            )
+
+    def test_clique_counts_match_naive_splitting(self):
+        for n in range(2, 7):
+            neighbors = clique(n)
+            got = len(list(csg_cmp_pairs(neighbors)))
+            assert got == naive_split_pair_count(neighbors)
+            # Closed form for cliques: every union of size k >= 2 is
+            # connected and every split is valid => sum C(n,k) * (2^(k-1)-1).
+            from math import comb
+
+            expected = sum(
+                comb(n, k) * ((1 << (k - 1)) - 1) for k in range(2, n + 1)
+            )
+            assert got == expected
+
+    def test_cycle_counts_match_naive_splitting(self):
+        for n in range(3, 8):
+            neighbors = cycle(n)
+            assert (
+                len(list(csg_cmp_pairs(neighbors)))
+                == naive_split_pair_count(neighbors)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    def test_random_graph_counts_match_naive_splitting(self, n, data):
+        neighbors = random_connected_graph(data.draw, n)
+        assert (
+            len(list(csg_cmp_pairs(neighbors)))
+            == naive_split_pair_count(neighbors)
+        )
+
+
 def test_bit_indices_helper_consistency():
     assert bit_indices(0b101001) == [0, 3, 5]

@@ -1,0 +1,129 @@
+"""Fast-vs-reference kernel equivalence (the tentpole's safety net).
+
+The mask-native struct-of-arrays kernel (:mod:`repro.core.planspace`) must
+be a pure performance change: for any query, any technique, it has to
+produce the *same search* as the preserved eager object-graph kernel
+(:mod:`repro.core.reference`) — bit-identical winning cost, identical plan
+tree, identical counter values. These tests sweep randomized chain, star,
+and clique instances (<= 10 relations, several workload seeds) through
+DP, SDP, and IDP under both kernels and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.catalog import SchemaBuilder, analyze
+from repro.core.base import SearchBudget
+from repro.core.kernel import kernel_name, make_planspace
+from repro.core.registry import make_optimizer
+
+BUDGET = SearchBudget(max_seconds=60.0)
+
+TECHNIQUES = ("DP", "SDP", "IDP(4)")
+
+# (topology, size) cells; clique kept smallest — its DP pair count grows
+# fastest and this sweep runs 2 kernels x 3 techniques per instance.
+GRAPHS = (
+    ("chain", 8),
+    ("chain", 10),
+    ("star", 8),
+    ("star", 10),
+    ("clique", 6),
+    ("clique", 7),
+)
+
+INSTANCES = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def eq_schema():
+    return SchemaBuilder(
+        seed=3,
+        relation_count=12,
+        column_count=12,
+        max_cardinality=80_000,
+        max_domain=60_000,
+        name="kernel-eq-12",
+    ).build()
+
+
+@pytest.fixture(scope="module")
+def eq_stats(eq_schema):
+    return analyze(eq_schema)
+
+
+def serialize(plan) -> tuple:
+    """Full recursive identity of a plan record: shape, methods, numbers."""
+    children = tuple(
+        serialize(child) for child in (plan.left, plan.right) if child is not None
+    )
+    return (
+        plan.method,
+        plan.mask,
+        plan.rel,
+        plan.eclass,
+        plan.order,
+        plan.rows,
+        plan.cost,
+        children,
+    )
+
+
+def run(technique: str, query, stats, kernel: str):
+    optimizer = make_optimizer(technique, budget=BUDGET)
+    # Force the kernel through the same seam production uses.
+    import repro.core.kernel as kernel_mod
+
+    monkey = pytest.MonkeyPatch()
+    monkey.setenv(kernel_mod.KERNEL_ENV, kernel)
+    try:
+        return optimizer.optimize(query, stats)
+    finally:
+        monkey.undo()
+
+
+@pytest.mark.parametrize("topology,size", GRAPHS, ids=[f"{t}-{s}" for t, s in GRAPHS])
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_kernels_agree(topology, size, technique, eq_schema, eq_stats):
+    spec = WorkloadSpec(topology, size)
+    for instance in INSTANCES:
+        query = make_query(spec, eq_schema, instance)
+        fast = run(technique, query, eq_stats, "fast")
+        reference = run(technique, query, eq_stats, "reference")
+
+        label = f"{technique} {spec.label} instance={instance}"
+        assert fast.cost == reference.cost, label
+        assert fast.rows == reference.rows, label
+        assert serialize(fast.plan) == serialize(reference.plan), label
+        assert fast.plans_costed == reference.plans_costed, label
+        assert fast.jcrs_created == reference.jcrs_created, label
+        assert fast.jcrs_pruned == reference.jcrs_pruned, label
+        assert fast.modeled_memory_mb == reference.modeled_memory_mb, label
+
+
+def test_kernel_env_selects_reference(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "reference")
+    assert kernel_name() == "reference"
+    monkeypatch.setenv("REPRO_KERNEL", "fast")
+    assert kernel_name() == "fast"
+    monkeypatch.delenv("REPRO_KERNEL")
+    assert kernel_name() == "fast"
+
+
+def test_explicit_kernel_argument_overrides_env(monkeypatch, eq_schema, eq_stats):
+    from repro.core.base import SearchCounters
+    from repro.core.planspace import PlanSpace
+    from repro.core.reference import ReferencePlanSpace
+    from repro.cost.model import CostModel
+    from repro.util.timer import Timer
+
+    query = make_query(WorkloadSpec("chain", 4), eq_schema, 0)
+    counters = SearchCounters(BUDGET, Timer())
+    model = CostModel()
+    monkeypatch.setenv("REPRO_KERNEL", "reference")
+    space = make_planspace(query, eq_stats, model, counters, kernel="fast")
+    assert isinstance(space, PlanSpace)
+    space = make_planspace(query, eq_stats, model, counters)
+    assert isinstance(space, ReferencePlanSpace)
