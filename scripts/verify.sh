@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full pre-merge verification: static analysis, the tier-1 test suite,
+# and the hot-path regression guard, in fail-fast order (cheapest first).
+#
+#   scripts/verify.sh            # from the repo root
+#
+# Each stage's own output explains any failure; the script stops at the
+# first one. Uses PYTHONPATH so it works without `pip install -e .`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== 1/3 static analysis (python -m repro.lint) =="
+python -m repro.lint src/
+
+echo "== 2/3 tier-1 tests (pytest) =="
+python -m pytest
+
+echo "== 3/3 hot-path regression guard (sdp-bench --check) =="
+python -m repro.bench --check BENCH_optimize.json
+
+echo "verify: all stages passed"

@@ -7,6 +7,7 @@ Usage::
     sdp-bench all                  # every experiment, in paper order
     sdp-bench table-3.1 --instances 30 --seed 7
     sdp-bench --check BENCH_optimize.json   # hot-path regression guard
+    sdp-bench lint [...]           # static analysis (see repro.lint)
 
 Each experiment prints a paper-style plain-text table; EXPERIMENTS.md
 records a reference run against the paper's numbers. ``--check`` runs the
@@ -174,6 +175,15 @@ def _run_check(baseline_path: str, repeats: int, workers: int | None) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Delegate before argparse: the lint driver owns its own flags
+        # (--format, --baseline, ...), which sdp-bench's parser would
+        # otherwise reject.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.check is not None:

@@ -29,6 +29,12 @@ from typing import Protocol, runtime_checkable
 from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.cost.model import DEFAULT_COST_MODEL, CostModel
 from repro.errors import OptimizationBudgetExceeded, OptimizationError, ReproError
+from repro.obs.names import (
+    METRIC_OPTIMIZATIONS_TOTAL,
+    METRIC_OPTIMIZE_SECONDS,
+    METRIC_PLANS_COSTED_TOTAL,
+    SPAN_OPTIMIZE,
+)
 from repro.obs.runtime import current_tracer as _obs_tracer
 from repro.obs.runtime import enabled as _obs_enabled
 from repro.obs.runtime import metrics as _obs_metrics
@@ -354,7 +360,7 @@ class Optimizer(ABC):
             span = None
         else:
             span = tracer.start_span(
-                "optimize",
+                SPAN_OPTIMIZE,
                 technique=self.name,
                 query=query.label,
                 relations=query.graph.n,
@@ -372,7 +378,7 @@ class Optimizer(ABC):
             raise
         finally:
             registry.counter(
-                "repro_optimizations_total",
+                METRIC_OPTIMIZATIONS_TOTAL,
                 "optimize() calls by technique and outcome",
                 ("technique", "status"),
             ).inc(technique=self.name, status=status)
@@ -385,12 +391,12 @@ class Optimizer(ABC):
             )
             tracer.end_span(span)
         registry.histogram(
-            "repro_optimize_seconds",
+            METRIC_OPTIMIZE_SECONDS,
             "wall-clock seconds per optimize() call",
             ("technique",),
         ).observe(result.elapsed_seconds, technique=self.name)
         registry.counter(
-            "repro_plans_costed_total",
+            METRIC_PLANS_COSTED_TOTAL,
             "plan alternatives costed, by technique",
             ("technique",),
         ).inc(result.plans_costed, technique=self.name)

@@ -20,6 +20,7 @@ from repro.core.base import Optimizer, SearchCounters
 from repro.core.dpccp import csg_cmp_pairs
 from repro.core.kernel import make_planspace
 from repro.errors import OptimizationError
+from repro.obs.names import SPAN_DP_ENUMERATE, SPAN_DP_FINALIZE, SPAN_DP_LEVEL
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.plans.records import PlanRecord
@@ -50,7 +51,7 @@ class DynamicProgrammingOptimizer(Optimizer):
         space = make_planspace(query, stats, self.cost_model, counters)
         table = space.new_table()
         tracer = current_tracer()
-        with maybe_span(tracer, "dp.level", level=1) as span:
+        with maybe_span(tracer, SPAN_DP_LEVEL, level=1) as span:
             costed_before = counters.plans_costed
             for index in range(graph.n):
                 space.base_jcr(table, index)
@@ -61,7 +62,7 @@ class DynamicProgrammingOptimizer(Optimizer):
         if graph.n == 1:
             return space.finalize(table.require(graph.all_mask))
 
-        with maybe_span(tracer, "dp.enumerate") as span:
+        with maybe_span(tracer, SPAN_DP_ENUMERATE) as span:
             neighbors = [graph.neighbor_mask(i) for i in range(graph.n)]
             buckets: dict[int, list[tuple[int, int]]] = {}
             buckets_get = buckets.get
@@ -93,7 +94,7 @@ class DynamicProgrammingOptimizer(Optimizer):
         join_batch = space.join_batch
         for level in sorted(buckets):
             pairs = buckets[level]
-            with maybe_span(tracer, "dp.level", level=level) as span:
+            with maybe_span(tracer, SPAN_DP_LEVEL, level=level) as span:
                 costed_before = counters.plans_costed
                 try:
                     jcr_pairs = [(by_mask[s1], by_mask[s2]) for s1, s2 in pairs]
@@ -112,7 +113,7 @@ class DynamicProgrammingOptimizer(Optimizer):
         full = table.get(graph.all_mask)
         if full is None:
             raise OptimizationError("DP failed to build a complete plan")
-        with maybe_span(tracer, "dp.finalize") as span:
+        with maybe_span(tracer, SPAN_DP_FINALIZE) as span:
             costed_before = counters.plans_costed
             record = space.finalize(full)
             span.set(plans_costed=counters.plans_costed - costed_before)

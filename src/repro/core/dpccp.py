@@ -17,6 +17,9 @@ bucket them by ``|S1 ∪ S2|`` before processing (see
 :mod:`repro.core.dp`).
 """
 
+# lint: waive-file[RL004] pure pair generator; consumers (dp.py, idp.py)
+# charge each yielded pair against their SearchCounters in chunks.
+
 from __future__ import annotations
 
 from collections.abc import Iterator

@@ -37,6 +37,7 @@ from repro.core.kernel import make_planspace
 from repro.core.table import JCRTable
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
+from repro.obs.names import SPAN_IDP_ITERATION, SPAN_IDP_LEVEL, SPAN_IDP_SELECT
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.plans.jcr import JCR
@@ -121,7 +122,7 @@ class IDPOptimizer(Optimizer):
         tracer = current_tracer()
 
         seed_table = space.new_table()
-        with maybe_span(tracer, "idp.level", level=1) as span:
+        with maybe_span(tracer, SPAN_IDP_LEVEL, level=1) as span:
             costed_before = counters.plans_costed
             nodes: list[JCR] = [
                 space.base_jcr(seed_table, index) for index in range(graph.n)
@@ -140,7 +141,7 @@ class IDPOptimizer(Optimizer):
             block = self._block_size(node_count)
 
             with maybe_span(
-                tracer, "idp.iteration",
+                tracer, SPAN_IDP_ITERATION,
                 iteration=iteration, nodes=node_count, block=block,
             ):
                 table = space.new_table()
@@ -153,7 +154,7 @@ class IDPOptimizer(Optimizer):
 
                 for level in range(2, block + 1):
                     with maybe_span(
-                        tracer, "idp.level", level=level
+                        tracer, SPAN_IDP_LEVEL, level=level
                     ) as span:
                         costed_before = counters.plans_costed
                         pairs_before = counters.enumerated_pairs
@@ -180,7 +181,7 @@ class IDPOptimizer(Optimizer):
                         )
                     return space.finalize(full)
 
-                with maybe_span(tracer, "idp.select") as span:
+                with maybe_span(tracer, SPAN_IDP_SELECT) as span:
                     costed_before = counters.plans_costed
                     candidates = node_levels.get(block, [])
                     winner = self._select(candidates, nodes, space, table)

@@ -496,13 +496,14 @@ class PlanSpace:
                                         best_entry = entry
 
             # Merge joins, one per connecting equivalence class (symmetric).
-            # The eclass tuple is derived straight from `preds` — same
-            # construction (and therefore same set-iteration order) as the
-            # reference kernel.
+            # dict.fromkeys dedupes in first-occurrence order over `preds`
+            # — the reference kernel derives its eclass sequence the same
+            # way, so both kernels enumerate merge joins in the same order
+            # regardless of hashing.
             if len(preds) == 1:
                 eclasses: tuple[int, ...] = (preds[0].eclass,)
             else:
-                eclasses = tuple({pred.eclass for pred in preds})
+                eclasses = tuple(dict.fromkeys(pred.eclass for pred in preds))
             if eclasses:
                 left_rows_plus_right = left.rows + right.rows
                 left_sort = sort_cache.get(lmask)

@@ -124,6 +124,7 @@ class _JoinOrderWalk:
     def cost(self, order: list[int]) -> float:
         """Cost of the best left-deep plan following ``order``."""
         current = self.bases[order[0]]
+        # lint: waive[RL004] space.join charges its SearchCounters internally
         for rel in order[1:]:
             joined = self.space.join(self.table, current, self.bases[rel])
             if joined is None:

@@ -369,7 +369,10 @@ class ReferencePlanSpace:
                 )
 
         # Merge joins, one per connecting equivalence class (symmetric).
-        for eclass in {p.eclass for p in preds}:
+        # dict.fromkeys dedupes in first-occurrence order — the fast
+        # kernel derives its eclass tuple the same way, so both kernels
+        # enumerate merge joins in the same order regardless of hashing.
+        for eclass in dict.fromkeys(p.eclass for p in preds):
             left_plan, left_cost = self._sorted_input(left, eclass)
             right_plan, right_cost = self._sorted_input(right, eclass)
             cost = merge_join_cost(

@@ -119,6 +119,7 @@ def make_optimizer(
     if name == "Robust":
         # Imported here: repro.robust builds its ladder rungs through this
         # registry, so a module-level import would be circular.
+        # lint: waive[RL001] lazy upward import breaks the registry<->ladder cycle
         from repro.robust.ladder import RobustOptimizer
 
         return RobustOptimizer(budget=budget, cost_model=cost_model)

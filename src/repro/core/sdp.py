@@ -46,6 +46,7 @@ from repro.core.enumeration import level_pairs
 from repro.core.kernel import make_planspace
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
+from repro.obs.names import SPAN_SDP_FINALIZE, SPAN_SDP_LEVEL, SPAN_SDP_PRUNE
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.plans.jcr import JCR
@@ -164,7 +165,7 @@ class SDPOptimizer(Optimizer):
         space = make_planspace(query, stats, self.cost_model, counters)
         table = space.new_table()
         tracer = current_tracer()
-        with maybe_span(tracer, "sdp.level", level=1) as span:
+        with maybe_span(tracer, SPAN_SDP_LEVEL, level=1) as span:
             costed_before = counters.plans_costed
             for index in range(graph.n):
                 space.base_jcr(table, index)
@@ -182,7 +183,7 @@ class SDPOptimizer(Optimizer):
 
         levels: dict[int, list[JCR]] = {1: list(table.level(1))}
         for level in range(2, n + 1):
-            with maybe_span(tracer, "sdp.level", level=level) as span:
+            with maybe_span(tracer, SPAN_SDP_LEVEL, level=level) as span:
                 costed_before = counters.plans_costed
                 pairs_before = counters.enumerated_pairs
                 for a, b in level_pairs(levels, level, graph, counters):
@@ -215,7 +216,7 @@ class SDPOptimizer(Optimizer):
         full = table.get(graph.all_mask)
         if full is None:
             raise OptimizationError("SDP failed to build a complete plan")
-        with maybe_span(tracer, "sdp.finalize") as span:
+        with maybe_span(tracer, SPAN_SDP_FINALIZE) as span:
             costed_before = counters.plans_costed
             record = space.finalize(full)
             span.set(plans_costed=counters.plans_costed - costed_before)
@@ -285,7 +286,7 @@ class SDPOptimizer(Optimizer):
         tracer=None,
     ) -> list[JCR]:
         """One partitioning mode's pruning pass."""
-        with maybe_span(tracer, "sdp.prune", level=level, mode=mode) as span:
+        with maybe_span(tracer, SPAN_SDP_PRUNE, level=level, mode=mode) as span:
             if mode == "global":
                 prune_group = built
                 partitions: dict[int, list[JCR]] = {-1: built}

@@ -1,0 +1,66 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a JSON document of finding fingerprints (path + code +
+message — deliberately line-free, so unrelated edits don't invalidate
+it). ``python -m repro.lint --write-baseline FILE`` records the current
+findings; subsequent runs with ``--baseline FILE`` subtract them
+(multiset semantics: two identical findings need two baseline entries).
+The committed repo keeps an empty baseline — the gate is "no findings" —
+but the mechanism lets a checker land before its last finding is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset from a baseline file.
+
+    Raises:
+        ValueError: on a malformed or wrong-version document.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a version-{_VERSION} lint baseline")
+    fingerprints: Counter = Counter()
+    for entry in document.get("findings", []):
+        fingerprints[(entry["path"], entry["code"], entry["message"])] += 1
+    return fingerprints
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as a baseline document (sorted, stable)."""
+    document = {
+        "version": _VERSION,
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def suppress_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Drop baselined findings; returns ``(kept, suppressed_count)``."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

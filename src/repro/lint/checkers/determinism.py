@@ -1,0 +1,186 @@
+"""RL002 — kernel determinism.
+
+The search kernel (``core``, ``plans``, ``cost``) must be a pure
+function of (query, statistics, cost model, budget): the kernel
+equivalence sweep and the ``--check`` bit-identity guard both depend on
+it. Inside those layers this checker forbids:
+
+* wall-clock reads: ``time.time`` / ``time.time_ns`` / ``datetime.now``
+  / ``datetime.utcnow`` / ``date.today`` (budget timing goes through the
+  injected :class:`repro.util.timer.Timer`);
+* unseeded randomness: module-level ``random.*`` calls and argument-less
+  ``random.Random()`` (randomized optimizers derive seeded generators
+  via ``repro.util.rng.derive_rng``);
+* environment reads (``os.environ`` / ``os.getenv``) anywhere except
+  ``core/kernel.py``, the one sanctioned configuration point;
+* ``for`` loops iterating a bare set display, set comprehension or
+  ``set(...)`` call — set order is salted-hash order for strings, so
+  enumeration must sort first.
+
+``symtable`` confirms that a flagged ``random.x`` / ``os.x`` receiver is
+really the imported module at module scope, and an AST scope walk skips
+receivers rebound locally (a local variable named ``random`` holding a
+seeded RNG is fine).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+#: Layers the determinism contract covers.
+KERNEL_LAYERS = ("core", "plans", "cost")
+
+#: ``module -> attribute`` calls that read a wall clock.
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _local_bindings(func: ast.AST) -> set[str]:
+    """Names bound inside ``func`` (params + assignments), shallow."""
+    bound: set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ):
+            bound.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+class _Scope:
+    """AST walk tracking which enclosing functions rebind a name."""
+
+    def __init__(self, module):
+        self.module = module
+        self._stack: list[set[str]] = []
+
+    def push(self, func: ast.AST) -> None:
+        self._stack.append(_local_bindings(func))
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def is_module_ref(self, name: str) -> bool:
+        """True when ``name`` resolves to a module imported at top level."""
+        if any(name in bound for bound in self._stack):
+            return False
+        return self.module.module_level_import(name)
+
+
+@register
+class DeterminismChecker(Checker):
+    code = "RL002"
+    name = "kernel-determinism"
+    description = "no clocks, unseeded RNGs, env reads or set-order loops"
+
+    def check(self, project):
+        for module in project.modules:
+            if module.layer not in KERNEL_LAYERS:
+                continue
+            env_exempt = module.package_parts == ("core", "kernel.py")
+            yield from self._check_module(module, env_exempt)
+
+    def _check_module(self, module, env_exempt: bool):
+        scope = _Scope(module)
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST) -> None:
+            is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_func:
+                scope.push(node)
+            self._check_node(module, node, scope, env_exempt, findings)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            if is_func:
+                scope.pop()
+
+        visit(module.tree)
+        return findings
+
+    def _check_node(self, module, node, scope, env_exempt, findings):
+        relpath = module.relpath
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                receiver, attr = func.value.id, func.attr
+                if (receiver, attr) in _CLOCK_CALLS and scope.is_module_ref(receiver):
+                    findings.append(Finding(
+                        relpath, node.lineno, node.col_offset, self.code,
+                        f"wall-clock read {receiver}.{attr}() in the kernel; "
+                        f"inject a repro.util.timer.Timer instead",
+                    ))
+                elif receiver == "random" and scope.is_module_ref("random"):
+                    if attr == "Random" and not node.args and not node.keywords:
+                        findings.append(Finding(
+                            relpath, node.lineno, node.col_offset, self.code,
+                            "unseeded random.Random(); derive a seeded "
+                            "generator via repro.util.rng.derive_rng",
+                        ))
+                    elif attr != "Random":
+                        findings.append(Finding(
+                            relpath, node.lineno, node.col_offset, self.code,
+                            f"module-level random.{attr}() call uses global "
+                            f"RNG state; derive a seeded generator via "
+                            f"repro.util.rng.derive_rng",
+                        ))
+                elif (
+                    not env_exempt
+                    and receiver == "os"
+                    and attr == "getenv"
+                    and scope.is_module_ref("os")
+                ):
+                    findings.append(Finding(
+                        relpath, node.lineno, node.col_offset, self.code,
+                        "os.getenv() read outside core/kernel.py; kernel "
+                        "selection is the only sanctioned env read",
+                    ))
+        elif isinstance(node, ast.Attribute):
+            if (
+                not env_exempt
+                and node.attr == "environ"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+                and scope.is_module_ref("os")
+            ):
+                findings.append(Finding(
+                    relpath, node.lineno, node.col_offset, self.code,
+                    "os.environ read outside core/kernel.py; kernel "
+                    "selection is the only sanctioned env read",
+                ))
+        elif isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            iterator = node.iter
+            if self._is_bare_set(iterator):
+                findings.append(Finding(
+                    relpath, iterator.lineno, iterator.col_offset, self.code,
+                    "iteration over a bare set is salted-hash order; sort "
+                    "it (sorted(...)) before enumerating",
+                ))
+
+    @staticmethod
+    def _is_bare_set(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )

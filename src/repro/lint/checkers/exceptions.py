@@ -1,0 +1,121 @@
+"""RL006 — exception hygiene.
+
+Three rules, enforced across the whole ``repro`` tree:
+
+* no bare ``except:`` — it swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides cancellation (the robust ladder relies on
+  ``OptimizationCancelled`` propagating);
+* a ``raise X(...)`` inside an ``except`` block must chain the cause
+  (``raise X(...) from err``) so effort annotations and attempt logs
+  keep the original failure (a bare re-``raise`` is fine);
+* ``ReproError`` subclasses are defined in ``errors.py`` only — the
+  exception taxonomy is API surface, and scattering it breaks the
+  "one ``except ReproError``" contract documented there. The synthetic
+  fault taxonomy (``repro.robust.faults``) is the sanctioned, waived
+  exception.
+
+The known error-class set is read from the *scanned tree's*
+``repro/errors.py`` (transitive subclasses of ``ReproError``), so the
+checker works on fixture trees without importing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _error_classes(project) -> frozenset[str]:
+    """Transitive ``ReproError`` subclass names from ``repro/errors.py``."""
+    errors_module = project.find("errors.py")
+    if errors_module is None:
+        return frozenset({"ReproError"})
+    classes = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for node in errors_module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name not in classes:
+                if any(base in classes for base in _base_names(node)):
+                    classes.add(node.name)
+                    changed = True
+    return frozenset(classes)
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    code = "RL006"
+    name = "exception-hygiene"
+    description = "no bare except, chained raises, errors defined in errors.py"
+
+    def check(self, project):
+        error_classes = _error_classes(project)
+        for module in project.modules:
+            if module.layer is None:
+                continue
+            in_errors_py = module.package_parts == ("errors.py",)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+                elif (
+                    isinstance(node, ast.ClassDef)
+                    and not in_errors_py
+                    and any(b in error_classes for b in _base_names(node))
+                ):
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.code,
+                        f"ReproError subclass {node.name!r} defined outside "
+                        f"errors.py; the exception taxonomy is API surface "
+                        f"— move it or waive with a reason",
+                    )
+
+    def _check_handler(self, module, handler: ast.ExceptHandler):
+        if handler.type is None:
+            yield Finding(
+                module.relpath,
+                handler.lineno,
+                handler.col_offset,
+                self.code,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch a concrete exception type",
+            )
+        for node in self._walk_handler(handler):
+            if (
+                isinstance(node, ast.Raise)
+                and node.exc is not None
+                and node.cause is None
+            ):
+                yield Finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.code,
+                    "raise inside an except block must chain its cause "
+                    "('raise X(...) from err') or re-raise bare",
+                )
+
+    @staticmethod
+    def _walk_handler(handler: ast.ExceptHandler):
+        """Walk the handler body, not descending into nested functions."""
+        stack = list(handler.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,122 @@
+"""RL001 — the import DAG.
+
+The package is layered; imports may only point sideways or down::
+
+    util, errors                      (0)
+    obs                               (1)  imports nothing above util/errors
+    catalog, query                    (2)
+    cost                              (3)
+    plans, skyline                    (4)
+    core, engine                      (5)
+    robust                            (6)
+    service                           (7)
+    bench, api, compare, lint         (8)
+    repro/__init__ (the facade)       (9)
+
+``obs`` sits low on purpose: any layer may import it (observability
+hooks go everywhere), but it may depend on nothing above the base
+layer, so enabling tracing can never create an import cycle. Imports
+inside function bodies count too — a lazy import is still an edge in
+the DAG; genuinely intentional back-edges (the technique registry's
+lazy ladder construction) carry a waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+#: Layer rank per top-level subpackage / root module.
+LAYER_RANKS = {
+    "util": 0,
+    "errors": 0,
+    "obs": 1,
+    "catalog": 2,
+    "query": 2,
+    "cost": 3,
+    "plans": 4,
+    "skyline": 4,
+    "core": 5,
+    "engine": 5,
+    "robust": 6,
+    "service": 7,
+    "bench": 8,
+    "api": 8,
+    "compare": 8,
+    "lint": 8,
+    "__init__": 9,
+}
+
+
+def _import_targets(tree: ast.Module) -> Iterable[tuple[str, int, int]]:
+    """Yield ``(dotted_module, line, col)`` for every import in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, node.col_offset
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module:
+                yield node.module, node.lineno, node.col_offset
+
+
+def target_layer(dotted: str) -> str | None:
+    """The layer a ``repro...`` import lands in, or None for stdlib."""
+    parts = dotted.split(".")
+    if parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "__init__"
+
+
+@register
+class LayeringChecker(Checker):
+    code = "RL001"
+    name = "layering"
+    description = "imports must follow the package layer DAG"
+
+    def check(self, project):
+        for module in project.modules:
+            source_layer = module.layer
+            if source_layer is None:
+                continue
+            source_rank = LAYER_RANKS.get(source_layer)
+            if source_rank is None:
+                # Unknown subpackage: no layer assigned yet. Flag it so the
+                # DAG stays total — new subpackages must pick a rank.
+                yield Finding(
+                    module.relpath,
+                    1,
+                    0,
+                    self.code,
+                    f"package {source_layer!r} has no layer rank; add it to "
+                    f"repro.lint.checkers.layering.LAYER_RANKS",
+                )
+                continue
+            for dotted, line, col in _import_targets(module.tree):
+                layer = target_layer(dotted)
+                if layer is None:
+                    continue
+                target_rank = LAYER_RANKS.get(layer)
+                if target_rank is None:
+                    yield Finding(
+                        module.relpath,
+                        line,
+                        col,
+                        self.code,
+                        f"import of unranked package repro.{layer}; add it "
+                        f"to LAYER_RANKS",
+                    )
+                elif target_rank > source_rank:
+                    yield Finding(
+                        module.relpath,
+                        line,
+                        col,
+                        self.code,
+                        f"layer {source_layer!r} (rank {source_rank}) must "
+                        f"not import {dotted!r} (rank {target_rank}); the "
+                        f"DAG flows util/errors -> catalog/query -> cost -> "
+                        f"plans/skyline -> core -> robust -> service -> "
+                        f"bench/api/compare",
+                    )

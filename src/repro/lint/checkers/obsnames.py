@@ -1,0 +1,122 @@
+"""RL005 — span and metric names come from ``repro.obs.names``.
+
+Dashboards, the search profiler and the span-sum acceptance tests treat
+span/metric names as a stable vocabulary; an inline literal is a name
+nobody can find or rename safely. Outside ``obs/names.py`` this checker
+forbids:
+
+* a string literal as the name argument of ``maybe_span(tracer, name)``,
+  ``tracer.span(name)`` or ``tracer.start_span(name)``;
+* a string literal as the first argument of ``.counter(...)`` /
+  ``.gauge(...)`` / ``.histogram(...)``;
+* any string literal equal to a registered *dotted* span name or
+  ``repro_*`` metric name (from the scanned tree's
+  ``repro/obs/names.py``) anywhere else — e.g. in comparisons.
+  Undotted names like ``"optimize"`` are only policed at the
+  span-opening call sites above; the bare word is too common to match
+  globally (``__all__`` exports it as a symbol name, for one).
+
+The fix is always the same: add the name to ``repro.obs.names`` and
+import the constant. The ``repro.obs`` machinery itself (which receives
+names as parameters) is structurally exempt because it never spells a
+literal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+#: Files exempt from RL005: the registry itself defines the literals.
+_EXEMPT_PARTS = (("obs", "names.py"),)
+
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+
+def _registered_names(project) -> frozenset[str]:
+    """String constants assigned at top level of ``repro/obs/names.py``."""
+    names_module = project.find("obs", "names.py")
+    if names_module is None:
+        return frozenset()
+    literals: set[str] = set()
+    for node in names_module.tree.body:
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                literal = value.value
+                if "." in literal or literal.startswith("repro_"):
+                    literals.add(literal)
+    return frozenset(literals)
+
+
+def _span_name_arg(call: ast.Call) -> ast.AST | None:
+    """The name argument of a span-opening call, if this is one."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "maybe_span":
+        return call.args[1] if len(call.args) > 1 else None
+    if isinstance(func, ast.Attribute) and func.attr in ("span", "start_span"):
+        return call.args[0] if call.args else None
+    return None
+
+
+def _metric_name_arg(call: ast.Call) -> ast.AST | None:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _METRIC_FACTORIES:
+        return call.args[0] if call.args else None
+    return None
+
+
+def _is_str(node: ast.AST | None) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+@register
+class ObsNamesChecker(Checker):
+    code = "RL005"
+    name = "observability-registry"
+    description = "span/metric names must come from repro.obs.names"
+
+    def check(self, project):
+        registered = _registered_names(project)
+        for module in project.modules:
+            if module.layer is None or module.layer == "lint":
+                continue
+            if module.package_parts in _EXEMPT_PARTS:
+                continue
+            flagged: set[tuple[int, int]] = set()
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for arg, kind in (
+                    (_span_name_arg(node), "span"),
+                    (_metric_name_arg(node), "metric"),
+                ):
+                    if _is_str(arg):
+                        flagged.add((arg.lineno, arg.col_offset))
+                        yield Finding(
+                            module.relpath,
+                            arg.lineno,
+                            arg.col_offset,
+                            self.code,
+                            f"inline {kind} name {arg.value!r}; define it "
+                            f"in repro.obs.names and import the constant",
+                        )
+            if not registered:
+                continue
+            for node in ast.walk(module.tree):
+                if (
+                    _is_str(node)
+                    and node.value in registered
+                    and (node.lineno, node.col_offset) not in flagged
+                ):
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.code,
+                        f"string literal {node.value!r} duplicates a "
+                        f"registered observability name; import it from "
+                        f"repro.obs.names",
+                    )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.names import LEVEL_SPAN_SUFFIX, SPAN_OPTIMIZE
 from repro.obs.trace import Span, render_span_tree
 from repro.util.tables import TextTable
 
@@ -24,9 +25,6 @@ __all__ = [
     "render_search_profile",
     "explain_trace",
 ]
-
-#: Span names that describe one search level's work.
-LEVEL_SPAN_SUFFIX = ".level"
 
 #: Attributes summed across runs into the profile rows.
 _SUMMED = ("pairs", "subsets", "built", "survivors", "pruned", "plans_costed")
@@ -68,7 +66,7 @@ def _optimize_ancestor(span: Span, by_id: dict[int, Span]) -> int | None:
     """Span id of the enclosing ``optimize`` span, if any."""
     current: Span | None = span
     while current is not None:
-        if current.name == "optimize":
+        if current.name == SPAN_OPTIMIZE:
             return current.span_id
         parent = current.parent_id
         current = by_id.get(parent) if parent is not None else None

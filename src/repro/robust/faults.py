@@ -33,6 +33,7 @@ from typing import Iterator
 from repro.catalog.statistics import CatalogStatistics, TableStats
 from repro.core.base import Optimizer, SearchCounters
 from repro.errors import FaultInjected, OptimizationBudgetExceeded
+from repro.obs.names import METRIC_FAULTS_INJECTED_TOTAL
 from repro.obs.runtime import enabled as _obs_enabled, metrics as _obs_metrics
 from repro.util.rng import derive_rng
 
@@ -48,16 +49,18 @@ def _note_fault(kind: str) -> None:
     """Count one injected fault in the metrics registry (when enabled)."""
     if _obs_enabled():
         _obs_metrics().counter(
-            "repro_faults_injected_total",
+            METRIC_FAULTS_INJECTED_TOTAL,
             "Synthetic faults injected by the fault harness, by kind.",
             ("kind",),
         ).inc(kind=kind)
 
 
+# lint: waive[RL006] synthetic-fault taxonomy lives with the fault harness
 class CostModelFault(FaultInjected):
     """A synthetic cost-model failure injected by :class:`FaultyCostModel`."""
 
 
+# lint: waive[RL006] synthetic-fault taxonomy lives with the fault harness
 class InjectedBudgetExceeded(FaultInjected, OptimizationBudgetExceeded):
     """A synthetic budget trip.
 

@@ -41,6 +41,11 @@ from repro.errors import (
     OptimizationError,
     ReproError,
 )
+from repro.obs.names import (
+    METRIC_ROBUST_RUNGS_TOTAL,
+    SPAN_ROBUST_LADDER,
+    SPAN_ROBUST_RUNG,
+)
 from repro.obs.runtime import current_tracer, enabled as _obs_enabled, metrics
 from repro.obs.trace import maybe_span
 from repro.plans.records import PlanRecord
@@ -245,7 +250,7 @@ class RobustOptimizer(Optimizer):
         tracer = current_tracer() if observing else None
         rung_counter = (
             metrics().counter(
-                "repro_robust_rungs_total",
+                METRIC_ROBUST_RUNGS_TOTAL,
                 "Fallback-ladder rung executions by technique and outcome.",
                 ("technique", "outcome"),
             )
@@ -259,12 +264,12 @@ class RobustOptimizer(Optimizer):
                 rung_counter.inc(technique=technique, outcome=outcome)
 
         with maybe_span(
-            tracer, "robust.ladder",
+            tracer, SPAN_ROBUST_LADDER,
             query=query.label, rungs=len(self.ladder),
         ) as ladder_span:
             for position, technique in enumerate(self.ladder):
                 with maybe_span(
-                    tracer, "robust.rung",
+                    tracer, SPAN_ROBUST_RUNG,
                     technique=technique, position=position,
                 ) as rung_span:
                     stage_budget = self._stage_budget(

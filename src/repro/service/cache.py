@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.errors import ServiceError
+from repro.obs.names import METRIC_PLAN_CACHE_EVENTS_TOTAL, METRIC_PLAN_CACHE_SIZE
 from repro.obs.runtime import enabled as _obs_enabled, metrics as _obs_metrics
 
 __all__ = ["CacheStats", "PlanCache"]
@@ -28,7 +29,7 @@ __all__ = ["CacheStats", "PlanCache"]
 def _cache_events():
     """The shared plan-cache traffic counter (observability enabled only)."""
     return _obs_metrics().counter(
-        "repro_plan_cache_events_total",
+        METRIC_PLAN_CACHE_EVENTS_TOTAL,
         "Plan-cache traffic by event (hit/miss/eviction/invalidation).",
         ("event",),
     )
@@ -111,7 +112,7 @@ class PlanCache:
                 _cache_events().inc(evicted, event="eviction")
         if _obs_enabled():
             _obs_metrics().gauge(
-                "repro_plan_cache_size", "Entries currently cached."
+                METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
             ).set(len(entries))
 
     def invalidate(self) -> int:
@@ -123,7 +124,7 @@ class PlanCache:
             if dropped:
                 _cache_events().inc(dropped, event="invalidation")
             _obs_metrics().gauge(
-                "repro_plan_cache_size", "Entries currently cached."
+                METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
             ).set(0)
         return dropped
 

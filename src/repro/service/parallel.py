@@ -52,6 +52,7 @@ from repro.core.base import OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
 from repro.errors import OptimizationBudgetExceeded, ServiceError
+from repro.obs.names import SPAN_SERVICE_BATCH, SPAN_SERVICE_CELL
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.query.query import Query
@@ -160,7 +161,7 @@ def _run_cell(task: tuple[int, str]) -> BatchItem:
         technique, _CONTEXT["budget"], _CONTEXT["cost_model"], _CONTEXT["robust"]
     )
     with maybe_span(
-        current_tracer(), "service.cell",
+        current_tracer(), SPAN_SERVICE_CELL,
         query=query.label, technique=technique,
         query_index=query_index, worker_pid=os.getpid(),
     ) as span:
@@ -267,7 +268,7 @@ def optimize_many(
     mode, effective = execution_mode(workers, len(tasks))
 
     with maybe_span(
-        current_tracer(), "service.batch",
+        current_tracer(), SPAN_SERVICE_BATCH,
         queries=len(queries), techniques=len(techniques),
         cells=len(tasks), workers=effective, mode=mode,
     ):

@@ -28,6 +28,7 @@ from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.core.base import OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
+from repro.obs.names import SPAN_SERVICE_OPTIMIZE
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.query.query import Query
@@ -133,7 +134,7 @@ class OptimizationService:
 
         timer = Timer().start()
         with maybe_span(
-            current_tracer(), "service.optimize",
+            current_tracer(), SPAN_SERVICE_OPTIMIZE,
             technique=self.technique, query=query.label,
         ) as span:
             fingerprint = query_fingerprint(query)

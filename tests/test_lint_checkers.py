@@ -1,0 +1,532 @@
+"""Fixture-tree tests for every repro.lint checker (RL001-RL007).
+
+Each test builds a minimal ``src/repro`` tree on disk, runs one checker
+over it, and asserts the checker fires (positive) or stays silent
+(negative). Fixture trees are never imported — the linter works on
+source text alone — so the snippets only need to parse.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import all_checkers, load_project, run_checkers
+
+pytestmark = pytest.mark.lint
+
+
+def make_tree(tmp_path, files: dict[str, str]):
+    """Write ``files`` (relative to a ``src/`` root) and return both roots."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def lint_tree(tmp_path, files: dict[str, str], code: str):
+    """Run just the checker for ``code`` over the fixture tree."""
+    src = make_tree(tmp_path, files)
+    checkers = [c for c in all_checkers() if c.code == code]
+    assert checkers, f"no checker registered for {code}"
+    return run_checkers(load_project([src]), checkers)
+
+
+# ---------------------------------------------------------------- RL001
+
+
+class TestLayering:
+    def test_upward_import_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/cost/model.py": """\
+                from repro.core.base import Optimizer
+            """,
+        }, "RL001")
+        assert len(findings) == 1
+        assert findings[0].code == "RL001"
+        assert "rank" in findings[0].message
+
+    def test_downward_and_sideways_imports_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                from repro.cost.model import CostModel
+                from repro.plans.records import PlanRecord
+                import repro.core.base
+            """,
+        }, "RL001")
+        assert findings == []
+
+    def test_lazy_function_body_import_still_counts(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def build():
+                    from repro.robust.ladder import RobustOptimizer
+                    return RobustOptimizer
+            """,
+        }, "RL001")
+        assert len(findings) == 1
+
+    def test_unranked_package_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/mystery/x.py": "x = 1\n",
+        }, "RL001")
+        assert len(findings) == 1
+        assert "no layer rank" in findings[0].message
+
+    def test_waiver_suppresses(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/cost/model.py": """\
+                # lint: waive[RL001] intentional back-edge for the test
+                from repro.core.base import Optimizer
+            """,
+        }, "RL001")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL002
+
+
+class TestDeterminism:
+    def test_wall_clock_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import time
+
+                def elapsed():
+                    return time.time()
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_global_random_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import random
+
+                def pick(xs):
+                    return random.choice(xs)
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert "global" in findings[0].message
+
+    def test_unseeded_random_constructor_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import random
+
+                RNG = random.Random()
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_seeded_random_constructor_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import random
+
+                RNG = random.Random(7)
+            """,
+        }, "RL002")
+        assert findings == []
+
+    def test_locally_rebound_receiver_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def shuffle(random, xs):
+                    random.shuffle(xs)
+            """,
+        }, "RL002")
+        assert findings == []
+
+    def test_environ_outside_kernel_fires_inside_kernel_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import os
+
+                MODE = os.environ.get("REPRO_MODE")
+            """,
+            "src/repro/core/kernel.py": """\
+                import os
+
+                KERNEL = os.environ.get("REPRO_KERNEL", "fast")
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("x.py")
+
+    def test_set_iteration_fires_sorted_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/x.py": """\
+                def bad(items):
+                    return [i for i in {x.key for x in items}]
+
+                def good(items):
+                    for key in sorted({x.key for x in items}):
+                        yield key
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_non_kernel_layer_out_of_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/bench/x.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        }, "RL002")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL003
+
+
+class TestFloatDiscipline:
+    def test_cost_equality_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def tie(cost, best_cost):
+                    return cost == best_cost
+            """,
+        }, "RL003")
+        assert len(findings) == 1
+        assert "JCR.improves" in findings[0].message
+
+    def test_selectivity_inequality_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/cost/x.py": """\
+                def changed(selectivity, previous):
+                    return selectivity != previous
+            """,
+        }, "RL003")
+        assert len(findings) == 1
+
+    def test_attribute_operand_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/skyline/x.py": """\
+                def same(a, b):
+                    return a.cost == b.cost
+            """,
+        }, "RL003")
+        assert len(findings) == 1
+
+    def test_strict_ordering_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def improves(cost, best_cost):
+                    return cost < best_cost
+            """,
+        }, "RL003")
+        assert findings == []
+
+    def test_exempt_identifiers_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def same_model(cost_model, other):
+                    return cost_model == other
+            """,
+        }, "RL003")
+        assert findings == []
+
+    def test_non_kernel_layer_out_of_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/bench/x.py": """\
+                def identical(cost, baseline_cost):
+                    return cost == baseline_cost
+            """,
+        }, "RL003")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL004
+
+
+_UNCHARGED_LOOP = """\
+    def enumerate_pairs(space, table, jcrs):
+        for left, right in jcrs:
+            space.join(table, left, right)
+"""
+
+
+class TestBudgetCharging:
+    def test_uncharged_join_loop_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": _UNCHARGED_LOOP,
+        }, "RL004")
+        assert len(findings) == 1
+        assert "enumerate_pairs" in findings[0].message
+
+    def test_note_pairs_in_function_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def enumerate_pairs(space, table, jcrs, counters):
+                    for left, right in jcrs:
+                        space.join(table, left, right)
+                    counters.note_pairs(len(jcrs))
+            """,
+        }, "RL004")
+        assert findings == []
+
+    def test_counters_handed_to_callee_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                def enumerate_pairs(query, stats, counters):
+                    space = make_planspace(query, stats, counters)
+                    for left, right in space.pairs():
+                        space.join(None, left, right)
+            """,
+        }, "RL004")
+        assert findings == []
+
+    def test_class_level_counters_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                class Walker:
+                    def __init__(self, space, counters):
+                        self.space = space
+                        self.counters = counters
+
+                    def cost(self, table, order):
+                        current = order[0]
+                        for rel in order[1:]:
+                            current = self.space.join(table, current, rel)
+                        return current
+            """,
+        }, "RL004")
+        assert findings == []
+
+    def test_pair_generator_fires_and_file_waiver_suppresses(self, tmp_path):
+        generator = textwrap.dedent("""\
+            def csg_cmp_pairs(neighbors):
+                for s1 in neighbors:
+                    for s2 in neighbors:
+                        yield (s1, s2)
+        """)
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/gen.py": generator,
+        }, "RL004")
+        assert findings and all(f.code == "RL004" for f in findings)
+
+        waived = lint_tree(tmp_path, {
+            "src/repro/core/gen2.py": (
+                "# lint: waive-file[RL004] consumers charge\n" + generator
+            ),
+        }, "RL004")
+        assert [f for f in waived if f.path.endswith("gen2.py")] == []
+
+    def test_non_core_layer_out_of_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/engine/x.py": _UNCHARGED_LOOP,
+        }, "RL004")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL005
+
+
+_FIXTURE_NAMES = """\
+    SPAN_WORK = "work.level"
+    METRIC_CALLS = "repro_calls_total"
+"""
+
+
+class TestObsNames:
+    def test_inline_span_literal_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/obs/names.py": _FIXTURE_NAMES,
+            "src/repro/core/x.py": """\
+                def run(tracer):
+                    with maybe_span(tracer, "dp.custom") as span:
+                        return span
+            """,
+        }, "RL005")
+        assert len(findings) == 1
+        assert "dp.custom" in findings[0].message
+
+    def test_inline_metric_literal_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/obs/names.py": _FIXTURE_NAMES,
+            "src/repro/service/x.py": """\
+                def bump(registry):
+                    registry.counter("repro_widgets_total", "w").inc()
+            """,
+        }, "RL005")
+        assert len(findings) == 1
+
+    def test_duplicated_registered_literal_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/obs/names.py": _FIXTURE_NAMES,
+            "src/repro/robust/x.py": """\
+                def is_work(span):
+                    return span.name == "work.level"
+            """,
+        }, "RL005")
+        assert len(findings) == 1
+        assert "duplicates" in findings[0].message
+
+    def test_constant_usage_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/obs/names.py": _FIXTURE_NAMES,
+            "src/repro/core/x.py": """\
+                from repro.obs.names import SPAN_WORK
+
+                def run(tracer):
+                    with maybe_span(tracer, SPAN_WORK) as span:
+                        return span
+            """,
+        }, "RL005")
+        assert findings == []
+
+    def test_names_module_itself_exempt(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/obs/names.py": _FIXTURE_NAMES,
+        }, "RL005")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL006
+
+
+_FIXTURE_ERRORS = """\
+    class ReproError(Exception):
+        pass
+
+    class OptimizationError(ReproError):
+        pass
+"""
+
+
+class TestExceptionHygiene:
+    def test_bare_except_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/util/x.py": """\
+                def swallow(fn):
+                    try:
+                        fn()
+                    except:
+                        pass
+            """,
+        }, "RL006")
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_unchained_raise_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/util/x.py": """\
+                def wrap(fn):
+                    try:
+                        fn()
+                    except ValueError:
+                        raise RuntimeError("wrapped")
+            """,
+        }, "RL006")
+        assert len(findings) == 1
+        assert "chain" in findings[0].message
+
+    def test_chained_and_bare_reraise_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/util/x.py": """\
+                def wrap(fn):
+                    try:
+                        fn()
+                    except ValueError as exc:
+                        raise RuntimeError("wrapped") from exc
+                    except KeyError:
+                        raise
+            """,
+        }, "RL006")
+        assert findings == []
+
+    def test_error_subclass_outside_errors_py_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": _FIXTURE_ERRORS,
+            "src/repro/service/x.py": """\
+                from repro.errors import OptimizationError
+
+                class ServiceTimeout(OptimizationError):
+                    pass
+            """,
+        }, "RL006")
+        assert len(findings) == 1
+        assert "ServiceTimeout" in findings[0].message
+
+    def test_subclass_inside_errors_py_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": _FIXTURE_ERRORS,
+        }, "RL006")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL007
+
+
+def _api_fixture(docs_block: str) -> dict[str, str]:
+    return {
+        "src/repro/__init__.py": """\
+            from repro.api import optimize
+
+            __all__ = ["optimize", "PlanResult"]
+        """,
+        "src/repro/api.py": """\
+            def optimize(query, *, technique='sdp'):
+                return query
+        """,
+        "docs/api.md": docs_block,
+    }
+
+
+_GOOD_BLOCK = """\
+    # API
+
+    <!-- repro-lint:public-api
+    facade optimize(query, *, technique='sdp')
+    symbol optimize
+    symbol PlanResult
+    -->
+"""
+
+
+class TestPublicApi:
+    def test_matching_inventory_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, _api_fixture(_GOOD_BLOCK), "RL007")
+        assert findings == []
+
+    def test_missing_inventory_block_fires(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, _api_fixture("# API\n\nno inventory here\n"), "RL007"
+        )
+        assert len(findings) == 1
+        assert "inventory" in findings[0].message
+
+    def test_undocumented_export_fires(self, tmp_path):
+        block = _GOOD_BLOCK.replace("symbol PlanResult\n", "")
+        findings = lint_tree(tmp_path, _api_fixture(block), "RL007")
+        assert len(findings) == 1
+        assert "PlanResult" in findings[0].message
+
+    def test_stale_doc_symbol_fires(self, tmp_path):
+        block = _GOOD_BLOCK.replace(
+            "symbol PlanResult", "symbol PlanResult\n    symbol Removed"
+        )
+        findings = lint_tree(tmp_path, _api_fixture(block), "RL007")
+        assert len(findings) == 1
+        assert "Removed" in findings[0].message
+
+    def test_facade_signature_drift_fires(self, tmp_path):
+        block = _GOOD_BLOCK.replace("technique='sdp'", "technique='dp'")
+        findings = lint_tree(tmp_path, _api_fixture(block), "RL007")
+        assert len(findings) == 1
+        assert "drift" in findings[0].message
+
+    def test_partial_fixture_tree_silent(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": "x = 1\n",
+        }, "RL007")
+        assert findings == []

@@ -1,0 +1,36 @@
+"""Tier-1 gate: the repository's own ``src/`` tree lints clean.
+
+This is the enforcement point for every invariant in
+``docs/static-analysis.md`` — a change that introduces an upward import,
+an inline span name, an uncharged enumeration loop, etc. fails here with
+the exact ``path:line:col CODE message`` to fix. Grandfathered findings
+belong in a committed baseline; this repo keeps none, so the gate is a
+plain empty-list assertion.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_tree_lints_clean():
+    findings = run_lint([REPO_ROOT / "src"])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repro.lint found violations:\n{rendered}"
+
+
+def test_every_checker_registered():
+    # The gate above only means something if all seven checkers ran.
+    from repro.lint import CHECKER_CODES
+
+    assert CHECKER_CODES() == [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+    ]

@@ -52,3 +52,28 @@ def test_gitignore_covers_artifacts():
     for pattern in ("__pycache__/", ".pytest_cache/", "dist/"):
         assert pattern in gitignore, f".gitignore misses {pattern!r}"
     assert "*.py[cod]" in gitignore or "*.pyc" in gitignore
+
+
+def test_bytecode_ignored_everywhere():
+    """git must ignore bytecode in every directory, not just src/.
+
+    ``benchmarks/`` and ``tests/`` grow ``__pycache__`` the moment their
+    modules are imported; an anchored ignore pattern would leave those
+    trees unprotected and a later ``git add -A`` would commit them.
+    """
+    _require_git_repo()
+    candidates = [
+        "benchmarks/__pycache__/bench_hot_paths.cpython-311.pyc",
+        "tests/__pycache__/test_lint_clean.cpython-311.pyc",
+        "src/repro/core/__pycache__/dp.cpython-311.pyc",
+        "examples/__pycache__/x.cpython-311.pyc",
+    ]
+    result = _git("check-ignore", "--", *candidates)
+    assert result.returncode == 0, (
+        f"git check-ignore failed: {result.stderr or result.stdout}"
+    )
+    ignored = set(result.stdout.splitlines())
+    missed = [path for path in candidates if path not in ignored]
+    assert missed == [], (
+        ".gitignore does not cover bytecode in:\n" + "\n".join(missed)
+    )
