@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full pre-merge verification: static analysis, the tier-1 test suite,
-# and the hot-path regression guard, in fail-fast order (cheapest first).
+# the hot-path regression guard, and the front-door overload smoke, in
+# fail-fast order (cheapest first).
 #
 #   scripts/verify.sh            # from the repo root
 #
@@ -12,13 +13,16 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/3 static analysis (python -m repro.lint) =="
+echo "== 1/4 static analysis (python -m repro.lint) =="
 python -m repro.lint src/
 
-echo "== 2/3 tier-1 tests (pytest) =="
+echo "== 2/4 tier-1 tests (pytest) =="
 python -m pytest
 
-echo "== 3/3 hot-path regression guard (sdp-bench --check) =="
+echo "== 3/4 hot-path regression guard (sdp-bench --check) =="
 python -m repro.bench --check BENCH_optimize.json
+
+echo "== 4/4 overload smoke (pytest -m stress) =="
+python -m pytest -m stress
 
 echo "verify: all stages passed"

@@ -68,17 +68,20 @@ from repro.core import (
 from repro.compare import compare_techniques
 from repro.cost import DEFAULT_COST_MODEL, CostModel
 from repro.errors import (
+    AdmissionRejected,
     FaultInjected,
     OptimizationBudgetExceeded,
     OptimizationCancelled,
     OptimizationError,
     ReproError,
+    TenantBudgetExhausted,
 )
 from repro.plans import PlanNode, explain
 from repro.robust import (
     Attempt,
     Deadline,
     FaultHarness,
+    FaultPlan,
     RobustOptimizer,
     RobustResult,
 )
@@ -95,10 +98,16 @@ from repro.query import (
 )
 from repro.service import (
     BatchItem,
+    BrownoutLevel,
     CacheStats,
+    FrontDoor,
+    FrontDoorConfig,
+    FrontDoorResult,
     OptimizationService,
     PlanCache,
     ServiceResult,
+    TenantPolicy,
+    TenantRegistry,
     optimize_many,
     query_fingerprint,
 )
@@ -160,12 +169,20 @@ __all__ = [
     "BatchItem",
     "optimize_many",
     "query_fingerprint",
+    # serving front door
+    "FrontDoor",
+    "FrontDoorConfig",
+    "FrontDoorResult",
+    "BrownoutLevel",
+    "TenantPolicy",
+    "TenantRegistry",
     # robustness
     "RobustOptimizer",
     "RobustResult",
     "Attempt",
     "Deadline",
     "FaultHarness",
+    "FaultPlan",
     # plans
     "PlanNode",
     "explain",
@@ -175,4 +192,6 @@ __all__ = [
     "OptimizationBudgetExceeded",
     "OptimizationCancelled",
     "FaultInjected",
+    "AdmissionRejected",
+    "TenantBudgetExhausted",
 ]

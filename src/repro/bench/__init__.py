@@ -13,6 +13,8 @@ Layout:
   otherwise, as in the paper) plus overhead statistics;
 * :mod:`repro.bench.reporting` — paper-style plain-text tables;
 * :mod:`repro.bench.experiments` — one module per paper table/figure;
+* :mod:`repro.bench.loadgen` — load/chaos harness for the serving front
+  door (latency percentiles, shed rate, brownout rung mix under faults);
 * :mod:`repro.bench.cli` — ``sdp-bench`` command-line front end.
 
 Experiment sizes default to minutes-not-days sampling of the paper's
@@ -20,6 +22,7 @@ millions-of-queries grids; set ``REPRO_BENCH_INSTANCES`` (per-cell instance
 count) or pass ``--instances`` to scale up.
 """
 
+from repro.bench.loadgen import LoadScenario, run_load
 from repro.bench.persistence import load_comparison, save_comparison
 from repro.bench.quality import PLAN_CLASSES, QualityStats, classify_ratio
 from repro.bench.runner import ComparisonResult, TechniqueOutcome, run_comparison
@@ -36,4 +39,6 @@ __all__ = [
     "TechniqueOutcome",
     "save_comparison",
     "load_comparison",
+    "LoadScenario",
+    "run_load",
 ]

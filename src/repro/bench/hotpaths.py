@@ -11,7 +11,13 @@ Times the scenarios this codebase optimizes hardest:
   and recording the speedup plus the serial-vs-pool decision
   (:func:`repro.service.parallel.execution_mode`);
 * ``plan_cache`` — cold vs. warm :class:`repro.service.OptimizationService`
-  lookups on a repeated query.
+  lookups on a repeated query;
+* ``frontdoor_load`` — the serving front door under an unloaded control
+  arm and a 4x-overload chaos arm (latency faults + statistics churn),
+  via :mod:`repro.bench.loadgen`: latency percentiles, shed rate and the
+  brownout rung mix. The guard checks *behavioral* invariants (zero
+  unhandled errors, zero hung requests, graceful degradation under
+  overload, none at all unloaded), never wall-clock numbers.
 
 Each scenario reports the **median** wall-clock over ``repeats`` runs
 (medians shrug off one-off scheduler noise) plus the deterministic search
@@ -36,6 +42,7 @@ import platform
 import statistics
 import time
 
+from repro.bench.loadgen import LoadScenario, run_load
 from repro.bench.runner import run_comparison
 from repro.bench.workloads import WorkloadSpec, make_query
 from repro.catalog.schema import SchemaBuilder, paper_schema
@@ -143,6 +150,40 @@ def bench_plan_cache(schema, stats, repeats: int):
     }
 
 
+def bench_frontdoor(schema, stats) -> dict:
+    """The two canonical load arms (see :mod:`repro.bench.loadgen`)."""
+    # A DP baseline makes the brownout shift legible in the rung mix:
+    # level 0 serves DP, brownout enters the ladder at SDP/IDP(4)/GOO.
+    sizes = (8, 9, 10)
+    unloaded = run_load(
+        LoadScenario(
+            label="unloaded",
+            duration_seconds=2.0,
+            overload_factor=0.5,
+            query_sizes=sizes,
+            technique="DP",
+        ),
+        schema,
+        stats,
+    )
+    overload = run_load(
+        LoadScenario(
+            label="overload",
+            duration_seconds=3.0,
+            overload_factor=4.0,
+            queue_capacity=8,
+            latency_fault_seconds=0.005,
+            latency_fault_every=64,
+            stats_churn_interval_seconds=0.2,
+            query_sizes=sizes,
+            technique="DP",
+        ),
+        schema,
+        stats,
+    )
+    return {"unloaded": unloaded, "overload": overload}
+
+
 def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
     """Run every scenario and return the report dictionary."""
     # At least 2 so the grid scenario really asks for parallelism; on a
@@ -175,6 +216,7 @@ def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
             ),
             "grid_workers": bench_grid(schema, stats, repeats, workers),
             "plan_cache": bench_plan_cache(schema, stats, repeats),
+            "frontdoor_load": bench_frontdoor(schema, stats),
         },
     }
     return report
@@ -239,4 +281,50 @@ def compare_reports(
         problems.append(
             f"plan_cache: warm-hit speedup {cache_c['speedup']} below 10x"
         )
+
+    # The front-door arms assert the serving contract on the *current*
+    # run only — their wall-clock curves are recorded for trending, not
+    # compared (offered load is derived from measured capacity, so the
+    # absolute numbers are machine-specific by design). Older baselines
+    # may predate the scenario entirely.
+    door = cur.get("frontdoor_load")
+    if door is not None:
+        for arm_name in ("unloaded", "overload"):
+            arm = door[arm_name]
+            if arm["errors"]:
+                problems.append(
+                    f"frontdoor_load/{arm_name}: {arm['errors']} requests "
+                    "escaped with untyped errors"
+                )
+            if arm["hung"]:
+                problems.append(
+                    f"frontdoor_load/{arm_name}: {arm['hung']} requests "
+                    "never completed"
+                )
+            if arm["completed"] == 0:
+                problems.append(
+                    f"frontdoor_load/{arm_name}: no requests completed"
+                )
+        unloaded = door["unloaded"]
+        if unloaded["shed_rate"] > 0.0:
+            problems.append(
+                f"frontdoor_load/unloaded: shed at half capacity "
+                f"(rate {unloaded['shed_rate']})"
+            )
+        if unloaded["degraded_fraction"] > 0.0:
+            problems.append(
+                "frontdoor_load/unloaded: degraded plans on the unloaded path"
+            )
+        overload = door["overload"]
+        baseline_entry = overload.get("technique", "SDP")
+        cheaper = sum(
+            count
+            for entry, count in overload["rung_mix"].items()
+            if entry != baseline_entry
+        )
+        if overload["shed"].get("queue-full", 0) == 0 and cheaper == 0:
+            problems.append(
+                "frontdoor_load/overload: 4x load produced neither "
+                "queue shedding nor brownout rung shift"
+            )
     return problems

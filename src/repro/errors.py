@@ -97,6 +97,68 @@ class ServiceError(ReproError):
     """The optimization service was misused or misconfigured."""
 
 
+class AdmissionRejected(ServiceError):
+    """A request was shed at the serving front door before any search ran.
+
+    Overload is answered with a *typed* rejection instead of a timeout or
+    an unbounded queue: the caller learns immediately that no plan is
+    coming and why. Raised synchronously by
+    :meth:`repro.service.FrontDoor.submit`.
+
+    Attributes:
+        reason: Why admission failed — ``"queue-full"`` (the bounded
+            request queue had no slot), ``"tenant-budget"`` (the tenant's
+            token bucket is empty; see :class:`TenantBudgetExhausted`),
+            or ``"shutdown"`` (the front door is closing).
+        detail: Human-readable context (queue capacity, tenant id, ...).
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        message = f"admission rejected ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*self.args)`` — a single
+        # pre-formatted message that does not match this constructor. Front
+        # doors hand rejections to other threads/processes via futures, so
+        # restore from the structured fields.
+        return (type(self), (self.reason, self.detail), self.__dict__)
+
+
+class TenantBudgetExhausted(AdmissionRejected):
+    """A tenant's admission token bucket is empty.
+
+    Per-tenant budgets convert one tenant's storm into that tenant's
+    rejections instead of everyone's latency. The caller can retry after
+    :attr:`retry_after_seconds` (the bucket refills continuously).
+
+    Attributes:
+        tenant: The tenant identifier whose bucket ran dry.
+        retry_after_seconds: Seconds until the bucket holds enough tokens
+            for one request.
+    """
+
+    def __init__(self, tenant: str, retry_after_seconds: float = 0.0):
+        self.tenant = tenant
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            "tenant-budget",
+            f"tenant {tenant!r} admission budget exhausted "
+            f"(retry after {retry_after_seconds:.3f}s)",
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.tenant, self.retry_after_seconds),
+            self.__dict__,
+        )
+
+
 class ObservabilityError(ReproError):
     """The observability layer (``repro.obs``) was misused or misconfigured.
 

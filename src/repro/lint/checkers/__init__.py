@@ -8,4 +8,5 @@ from repro.lint.checkers import (  # noqa: F401
     layering,
     obsnames,
     publicapi,
+    serviceops,
 )

@@ -33,6 +33,7 @@ __all__ = [
     "SPAN_SERVICE_OPTIMIZE",
     "SPAN_SERVICE_BATCH",
     "SPAN_SERVICE_CELL",
+    "SPAN_FRONTDOOR_REQUEST",
     "LEVEL_SPAN_SUFFIX",
     "METRIC_OPTIMIZATIONS_TOTAL",
     "METRIC_OPTIMIZE_SECONDS",
@@ -41,6 +42,12 @@ __all__ = [
     "METRIC_PLAN_CACHE_EVENTS_TOTAL",
     "METRIC_PLAN_CACHE_SIZE",
     "METRIC_FAULTS_INJECTED_TOTAL",
+    "METRIC_FRONTDOOR_REQUESTS_TOTAL",
+    "METRIC_FRONTDOOR_QUEUE_DEPTH",
+    "METRIC_FRONTDOOR_LATENCY_SECONDS",
+    "METRIC_FRONTDOOR_BROWNOUT_LEVEL",
+    "METRIC_FRONTDOOR_RUNG_ENTRIES_TOTAL",
+    "METRIC_STATS_REFRESHES_TOTAL",
     "SPAN_NAMES",
     "METRIC_NAMES",
 ]
@@ -92,6 +99,9 @@ SPAN_SERVICE_BATCH = "service.batch"
 #: One grid cell inside a batch (a single query/technique pair).
 SPAN_SERVICE_CELL = "service.cell"
 
+#: One admitted front-door request, queue wait through plan delivery.
+SPAN_FRONTDOOR_REQUEST = "frontdoor.request"
+
 #: Suffix shared by every per-search-level span; the profiler
 #: (:mod:`repro.obs.profile`) aggregates spans by this suffix.
 LEVEL_SPAN_SUFFIX = ".level"
@@ -119,6 +129,27 @@ METRIC_PLAN_CACHE_SIZE = "repro_plan_cache_size"
 #: Counter: synthetic faults injected by the fault harness, by kind.
 METRIC_FAULTS_INJECTED_TOTAL = "repro_faults_injected_total"
 
+#: Counter: front-door request dispositions (ok/shed-queue/shed-tenant/
+#: shed-shutdown/error).
+METRIC_FRONTDOOR_REQUESTS_TOTAL = "repro_frontdoor_requests_total"
+
+#: Gauge: requests currently waiting in the front-door admission queue.
+METRIC_FRONTDOOR_QUEUE_DEPTH = "repro_frontdoor_queue_depth"
+
+#: Histogram: end-to-end front-door latency (admission to plan), seconds.
+METRIC_FRONTDOOR_LATENCY_SECONDS = "repro_frontdoor_latency_seconds"
+
+#: Gauge: the brownout level currently applied by the load controller.
+METRIC_FRONTDOOR_BROWNOUT_LEVEL = "repro_frontdoor_brownout_level"
+
+#: Counter: front-door ladder entry rungs chosen, by entry technique —
+#: the rung-mix curve under brownout.
+METRIC_FRONTDOOR_RUNG_ENTRIES_TOTAL = "repro_frontdoor_rung_entries_total"
+
+#: Counter: statistics-epoch refreshes through the circuit breaker, by
+#: outcome (applied/coalesced).
+METRIC_STATS_REFRESHES_TOTAL = "repro_stats_refreshes_total"
+
 # -- registries ---------------------------------------------------------------
 
 #: Every span name the library emits.
@@ -139,6 +170,7 @@ SPAN_NAMES = frozenset(
         SPAN_SERVICE_OPTIMIZE,
         SPAN_SERVICE_BATCH,
         SPAN_SERVICE_CELL,
+        SPAN_FRONTDOOR_REQUEST,
     }
 )
 
@@ -152,5 +184,11 @@ METRIC_NAMES = frozenset(
         METRIC_PLAN_CACHE_EVENTS_TOTAL,
         METRIC_PLAN_CACHE_SIZE,
         METRIC_FAULTS_INJECTED_TOTAL,
+        METRIC_FRONTDOOR_REQUESTS_TOTAL,
+        METRIC_FRONTDOOR_QUEUE_DEPTH,
+        METRIC_FRONTDOOR_LATENCY_SECONDS,
+        METRIC_FRONTDOOR_BROWNOUT_LEVEL,
+        METRIC_FRONTDOOR_RUNG_ENTRIES_TOTAL,
+        METRIC_STATS_REFRESHES_TOTAL,
     }
 )

@@ -13,21 +13,32 @@ state):
 * **cost-model faults** — a :class:`FaultyCostModel` proxy that raises
   :class:`CostModelFault` during a deterministic window of attribute
   reads, exercising the unexpected-error escalation path;
+* **latency faults** — a :class:`SlowCostModel` proxy that injects a
+  deterministic ``time.sleep`` every Nth attribute read, slowing a search
+  down without changing its outcome — the fault that makes queues back up
+  and brownout controllers react;
+* **worker crashes** — a :class:`FaultPlan` shipped into
+  :func:`repro.service.parallel.optimize_many` workers makes a
+  seed-selected subset of cells raise :class:`WorkerCrashFault` on their
+  *first* attempt, exercising the coordinator's chunk-retry path;
 * **catalog corruption** — :meth:`FaultHarness.perturbed_statistics`
   builds a *new* statistics snapshot with zeroed or inflated row counts
   (the original snapshot is never mutated).
 
-The first two are context-managed: they install themselves on one
-optimizer instance and restore its prior ``checkpoint`` / ``cost_model``
-on exit, so no fault state outlives the ``with`` block. The third is a
-pure function, which cannot leak by construction.
+Budget trips, cost-model faults and latency faults are context-managed:
+they install themselves on one optimizer instance and restore its prior
+``checkpoint`` / ``cost_model`` on exit, so no fault state outlives the
+``with`` block. Statistics perturbation is a pure function, which cannot
+leak by construction; :class:`FaultPlan` is an immutable, picklable value
+that worker processes evaluate locally.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from contextlib import contextmanager
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro.catalog.statistics import CatalogStatistics, TableStats
@@ -40,7 +51,10 @@ from repro.util.rng import derive_rng
 __all__ = [
     "CostModelFault",
     "InjectedBudgetExceeded",
+    "WorkerCrashFault",
     "FaultyCostModel",
+    "SlowCostModel",
+    "FaultPlan",
     "FaultHarness",
 ]
 
@@ -58,6 +72,30 @@ def _note_fault(kind: str) -> None:
 # lint: waive[RL006] synthetic-fault taxonomy lives with the fault harness
 class CostModelFault(FaultInjected):
     """A synthetic cost-model failure injected by :class:`FaultyCostModel`."""
+
+
+# lint: waive[RL006] synthetic-fault taxonomy lives with the fault harness
+class WorkerCrashFault(FaultInjected):
+    """A synthetic worker-process crash injected by a :class:`FaultPlan`.
+
+    Raised inside a batch worker *before* the cell's search starts, so a
+    retried cell produces exactly the result a fault-free run would have.
+    Carries the cell coordinates so the coordinator's retry logic (and
+    test assertions) can identify which cell died.
+    """
+
+    def __init__(self, query_index: int, technique: str):
+        self.query_index = query_index
+        self.technique = technique
+        super().__init__(
+            f"injected worker crash on cell "
+            f"(query={query_index}, technique={technique!r})"
+        )
+
+    def __reduce__(self):
+        # Structured constructor + cross-process travel (the whole point
+        # of this fault): restore from the coordinates, not the message.
+        return (type(self), (self.query_index, self.technique), self.__dict__)
 
 
 # lint: waive[RL006] synthetic-fault taxonomy lives with the fault harness
@@ -109,6 +147,107 @@ class FaultyCostModel:
                 f"of {name!r}"
             )
         return getattr(state["_inner"], name)
+
+
+class SlowCostModel:
+    """Attribute proxy that makes a cost model *slow* but not wrong.
+
+    Every ``every``-th public attribute read sleeps ``delay_seconds``
+    before forwarding to the wrapped model. Costs are untouched, so the
+    optimized plan is bit-identical to an un-faulted run — only wall-clock
+    changes, which is exactly the fault that backs up admission queues and
+    trips latency-based brownout without perturbing plan quality.
+    """
+
+    def __init__(self, inner, delay_seconds: float, every: int = 256):
+        if delay_seconds <= 0:
+            raise ValueError(
+                f"delay_seconds must be > 0, got {delay_seconds!r}"
+            )
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every!r}")
+        self.__dict__["_inner"] = inner
+        self.__dict__["_delay"] = float(delay_seconds)
+        self.__dict__["_every"] = every
+        self.__dict__["_reads"] = 0
+        self.__dict__["_sleeps"] = 0
+
+    @property
+    def sleeps(self) -> int:
+        """Injected sleeps observed so far."""
+        return self.__dict__["_sleeps"]
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        state = self.__dict__
+        state["_reads"] += 1
+        if state["_reads"] % state["_every"] == 0:
+            state["_sleeps"] += 1
+            _note_fault("latency")
+            time.sleep(state["_delay"])
+        return getattr(state["_inner"], name)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable fault schedule for batch workers.
+
+    :func:`repro.service.parallel.optimize_many` ships one of these into
+    every worker alongside the batch context; each cell evaluates the plan
+    locally and deterministically (pure functions of ``seed`` and the cell
+    coordinates — no shared state, no wall clock), so a faulted batch is
+    reproducible and serial/pool modes agree on which cells fault.
+
+    Attributes:
+        seed: Root seed for all per-cell derivations.
+        crash_fraction: Probability in ``[0, 1]`` that a cell raises
+            :class:`WorkerCrashFault` on its **first** attempt (retries
+            always run clean — crashes are transient by construction).
+        latency_seconds: Sleep injected into the cell's cost model via
+            :class:`SlowCostModel`; 0 disables the latency fault.
+        latency_every: One sleep per this many cost-model reads.
+    """
+
+    seed: int = 0
+    crash_fraction: float = 0.0
+    latency_seconds: float = 0.0
+    latency_every: int = 256
+
+    def __post_init__(self):
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}"
+            )
+        if self.latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}"
+            )
+        if self.latency_every < 1:
+            raise ValueError(
+                f"latency_every must be >= 1, got {self.latency_every}"
+            )
+
+    def should_crash(self, query_index: int, technique: str, attempt: int) -> bool:
+        """Whether this cell's ``attempt`` dies (deterministic per cell)."""
+        if attempt > 0 or self.crash_fraction <= 0.0:
+            return False
+        rng = derive_rng(self.seed, "worker-crash", query_index, technique)
+        return rng.random() < self.crash_fraction
+
+    def maybe_crash(self, query_index: int, technique: str, attempt: int) -> None:
+        """Raise :class:`WorkerCrashFault` if this cell's attempt dies."""
+        if self.should_crash(query_index, technique, attempt):
+            _note_fault("worker-crash")
+            raise WorkerCrashFault(query_index, technique)
+
+    def wrap_cost_model(self, inner):
+        """``inner`` wrapped in :class:`SlowCostModel` (or unchanged)."""
+        if self.latency_seconds <= 0.0:
+            return inner
+        return SlowCostModel(
+            inner, delay_seconds=self.latency_seconds, every=self.latency_every
+        )
 
 
 class FaultHarness:
@@ -195,6 +334,33 @@ class FaultHarness:
         optimizer.cost_model = faulty
         try:
             yield faulty
+        finally:
+            optimizer.cost_model = prior
+
+    # -- latency faults ---------------------------------------------------------
+
+    @contextmanager
+    def latency(
+        self,
+        optimizer: Optimizer,
+        delay_seconds: float | None = None,
+        every: int = 256,
+    ) -> Iterator[SlowCostModel]:
+        """Swap ``optimizer.cost_model`` for a deterministically slow proxy.
+
+        ``delay_seconds`` (derived from the harness seed when omitted, in
+        ``[1ms, 10ms]``) is slept once per ``every`` cost-model reads; the
+        model's answers are untouched, so the search result is identical
+        to an un-faulted run — only slower. The original cost model is
+        restored on exit.
+        """
+        if delay_seconds is None:
+            delay_seconds = derive_rng(self.seed, "latency").uniform(0.001, 0.010)
+        prior = optimizer.cost_model
+        slow = SlowCostModel(prior, delay_seconds=delay_seconds, every=every)
+        optimizer.cost_model = slow
+        try:
+            yield slow
         finally:
             optimizer.cost_model = prior
 

@@ -11,10 +11,18 @@ The implementation is a plain ``OrderedDict`` LRU: hits move entries to
 the MRU end, inserts beyond ``capacity`` evict from the LRU end. All
 traffic is counted (:class:`CacheStats`) so operators can watch hit rates
 — the number that decides whether the cache is worth its memory.
+
+The cache is **thread-safe**: the serving front door
+(:mod:`repro.service.frontdoor`) runs worker threads over one shared
+cache, so every operation — lookup, insert, invalidation, the length and
+membership probes — holds one internal lock, and the
+:class:`CacheStats` counters stay exact under concurrent traffic
+(``hits + misses == lookups`` even when threads race on the same key).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -81,60 +89,73 @@ class PlanCache:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._stats = CacheStats()
+        # RLock, not Lock: observability hooks run inside the critical
+        # section and must never re-enter a dead lock if they call back.
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable) -> object | None:
         """The cached value for ``key``, or None (counted as hit/miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                if _obs_enabled():
+                    _cache_events().inc(event="miss")
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
             if _obs_enabled():
-                _cache_events().inc(event="miss")
-            return None
-        self._entries.move_to_end(key)
-        self._stats.hits += 1
-        if _obs_enabled():
-            _cache_events().inc(event="hit")
-        return entry
+                _cache_events().inc(event="hit")
+            return entry
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) an entry, evicting LRU entries over capacity."""
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        evicted = 0
-        while len(entries) > self.capacity:
-            entries.popitem(last=False)
-            evicted += 1
-        if evicted:
-            self._stats.evictions += evicted
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            evicted = 0
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self._stats.evictions += evicted
+                if _obs_enabled():
+                    _cache_events().inc(evicted, event="eviction")
             if _obs_enabled():
-                _cache_events().inc(evicted, event="eviction")
-        if _obs_enabled():
-            _obs_metrics().gauge(
-                METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
-            ).set(len(entries))
+                _obs_metrics().gauge(
+                    METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
+                ).set(len(entries))
 
     def invalidate(self) -> int:
         """Drop every entry (statistics refresh); returns the count dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self._stats.invalidations += dropped
-        if _obs_enabled():
-            if dropped:
-                _cache_events().inc(dropped, event="invalidation")
-            _obs_metrics().gauge(
-                METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
-            ).set(0)
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._stats.invalidations += dropped
+            if _obs_enabled():
+                if dropped:
+                    _cache_events().inc(dropped, event="invalidation")
+                _obs_metrics().gauge(
+                    METRIC_PLAN_CACHE_SIZE, "Entries currently cached."
+                ).set(0)
+            return dropped
 
     @property
     def stats(self) -> CacheStats:
-        """Live traffic counters (the same object across calls)."""
+        """Live traffic counters (the same object across calls).
+
+        The returned object is mutated under the cache lock; reading a
+        single counter is atomic, but cross-counter invariants should be
+        derived from one field at a time (``lookups`` sums two reads).
+        """
         return self._stats
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

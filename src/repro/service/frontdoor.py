@@ -1,0 +1,774 @@
+"""The overload-robust serving front door.
+
+Everything below :class:`FrontDoor` optimizes one query at a time and
+assumes a polite caller. This module is the impolite-world adapter: a
+bounded admission queue, per-tenant token buckets, a brownout controller
+that trades plan quality for throughput under load, and a circuit breaker
+that keeps statistics-refresh storms from livelocking the plan cache.
+
+The contract — the serving-layer restatement of the paper's robustness
+thesis (*always return a plan, degrade gracefully, never fall over*):
+
+* every submitted request either returns a plan — possibly degraded, with
+  honest provenance (:attr:`FrontDoorResult.brownout_level`,
+  :attr:`FrontDoorResult.degraded`) — or fails **fast** with a typed
+  :class:`~repro.errors.AdmissionRejected`; it never hangs and never
+  escapes with an untyped error;
+* overload is absorbed in a **bounded** queue and then shed, newest
+  first-rejected — memory use does not grow with offered load;
+* one tenant's storm becomes that tenant's
+  :class:`~repro.errors.TenantBudgetExhausted` rejections, not everyone's
+  latency (see :mod:`repro.service.tenancy`);
+* under sustained pressure the :class:`LoadController` steps down a
+  **brownout ladder**: the optimizer entry point moves from the service's
+  configured technique toward cheaper ones (``SDP → IDP(4) → GOO``) and
+  per-call budgets shrink, so admitted requests keep completing — the
+  same fallback-ladder idea as :class:`~repro.robust.RobustOptimizer`,
+  applied fleet-wide instead of per call;
+* brownout results are **never cached** (the cache must only ever serve
+  full-quality plans) and the unloaded path — brownout level 0 — is
+  bit-identical to calling :meth:`OptimizationService.optimize` directly;
+* ``analyze()`` storms hit the :class:`StatsRefreshBreaker`, which
+  coalesces a burst of refreshes into one epoch bump carrying the newest
+  snapshot, so the cache is not invalidated faster than it can fill.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from queue import Empty, Full, Queue
+from typing import Callable
+
+from repro.catalog.statistics import CatalogStatistics
+from repro.core.base import SearchBudget
+from repro.errors import AdmissionRejected, ServiceError, TenantBudgetExhausted
+from repro.obs.names import (
+    METRIC_FRONTDOOR_BROWNOUT_LEVEL,
+    METRIC_FRONTDOOR_LATENCY_SECONDS,
+    METRIC_FRONTDOOR_QUEUE_DEPTH,
+    METRIC_FRONTDOOR_REQUESTS_TOTAL,
+    METRIC_FRONTDOOR_RUNG_ENTRIES_TOTAL,
+    METRIC_STATS_REFRESHES_TOTAL,
+    SPAN_FRONTDOOR_REQUEST,
+)
+from repro.obs.runtime import current_tracer, enabled as _obs_enabled, metrics as _obs_metrics
+from repro.obs.trace import maybe_span
+from repro.query.query import Query
+from repro.robust.ladder import RobustOptimizer, ladder_from
+from repro.service.service import OptimizationService, ServiceResult
+from repro.service.tenancy import TenantRegistry
+
+__all__ = [
+    "BrownoutLevel",
+    "DEFAULT_BROWNOUT_LEVELS",
+    "LoadController",
+    "StatsRefreshBreaker",
+    "FrontDoorConfig",
+    "FrontDoorResult",
+    "FrontDoorStats",
+    "FrontDoor",
+]
+
+#: How long a worker blocks on the queue before re-checking shutdown.
+_WORKER_POLL_SECONDS = 0.05
+
+
+# -- brownout ladder -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BrownoutLevel:
+    """One rung of the serving-wide degradation ladder.
+
+    Attributes:
+        level: Position on the ladder; 0 is the undegraded baseline.
+        entry: Fallback-ladder entry technique for requests served at this
+            level (``ladder_from(entry)``), or None for the service's own
+            configured path (level 0 only).
+        budget_scale: Multiplier in ``(0, 1]`` applied to the per-call
+            search budget's plan and time allowances. Brownout only ever
+            *shrinks* budgets.
+    """
+
+    level: int
+    entry: str | None
+    budget_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.level < 0:
+            raise ServiceError(f"brownout level must be >= 0, got {self.level}")
+        if not 0.0 < self.budget_scale <= 1.0:
+            raise ServiceError(
+                f"budget_scale must be in (0, 1], got {self.budget_scale}"
+            )
+        if self.level == 0 and self.entry is not None:
+            raise ServiceError("brownout level 0 is the baseline path (entry=None)")
+        if self.level > 0 and self.entry is None:
+            raise ServiceError("brownout levels > 0 need an entry technique")
+
+
+#: The default degradation ladder. Level 0 is the service's configured
+#: technique at full budget (the bit-identical unloaded path); each
+#: further level enters the robust fallback ladder lower and with less
+#: budget, mirroring the paper's DP -> SDP -> IDP -> GOO cost/quality
+#: ordering at the fleet level.
+DEFAULT_BROWNOUT_LEVELS = (
+    BrownoutLevel(0, None, 1.0),
+    BrownoutLevel(1, "SDP", 1.0),
+    BrownoutLevel(2, "IDP(4)", 0.5),
+    BrownoutLevel(3, "GOO", 0.25),
+)
+
+
+def _scaled_budget(base: SearchBudget, scale: float) -> SearchBudget:
+    """``base`` with plan/time allowances multiplied by ``scale``.
+
+    The memory ceiling is left alone: it models a fixed planner arena, not
+    a rate, and shrinking it would change *which* plans are feasible
+    rather than how long we look for them.
+    """
+    if scale >= 1.0:
+        return base
+    plans = base.max_plans_costed
+    seconds = base.max_seconds
+    return replace(
+        base,
+        max_plans_costed=None if plans is None else max(1, int(plans * scale)),
+        max_seconds=None if seconds is None else seconds * scale,
+    )
+
+
+# -- load controller -----------------------------------------------------------
+
+
+class LoadController:
+    """Turns queue depth and recent latency into a brownout level.
+
+    The controller is deliberately boring: a sliding window of completed
+    request latencies plus the instantaneous queue occupancy, compared
+    against watermarks with hysteresis. Escalation is immediate-but-rate-
+    limited (at most one level per ``cooldown_seconds``); de-escalation
+    requires the system to look calm for a full cooldown, so the level
+    does not flap at the boundary.
+
+    Args:
+        max_level: Highest level this controller will command.
+        high_watermark: Queue occupancy (0..1) at/above which load is
+            considered heavy.
+        low_watermark: Occupancy at/below which load is considered light.
+        latency_slo_seconds: Sliding-window p95 above this also counts as
+            heavy load (a slow backend backs the queue up eventually, but
+            latency notices first).
+        window: Completed-request latencies retained for the percentile.
+        cooldown_seconds: Minimum time between level changes.
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        max_level: int = len(DEFAULT_BROWNOUT_LEVELS) - 1,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+        latency_slo_seconds: float = 0.5,
+        window: int = 64,
+        cooldown_seconds: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ServiceError(
+                "watermarks must satisfy 0 <= low < high <= 1, got "
+                f"low={low_watermark}, high={high_watermark}"
+            )
+        self.max_level = max_level
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.latency_slo_seconds = latency_slo_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._level = 0
+        self._last_change = clock()
+        self._lock = threading.Lock()
+
+    def observe(self, latency_seconds: float) -> None:
+        """Record one completed request's end-to-end latency."""
+        with self._lock:
+            self._latencies.append(latency_seconds)
+
+    def p95(self) -> float:
+        """Sliding-window p95 latency (0.0 while the window is empty)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            ordered = sorted(self._latencies)
+            index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+            return ordered[index]
+
+    @property
+    def level(self) -> int:
+        """The most recently commanded brownout level."""
+        return self._level
+
+    def evaluate(self, queue_depth: int, queue_capacity: int) -> int:
+        """Re-evaluate and return the brownout level for current load.
+
+        Latency alone never escalates: with an empty queue a slow request
+        is just a slow request, and degrading plan quality would buy
+        nothing. The p95 signal only counts once the queue shows real
+        pressure (above the low watermark) — it then catches the slow
+        backend *before* the queue hits the high watermark.
+        """
+        occupancy = queue_depth / queue_capacity if queue_capacity else 0.0
+        p95 = self.p95()
+        heavy = occupancy >= self.high_watermark or (
+            p95 > self.latency_slo_seconds and occupancy > self.low_watermark
+        )
+        calm = occupancy <= self.low_watermark
+        with self._lock:
+            now = self._clock()
+            if now - self._last_change >= self.cooldown_seconds:
+                if heavy and self._level < self.max_level:
+                    self._level += 1
+                    self._last_change = now
+                elif calm and self._level > 0:
+                    self._level -= 1
+                    self._last_change = now
+            return self._level
+
+
+# -- statistics-refresh circuit breaker ----------------------------------------
+
+
+class StatsRefreshBreaker:
+    """Coalesces statistics-refresh storms into bounded epoch churn.
+
+    Every :meth:`OptimizationService.install_statistics` call invalidates
+    the whole plan cache; a monitoring job calling ``analyze()`` in a
+    tight loop would keep the cache permanently cold and every miss
+    re-optimizing — a livelock. The breaker closes that loop:
+
+    * **closed** — a refresh at least ``min_interval_seconds`` after the
+      previous applied one goes straight through (``"applied"``);
+    * **open** — refreshes inside the interval are *coalesced*: the
+      snapshot is parked (newest wins, older parked snapshots are simply
+      dropped — they were already stale) and the call returns
+      ``"coalesced"`` without touching the epoch;
+    * **half-open** — once the interval elapses, the next
+      :meth:`flush` — the front door calls it opportunistically from its
+      worker loop — applies the parked snapshot and re-closes.
+
+    The breaker never *loses* data: the newest snapshot always lands,
+    just at a bounded epoch rate.
+    """
+
+    def __init__(
+        self,
+        service: OptimizationService,
+        min_interval_seconds: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if min_interval_seconds <= 0:
+            raise ServiceError(
+                f"min_interval_seconds must be > 0, got {min_interval_seconds!r}"
+            )
+        self._service = service
+        self.min_interval_seconds = min_interval_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_applied: float | None = None
+        self._pending: CatalogStatistics | None = None
+        #: Lifetime outcome counters.
+        self.applied = 0
+        self.coalesced = 0
+
+    def _note(self, outcome: str) -> None:
+        if _obs_enabled():
+            _obs_metrics().counter(
+                METRIC_STATS_REFRESHES_TOTAL,
+                "Statistics refreshes through the circuit breaker, by outcome.",
+                ("outcome",),
+            ).inc(outcome=outcome)
+
+    def install(self, stats: CatalogStatistics) -> str:
+        """Refresh statistics through the breaker: "applied" | "coalesced"."""
+        with self._lock:
+            now = self._clock()
+            if (
+                self._last_applied is None
+                or now - self._last_applied >= self.min_interval_seconds
+            ):
+                self._service.install_statistics(stats)
+                self._last_applied = now
+                self._pending = None
+                self.applied += 1
+                self._note("applied")
+                return "applied"
+            self._pending = stats
+            self.coalesced += 1
+            self._note("coalesced")
+            return "coalesced"
+
+    def flush(self) -> bool:
+        """Apply a parked snapshot if the interval has elapsed (half-open)."""
+        with self._lock:
+            if self._pending is None:
+                return False
+            now = self._clock()
+            if (
+                self._last_applied is not None
+                and now - self._last_applied < self.min_interval_seconds
+            ):
+                return False
+            self._service.install_statistics(self._pending)
+            self._last_applied = now
+            self._pending = None
+            self.applied += 1
+            self._note("applied")
+            return True
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (pending, interval up)."""
+        with self._lock:
+            if self._pending is None:
+                return "closed"
+            now = self._clock()
+            if (
+                self._last_applied is not None
+                and now - self._last_applied < self.min_interval_seconds
+            ):
+                return "open"
+            return "half-open"
+
+
+# -- the front door ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrontDoorConfig:
+    """Static configuration for one :class:`FrontDoor`.
+
+    Attributes:
+        queue_capacity: Bounded admission-queue depth; requests beyond it
+            are shed with ``AdmissionRejected("queue-full")``.
+        workers: Serving threads draining the queue.
+        default_budget: Per-call search budget for tenants whose policy
+            does not carry one; None means :class:`SearchBudget`'s
+            defaults.
+        brownout_levels: The degradation ladder (must start at level 0
+            and use consecutive levels).
+        high_watermark / low_watermark / latency_slo_seconds / window /
+            cooldown_seconds: Forwarded to :class:`LoadController`.
+        stats_refresh_interval_seconds: Minimum spacing between applied
+            statistics epochs (:class:`StatsRefreshBreaker`).
+        result_timeout_seconds: How long :meth:`FrontDoor.optimize` waits
+            for an admitted request before raising; a backstop, not a
+            scheduling device — workers never abandon admitted work.
+    """
+
+    queue_capacity: int = 32
+    workers: int = 4
+    default_budget: SearchBudget | None = None
+    brownout_levels: tuple[BrownoutLevel, ...] = DEFAULT_BROWNOUT_LEVELS
+    high_watermark: float = 0.75
+    low_watermark: float = 0.25
+    latency_slo_seconds: float = 0.5
+    window: int = 64
+    cooldown_seconds: float = 0.25
+    stats_refresh_interval_seconds: float = 0.25
+    result_timeout_seconds: float = 60.0
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ServiceError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity!r}"
+            )
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers!r}")
+        levels = [entry.level for entry in self.brownout_levels]
+        if levels != list(range(len(levels))) or not levels:
+            raise ServiceError(
+                "brownout_levels must be consecutive levels starting at 0, "
+                f"got {levels!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FrontDoorResult:
+    """A served plan plus its admission/degradation provenance.
+
+    Attributes:
+        result: The underlying :class:`ServiceResult` (plan, cost,
+            counters, cache/epoch metadata).
+        tenant: Tenant the request was admitted under.
+        brownout_level: Ladder level the request was served at (0 =
+            baseline path).
+        entry: Optimizer entry technique actually used (the service's
+            configured technique at level 0).
+        queue_wait_seconds: Admission-to-dispatch queue time.
+        total_seconds: Admission-to-completion wall clock.
+    """
+
+    result: ServiceResult
+    tenant: str
+    brownout_level: int
+    entry: str
+    queue_wait_seconds: float
+    total_seconds: float
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan is not the full-quality baseline answer.
+
+        Either the inner search itself fell down its fallback ladder, or
+        the front door entered the ladder below baseline (any brownout
+        level above 0) — both are honest "you got a cheaper plan" signals.
+        """
+        return self.result.degraded or self.brownout_level > 0
+
+
+@dataclass(frozen=True)
+class FrontDoorStats:
+    """A point-in-time snapshot of front-door traffic counters."""
+
+    admitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    shed_queue: int = 0
+    shed_tenant: int = 0
+    shed_shutdown: int = 0
+    brownout_level: int = 0
+    rung_entries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue + self.shed_tenant + self.shed_shutdown
+
+    @property
+    def submitted(self) -> int:
+        return self.admitted + self.shed
+
+
+@dataclass
+class _Request:
+    query: Query
+    tenant: str
+    budget: SearchBudget
+    future: Future
+    enqueued_at: float
+
+
+class FrontDoor:
+    """Admission control + brownout serving over an :class:`OptimizationService`.
+
+    Usage::
+
+        service = OptimizationService(technique="SDP")
+        service.analyze(schema)
+        with FrontDoor(service) as door:
+            result = door.optimize(query, tenant="analytics")
+            assert result.result.plan is not None
+            assert not result.degraded          # unloaded: baseline path
+
+    ``submit()`` is the asynchronous form: it either enqueues the request
+    and returns a :class:`~concurrent.futures.Future`, or raises a typed
+    :class:`~repro.errors.AdmissionRejected` immediately. All shedding
+    happens at admission time — once admitted, a request is always
+    served.
+
+    Args:
+        service: The backing optimization service (shared, thread-safe).
+        config: Static limits and brownout ladder.
+        tenants: Tenant policy/bucket registry; a fresh default registry
+            when omitted.
+        clock: Monotonic time source, forwarded to the load controller
+            and circuit breaker (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        service: OptimizationService,
+        config: FrontDoorConfig | None = None,
+        tenants: TenantRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or FrontDoorConfig()
+        self.service = service
+        self.tenants = tenants if tenants is not None else TenantRegistry(clock=clock)
+        self._clock = clock
+        self._queue: Queue[_Request] = Queue(maxsize=self.config.queue_capacity)
+        self.controller = LoadController(
+            max_level=len(self.config.brownout_levels) - 1,
+            high_watermark=self.config.high_watermark,
+            low_watermark=self.config.low_watermark,
+            latency_slo_seconds=self.config.latency_slo_seconds,
+            window=self.config.window,
+            cooldown_seconds=self.config.cooldown_seconds,
+            clock=clock,
+        )
+        self.breaker = StatsRefreshBreaker(
+            service,
+            min_interval_seconds=self.config.stats_refresh_interval_seconds,
+            clock=clock,
+        )
+        self._workers: list[threading.Thread] = []
+        self._closing = threading.Event()
+        self._started = False
+        self._lock = threading.Lock()
+        self._counts = {
+            "admitted": 0,
+            "completed": 0,
+            "errors": 0,
+            "shed-queue": 0,
+            "shed-tenant": 0,
+            "shed-shutdown": 0,
+        }
+        self._rung_entries: dict[str, int] = {}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "FrontDoor":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._closing.is_set():
+                raise ServiceError("front door cannot be restarted after close()")
+            if self._started:
+                return self
+            for index in range(self.config.workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"frontdoor-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+            self._started = True
+        return self
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop admitting; optionally serve what is already queued.
+
+        With ``drain=False`` every still-queued request is completed with
+        ``AdmissionRejected("shutdown")`` — completed exceptionally, not
+        abandoned: no future ever hangs.
+        """
+        self._closing.set()
+        if not drain:
+            while True:
+                try:
+                    request = self._queue.get(block=False)
+                except Empty:
+                    break
+                self._reject_queued(request)
+        deadline = self._clock() + timeout
+        for worker in self._workers:
+            remaining = max(0.0, deadline - self._clock())
+            worker.join(timeout=remaining)
+        self._workers.clear()
+
+    def __enter__(self) -> "FrontDoor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _reject_queued(self, request: _Request) -> None:
+        self._count("shed-shutdown")
+        request.future.set_exception(
+            AdmissionRejected("shutdown", "front door closed before dispatch")
+        )
+
+    # -- admission --------------------------------------------------------------
+
+    def submit(self, query: Query, tenant: str = "default") -> Future:
+        """Admit ``query`` or raise a typed rejection, synchronously.
+
+        Admission order: shutdown check, then the tenant's token bucket
+        (a shed there must not consume queue capacity), then the bounded
+        queue. The returned future resolves to a :class:`FrontDoorResult`
+        (or to the error the optimization itself raised).
+        """
+        if self._closing.is_set():
+            self._count("shed-shutdown")
+            raise AdmissionRejected("shutdown", "front door is closing")
+        if not self._started:
+            raise ServiceError("front door not started (use start() or a with-block)")
+
+        bucket = self.tenants.bucket(tenant)
+        if not bucket.try_acquire():
+            self._count("shed-tenant")
+            raise TenantBudgetExhausted(tenant, bucket.retry_after())
+
+        policy = self.tenants.policy(tenant)
+        budget = (
+            policy.search_budget
+            or self.config.default_budget
+            or SearchBudget()
+        )
+        request = _Request(
+            query=query,
+            tenant=tenant,
+            budget=budget,
+            future=Future(),
+            enqueued_at=self._clock(),
+        )
+        try:
+            self._queue.put(request, block=False)
+        except Full:
+            self._count("shed-queue")
+            raise AdmissionRejected(
+                "queue-full",
+                f"admission queue at capacity ({self.config.queue_capacity})",
+            ) from None
+        self._count("admitted")
+        if _obs_enabled():
+            _obs_metrics().gauge(
+                METRIC_FRONTDOOR_QUEUE_DEPTH,
+                "Requests waiting in the front-door admission queue.",
+            ).set(self._queue.qsize())
+        return request.future
+
+    def optimize(
+        self,
+        query: Query,
+        tenant: str = "default",
+        timeout: float | None = None,
+    ) -> FrontDoorResult:
+        """Synchronous submit-and-wait (the common client path)."""
+        future = self.submit(query, tenant=tenant)
+        wait = self.config.result_timeout_seconds if timeout is None else timeout
+        return future.result(timeout=wait)
+
+    # -- serving ----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                request = self._queue.get(timeout=_WORKER_POLL_SECONDS)
+            except Empty:
+                if self._closing.is_set():
+                    return
+                self.breaker.flush()
+                continue
+            self._serve(request)
+            self.breaker.flush()
+
+    def _serve(self, request: _Request) -> None:
+        started = self._clock()
+        queue_wait = started - request.enqueued_at
+        level_index = self.controller.evaluate(
+            self._queue.qsize(), self.config.queue_capacity
+        )
+        level = self.config.brownout_levels[level_index]
+        entry = level.entry or self.service.technique
+        with maybe_span(
+            current_tracer(), SPAN_FRONTDOOR_REQUEST,
+            query=request.query.label, tenant=request.tenant,
+            brownout_level=level.level, entry=entry,
+        ) as span:
+            try:
+                if level.level == 0:
+                    # Baseline: the exact service path an unloaded caller
+                    # would take (cached, single-flighted, full budget).
+                    inner = self.service.optimize(request.query)
+                else:
+                    optimizer = RobustOptimizer(
+                        ladder=ladder_from(level.entry),
+                        budget=_scaled_budget(request.budget, level.budget_scale),
+                    )
+                    inner = self.service.optimize(request.query, optimizer=optimizer)
+            except Exception as exc:
+                span.set(outcome="error")
+                self._count("errors")
+                self._note_request("error")
+                request.future.set_exception(exc)
+                return
+            total = self._clock() - started + queue_wait
+            served = FrontDoorResult(
+                result=inner,
+                tenant=request.tenant,
+                brownout_level=level.level,
+                entry=entry,
+                queue_wait_seconds=queue_wait,
+                total_seconds=total,
+            )
+            span.set(
+                outcome="ok", degraded=served.degraded, cache_hit=inner.cache_hit
+            )
+            self.controller.observe(total)
+            self._count("completed")
+            self._note_request("ok")
+            with self._lock:
+                self._rung_entries[entry] = self._rung_entries.get(entry, 0) + 1
+            if _obs_enabled():
+                registry = _obs_metrics()
+                registry.histogram(
+                    METRIC_FRONTDOOR_LATENCY_SECONDS,
+                    "End-to-end front-door latency (admission to plan).",
+                ).observe(total)
+                registry.gauge(
+                    METRIC_FRONTDOOR_BROWNOUT_LEVEL,
+                    "Brownout level currently applied by the load controller.",
+                ).set(self.controller.level)
+                registry.counter(
+                    METRIC_FRONTDOOR_RUNG_ENTRIES_TOTAL,
+                    "Front-door ladder entries chosen, by technique.",
+                    ("entry",),
+                ).inc(entry=entry)
+            request.future.set_result(served)
+
+    # -- statistics lifecycle ----------------------------------------------------
+
+    def install_statistics(self, stats: CatalogStatistics) -> str:
+        """Refresh statistics through the circuit breaker.
+
+        Returns the breaker outcome (``"applied"`` or ``"coalesced"``);
+        a coalesced snapshot is applied by a worker once the refresh
+        interval elapses.
+        """
+        return self.breaker.install(stats)
+
+    # -- introspection -----------------------------------------------------------
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counts[key] += 1
+        if key.startswith("shed-"):
+            self._note_request(key)
+
+    def _note_request(self, outcome: str) -> None:
+        if _obs_enabled():
+            _obs_metrics().counter(
+                METRIC_FRONTDOOR_REQUESTS_TOTAL,
+                "Front-door request dispositions.",
+                ("outcome",),
+            ).inc(outcome=outcome)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> FrontDoorStats:
+        """A consistent snapshot of the traffic counters."""
+        with self._lock:
+            return FrontDoorStats(
+                admitted=self._counts["admitted"],
+                completed=self._counts["completed"],
+                errors=self._counts["errors"],
+                shed_queue=self._counts["shed-queue"],
+                shed_tenant=self._counts["shed-tenant"],
+                shed_shutdown=self._counts["shed-shutdown"],
+                brownout_level=self.controller.level,
+                rung_entries=dict(self._rung_entries),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontDoor(workers={self.config.workers}, "
+            f"queue={self._queue.qsize()}/{self.config.queue_capacity}, "
+            f"level={self.controller.level})"
+        )

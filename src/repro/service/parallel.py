@@ -27,8 +27,11 @@ Scheduling policy (the serial-vs-pool decision lives in
 
 Budget trips are part of the protocol (the paper's ``*`` cells), so they
 are captured per cell — :attr:`BatchItem.error` — instead of aborting the
-batch. Any other exception propagates and cancels the batch: a malformed
-query should fail loudly, not produce a hole in a table.
+batch. An injected :class:`~repro.robust.faults.WorkerCrashFault` (chaos
+testing via the ``faults=`` plan) kills its chunk, which the coordinator
+re-runs at attempt 1 — the grid still comes back complete. Any other
+exception propagates and cancels the batch: a malformed query should fail
+loudly, not produce a hole in a table.
 
 Determinism: optimizers are seeded and statistics are fixed, so a cell's
 outcome does not depend on which process computes it — serial and pool
@@ -56,6 +59,7 @@ from repro.obs.names import SPAN_SERVICE_BATCH, SPAN_SERVICE_CELL
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
 from repro.query.query import Query
+from repro.robust.faults import FaultPlan, WorkerCrashFault
 
 __all__ = [
     "BatchItem",
@@ -122,6 +126,7 @@ def _install_context(
     budget: SearchBudget | None,
     cost_model: CostModel | None,
     robust: bool,
+    faults: FaultPlan | None = None,
 ) -> None:
     """Install the batch context in this process."""
     global _CONTEXT
@@ -131,6 +136,7 @@ def _install_context(
         "budget": budget,
         "cost_model": cost_model,
         "robust": robust,
+        "faults": faults,
     }
 
 
@@ -146,20 +152,30 @@ def _make_cell_optimizer(technique: str, budget, cost_model, robust: bool):
     return make_optimizer(technique, budget=budget, cost_model=cost_model)
 
 
-def _run_cell(task: tuple[int, str]) -> BatchItem:
+def _run_cell(task: tuple[int, str, int]) -> BatchItem:
     """Optimize one grid cell inside a worker (or inline when serial).
+
+    ``task`` is ``(query_index, technique, attempt)`` — the attempt index
+    exists for the fault plan: an injected :class:`WorkerCrashFault` fires
+    only at attempt 0, so the coordinator's retry (attempt 1) runs clean
+    and the batch outcome matches a fault-free run.
 
     Observability state is process-local, so cell spans only appear when
     the batch runs serially (or for the coordinating process): worker
     processes start with observability disabled and stay no-op-cheap,
     keeping parallel results identical to serial ones.
     """
-    query_index, technique = task
+    query_index, technique, attempt = task
     assert _CONTEXT is not None, "worker context not initialized"
     query = _CONTEXT["queries"][query_index]
+    faults: FaultPlan | None = _CONTEXT["faults"]
+    if faults is not None:
+        faults.maybe_crash(query_index, technique, attempt)
     optimizer = _make_cell_optimizer(
         technique, _CONTEXT["budget"], _CONTEXT["cost_model"], _CONTEXT["robust"]
     )
+    if faults is not None:
+        optimizer.cost_model = faults.wrap_cost_model(optimizer.cost_model)
     with maybe_span(
         current_tracer(), SPAN_SERVICE_CELL,
         query=query.label, technique=technique,
@@ -217,6 +233,23 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+def _run_serial(tasks, context) -> list[BatchItem]:
+    """Run ``tasks`` inline, retrying any cell whose worker "crashes"."""
+    global _CONTEXT
+    _install_context(*context)
+    try:
+        items = []
+        for task in tasks:
+            try:
+                items.append(_run_cell(task))
+            except WorkerCrashFault:
+                query_index, technique, _ = task
+                items.append(_run_cell((query_index, technique, 1)))
+        return items
+    finally:
+        _CONTEXT = None
+
+
 def optimize_many(
     queries: Sequence[Query],
     techniques: Sequence[str],
@@ -225,6 +258,7 @@ def optimize_many(
     cost_model: CostModel | None = None,
     workers: int | None = 1,
     robust: bool = False,
+    faults: FaultPlan | None = None,
 ) -> list[list[BatchItem]]:
     """Optimize every query with every technique, in parallel.
 
@@ -243,6 +277,11 @@ def optimize_many(
         robust: Wrap each technique in its fallback ladder
             (:func:`repro.robust.ladder_from`), as the bench runner's
             robust mode does.
+        faults: Optional :class:`~repro.robust.faults.FaultPlan` shipped
+            into every worker: seed-selected cells crash on first attempt
+            (the coordinator retries them — the grid still comes back
+            complete and identical to a fault-free run) and cost-model
+            reads can be slowed to inflate cell latency.
 
     Returns:
         ``grid[q][t]`` — a :class:`BatchItem` per (query, technique), in
@@ -261,11 +300,12 @@ def optimize_many(
         stats = analyze(queries[0].schema)
 
     tasks = [
-        (query_index, technique)
+        (query_index, technique, 0)
         for query_index in range(len(queries))
         for technique in techniques
     ]
     mode, effective = execution_mode(workers, len(tasks))
+    context = (queries, stats, budget, cost_model, robust, faults)
 
     with maybe_span(
         current_tracer(), SPAN_SERVICE_BATCH,
@@ -273,17 +313,14 @@ def optimize_many(
         cells=len(tasks), workers=effective, mode=mode,
     ):
         if mode == "serial":
-            global _CONTEXT
-            _install_context(queries, stats, budget, cost_model, robust)
-            try:
-                items = [_run_cell(task) for task in tasks]
-            finally:
-                _CONTEXT = None
+            items = _run_serial(tasks, context)
         else:
             # One contiguous chunk per worker: context pickled once per
             # worker, every worker busy for the whole batch, and chunk
-            # concatenation preserves submission order.
-            context = (queries, stats, budget, cost_model, robust)
+            # concatenation preserves submission order. Chunks are
+            # submitted individually (not pool.map) so a chunk killed by
+            # an injected worker crash can be retried in the coordinator
+            # at attempt 1 without losing its siblings.
             base, extra = divmod(len(tasks), effective)
             chunks = []
             start = 0
@@ -294,11 +331,16 @@ def optimize_many(
                 chunks.append(tasks[start : start + size])
                 start += size
             pool = _get_pool(effective)
+            futures = [
+                pool.submit(_run_chunk, (context, chunk)) for chunk in chunks
+            ]
             items = []
-            for chunk_items in pool.map(
-                _run_chunk, [(context, chunk) for chunk in chunks]
-            ):
-                items.extend(chunk_items)
+            for future, chunk in zip(futures, chunks):
+                try:
+                    items.extend(future.result())
+                except WorkerCrashFault:
+                    retry = [(q, t, 1) for (q, t, _) in chunk]
+                    items.extend(_run_serial(retry, context))
 
     width = len(techniques)
     return [items[row * width : (row + 1) * width] for row in range(len(queries))]

@@ -17,15 +17,27 @@ Usage::
     assert again.cache_hit and again.cost == first.cost
     service.analyze(schema)             # stats refresh -> epoch 2
     cold = service.optimize(query)      # re-optimizes against new stats
+
+The service is safe to call from many threads (the front door,
+:mod:`repro.service.frontdoor`, does exactly that):
+
+* statistics installs are an **atomic epoch swap** — snapshot, epoch and
+  cache invalidation flip under one lock, so a concurrent ``optimize()``
+  either sees the old world entirely or the new world entirely;
+* cold misses on the same ``(fingerprint, epoch)`` are **single-flight**:
+  one caller runs the search, the rest wait (bounded) and then serve the
+  cached result, so a thundering herd on a hot fingerprint costs one
+  search, not N.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import CatalogStatistics, analyze
-from repro.core.base import OptimizerResult, SearchBudget
+from repro.core.base import Optimizer, OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
 from repro.obs.names import SPAN_SERVICE_OPTIMIZE
@@ -37,6 +49,11 @@ from repro.service.fingerprint import query_fingerprint
 from repro.util.timer import Timer
 
 __all__ = ["ServiceResult", "OptimizationService"]
+
+#: How long a single-flight follower waits for the leader's search before
+#: giving up and running its own. Bounded on purpose: a wedged leader
+#: (or one cancelled mid-search) must not hang every follower forever.
+INFLIGHT_WAIT_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,10 @@ class OptimizationService:
         self._cache = PlanCache(cache_capacity)
         self._stats: CatalogStatistics | None = None
         self._epoch = 0
+        # RLock: analyze() -> install_statistics() nests under optimize()'s
+        # epoch-snapshot critical section.
+        self._lock = threading.RLock()
+        self._inflight: dict[tuple, threading.Event] = {}
 
     # -- statistics lifecycle ----------------------------------------------------
 
@@ -94,10 +115,18 @@ class OptimizationService:
         return self.install_statistics(analyze(schema))
 
     def install_statistics(self, stats: CatalogStatistics) -> CatalogStatistics:
-        """Install a pre-collected snapshot (same epoch/invalidation rules)."""
-        self._stats = stats
-        self._epoch += 1
-        self._cache.invalidate()
+        """Install a pre-collected snapshot (same epoch/invalidation rules).
+
+        The swap is atomic: snapshot, epoch bump and cache invalidation
+        happen under the service lock, so concurrent ``optimize()`` calls
+        see either the old (snapshot, epoch) pair or the new one — never
+        a mix. In-flight searches against the old epoch finish and cache
+        under their old key, which can no longer be served.
+        """
+        with self._lock:
+            self._stats = stats
+            self._epoch += 1
+            self._cache.invalidate()
         return stats
 
     @property
@@ -111,7 +140,13 @@ class OptimizationService:
 
     # -- optimization ------------------------------------------------------------
 
-    def optimize(self, query: Query, stats: CatalogStatistics | None = None) -> ServiceResult:
+    def optimize(
+        self,
+        query: Query,
+        stats: CatalogStatistics | None = None,
+        *,
+        optimizer: Optimizer | None = None,
+    ) -> ServiceResult:
         """Optimize ``query``, serving repeated fingerprints from cache.
 
         Args:
@@ -121,16 +156,26 @@ class OptimizationService:
                 and invalidating the cache); passing the installed object
                 again is a no-op. With no snapshot installed and none
                 passed, statistics are collected from ``query.schema``.
+            optimizer: Per-call optimizer override (the front door's
+                brownout path). The cache is still *consulted* — a warm
+                full-quality plan beats any degraded search — but the
+                override's result is **not cached** (degraded plans must
+                not shadow full-quality ones once load drops) and misses
+                are not single-flighted (each degraded request pays its
+                own, deliberately cheap, search).
 
         Raises:
             OptimizationBudgetExceeded: propagated from the backing
                 optimizer; budget trips are never cached.
         """
-        if stats is not None:
-            if stats is not self._stats:
-                self.install_statistics(stats)
-        elif self._stats is None:
-            self.analyze(query.schema)
+        with self._lock:
+            if stats is not None:
+                if stats is not self._stats:
+                    self.install_statistics(stats)
+            elif self._stats is None:
+                self.analyze(query.schema)
+            snapshot = self._stats
+            epoch = self._epoch
 
         timer = Timer().start()
         with maybe_span(
@@ -138,8 +183,8 @@ class OptimizationService:
             technique=self.technique, query=query.label,
         ) as span:
             fingerprint = query_fingerprint(query)
-            span.set(fingerprint=fingerprint, epoch=self._epoch)
-            key = (fingerprint, self._epoch)
+            span.set(fingerprint=fingerprint, epoch=epoch)
+            key = (fingerprint, epoch)
             cached = self._cache.get(key)
             if cached is not None:
                 span.set(cache_hit=True)
@@ -148,28 +193,93 @@ class OptimizationService:
                     cache_hit=True,
                     elapsed_seconds=timer.stop(),
                 )
-
             span.set(cache_hit=False)
-            result = self._optimizer.optimize(query, self._stats)
-            served = ServiceResult(
-                technique=result.technique,
-                plan=result.plan,
-                cost=result.cost,
-                rows=result.rows,
-                plans_costed=result.plans_costed,
-                modeled_memory_mb=result.modeled_memory_mb,
-                elapsed_seconds=result.elapsed_seconds,
-                jcrs_created=result.jcrs_created,
-                jcrs_pruned=result.jcrs_pruned,
-                degraded=result.degraded,
-                cache_hit=False,
-                fingerprint=fingerprint,
-                stats_epoch=self._epoch,
-            )
-            self._cache.put(key, served)
+
+            if optimizer is not None:
+                result = optimizer.optimize(query, snapshot)
+                return self._served(result, fingerprint, epoch, cache=False)
+
+            leader, event = self._claim(key)
+            if not leader:
+                span.set(single_flight="follower")
+                event.wait(timeout=INFLIGHT_WAIT_SECONDS)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return replace(
+                        cached,  # type: ignore[arg-type]
+                        cache_hit=True,
+                        elapsed_seconds=timer.stop(),
+                    )
+                # Leader failed, timed out, or the epoch moved: compute
+                # independently rather than re-electing (no herd left —
+                # every waiter was woken by the same event).
+                result = self._optimizer.optimize(query, snapshot)
+                return self._served(result, fingerprint, epoch, cache=True)
+
+            try:
+                result = self._optimizer.optimize(query, snapshot)
+                served = self._served(result, fingerprint, epoch, cache=True)
+            finally:
+                self._release(key, event)
             return served
 
+    def _served(
+        self,
+        result: OptimizerResult,
+        fingerprint: str,
+        epoch: int,
+        cache: bool,
+    ) -> ServiceResult:
+        """Wrap an optimizer result; optionally publish it to the cache."""
+        served = ServiceResult(
+            technique=result.technique,
+            plan=result.plan,
+            cost=result.cost,
+            rows=result.rows,
+            plans_costed=result.plans_costed,
+            modeled_memory_mb=result.modeled_memory_mb,
+            elapsed_seconds=result.elapsed_seconds,
+            jcrs_created=result.jcrs_created,
+            jcrs_pruned=result.jcrs_pruned,
+            degraded=result.degraded,
+            cache_hit=False,
+            fingerprint=fingerprint,
+            stats_epoch=epoch,
+        )
+        if cache:
+            self._cache.put((fingerprint, epoch), served)
+        return served
+
+    # -- single-flight bookkeeping -----------------------------------------------
+
+    def _claim(self, key: tuple) -> tuple[bool, threading.Event]:
+        """Elect a leader for ``key``: (am_leader, the key's event)."""
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is not None:
+                return False, event
+            event = threading.Event()
+            self._inflight[key] = event
+            return True, event
+
+    def _release(self, key: tuple, event: threading.Event) -> None:
+        """Leader done (cached or failed): wake every follower."""
+        with self._lock:
+            if self._inflight.get(key) is event:
+                del self._inflight[key]
+        event.set()
+
     # -- introspection -----------------------------------------------------------
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The backing optimizer (shared across calls and threads).
+
+        Exposed so harnesses can instrument it — e.g. the chaos harness
+        installs a :class:`~repro.robust.faults.SlowCostModel` here to
+        slow the default path down without changing its answers.
+        """
+        return self._optimizer
 
     @property
     def cache(self) -> PlanCache:

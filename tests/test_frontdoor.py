@@ -1,0 +1,507 @@
+"""Tests for the overload-robust serving front door.
+
+Unit tests drive every component deterministically — brownout ladder
+validation, the load controller on a fake clock, the statistics-refresh
+circuit breaker, admission shedding, tenant isolation — and a
+``stress``-marked smoke test asserts the end-to-end serving contract at
+4x sustained overload with chaos faults installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.base import SearchBudget
+from repro.errors import AdmissionRejected, ServiceError, TenantBudgetExhausted
+from repro.service import (
+    DEFAULT_BROWNOUT_LEVELS,
+    BrownoutLevel,
+    FrontDoor,
+    FrontDoorConfig,
+    FrontDoorStats,
+    LoadController,
+    OptimizationService,
+    StatsRefreshBreaker,
+    TenantPolicy,
+    TenantRegistry,
+)
+from repro.service.frontdoor import _scaled_budget
+from tests.conftest import make_star_query
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def service(small_schema, small_stats):
+    svc = OptimizationService(
+        technique="SDP", budget=SearchBudget(max_seconds=10.0)
+    )
+    svc.install_statistics(small_stats)
+    return svc
+
+
+@pytest.fixture
+def query(small_schema):
+    return make_star_query(small_schema, 5)
+
+
+# ---------------------------------------------------------------------------
+# Brownout ladder
+# ---------------------------------------------------------------------------
+
+
+class TestBrownoutLevel:
+    def test_default_ladder_shape(self):
+        levels = [entry.level for entry in DEFAULT_BROWNOUT_LEVELS]
+        assert levels == list(range(len(DEFAULT_BROWNOUT_LEVELS)))
+        assert DEFAULT_BROWNOUT_LEVELS[0].entry is None
+        assert all(entry.entry for entry in DEFAULT_BROWNOUT_LEVELS[1:])
+        scales = [entry.budget_scale for entry in DEFAULT_BROWNOUT_LEVELS]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_level_zero_must_be_baseline(self):
+        with pytest.raises(ServiceError):
+            BrownoutLevel(0, "SDP")
+
+    def test_degraded_levels_need_an_entry(self):
+        with pytest.raises(ServiceError):
+            BrownoutLevel(1, None)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ServiceError):
+            BrownoutLevel(-1, "GOO")
+
+    def test_budget_scale_bounds(self):
+        with pytest.raises(ServiceError):
+            BrownoutLevel(1, "SDP", budget_scale=0.0)
+        with pytest.raises(ServiceError):
+            BrownoutLevel(1, "SDP", budget_scale=1.5)
+
+
+class TestScaledBudget:
+    def test_full_scale_is_identity(self):
+        base = SearchBudget(max_plans_costed=1000, max_seconds=2.0)
+        assert _scaled_budget(base, 1.0) is base
+
+    def test_shrinks_plan_and_time_allowances(self):
+        base = SearchBudget(max_plans_costed=1000, max_seconds=2.0)
+        scaled = _scaled_budget(base, 0.5)
+        assert scaled.max_plans_costed == 500
+        assert scaled.max_seconds == pytest.approx(1.0)
+        assert scaled.max_memory_bytes == base.max_memory_bytes
+
+    def test_unlimited_allowances_stay_unlimited(self):
+        base = SearchBudget(max_plans_costed=None, max_seconds=None)
+        scaled = _scaled_budget(base, 0.25)
+        assert scaled.max_plans_costed is None
+        assert scaled.max_seconds is None
+
+    def test_never_scales_to_zero_plans(self):
+        base = SearchBudget(max_plans_costed=2)
+        assert _scaled_budget(base, 0.01).max_plans_costed == 1
+
+
+# ---------------------------------------------------------------------------
+# Load controller
+# ---------------------------------------------------------------------------
+
+
+class TestLoadController:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("max_level", 3)
+        kwargs.setdefault("cooldown_seconds", 1.0)
+        return LoadController(clock=clock, **kwargs)
+
+    def test_starts_at_baseline(self):
+        controller = self.make(FakeClock())
+        assert controller.level == 0
+
+    def test_high_occupancy_escalates_one_level_per_cooldown(self):
+        clock = FakeClock()
+        controller = self.make(clock)
+        # Cooldown has not elapsed since construction: no change yet.
+        assert controller.evaluate(8, 8) == 0
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 1
+        # Rate-limited: an immediate re-evaluation cannot skip levels.
+        assert controller.evaluate(8, 8) == 1
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 2
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 3
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 3  # capped at max_level
+
+    def test_latency_alone_never_escalates(self):
+        clock = FakeClock()
+        controller = self.make(clock, latency_slo_seconds=0.5)
+        for _ in range(64):
+            controller.observe(10.0)
+        assert controller.p95() > controller.latency_slo_seconds
+        clock.advance(5.0)
+        assert controller.evaluate(0, 8) == 0
+
+    def test_latency_with_queue_pressure_escalates(self):
+        clock = FakeClock()
+        controller = self.make(clock, latency_slo_seconds=0.5)
+        for _ in range(64):
+            controller.observe(10.0)
+        clock.advance(1.0)
+        # Half-full queue is below the high watermark but above the low
+        # one, so the p95 breach counts.
+        assert controller.evaluate(4, 8) == 1
+
+    def test_calm_queue_deescalates(self):
+        clock = FakeClock()
+        controller = self.make(clock)
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 1
+        # Still slow in the window, but the queue is empty: stand down.
+        for _ in range(64):
+            controller.observe(10.0)
+        clock.advance(1.0)
+        assert controller.evaluate(0, 8) == 0
+
+    def test_mid_band_occupancy_holds_level(self):
+        clock = FakeClock()
+        controller = self.make(clock)
+        clock.advance(1.0)
+        assert controller.evaluate(8, 8) == 1
+        clock.advance(1.0)
+        # Between the watermarks with a healthy p95: neither heavy nor calm.
+        assert controller.evaluate(4, 8) == 1
+
+    def test_empty_window_p95_is_zero(self):
+        assert self.make(FakeClock()).p95() == 0.0
+
+    def test_watermark_validation(self):
+        with pytest.raises(ServiceError):
+            LoadController(high_watermark=0.25, low_watermark=0.75)
+        with pytest.raises(ServiceError):
+            LoadController(high_watermark=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Statistics-refresh circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class RecordingService:
+    """Stands in for OptimizationService: records installed snapshots."""
+
+    def __init__(self):
+        self.installed = []
+
+    def install_statistics(self, stats):
+        self.installed.append(stats)
+
+
+class TestStatsRefreshBreaker:
+    def test_first_refresh_applies(self):
+        service = RecordingService()
+        breaker = StatsRefreshBreaker(service, 1.0, clock=FakeClock())
+        assert breaker.install("s1") == "applied"
+        assert service.installed == ["s1"]
+        assert breaker.state == "closed"
+
+    def test_storm_coalesces_newest_wins(self):
+        service = RecordingService()
+        clock = FakeClock()
+        breaker = StatsRefreshBreaker(service, 1.0, clock=clock)
+        breaker.install("s1")
+        assert breaker.install("s2") == "coalesced"
+        assert breaker.install("s3") == "coalesced"
+        assert breaker.state == "open"
+        assert service.installed == ["s1"]
+        # Inside the interval flush() is a no-op (breaker still open).
+        assert breaker.flush() is False
+        clock.advance(1.0)
+        assert breaker.state == "half-open"
+        assert breaker.flush() is True
+        # Only the newest parked snapshot lands; s2 was already stale.
+        assert service.installed == ["s1", "s3"]
+        assert breaker.state == "closed"
+        assert (breaker.applied, breaker.coalesced) == (2, 2)
+
+    def test_spaced_refreshes_all_apply(self):
+        service = RecordingService()
+        clock = FakeClock()
+        breaker = StatsRefreshBreaker(service, 1.0, clock=clock)
+        for snapshot in ("s1", "s2", "s3"):
+            assert breaker.install(snapshot) == "applied"
+            clock.advance(1.0)
+        assert service.installed == ["s1", "s2", "s3"]
+        assert breaker.coalesced == 0
+
+    def test_flush_without_pending_is_noop(self):
+        breaker = StatsRefreshBreaker(RecordingService(), 1.0, clock=FakeClock())
+        assert breaker.flush() is False
+
+    def test_interval_validation(self):
+        with pytest.raises(ServiceError):
+            StatsRefreshBreaker(RecordingService(), 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Front-door configuration
+# ---------------------------------------------------------------------------
+
+
+class TestFrontDoorConfig:
+    def test_queue_capacity_validation(self):
+        with pytest.raises(ServiceError):
+            FrontDoorConfig(queue_capacity=0)
+
+    def test_workers_validation(self):
+        with pytest.raises(ServiceError):
+            FrontDoorConfig(workers=0)
+
+    def test_brownout_levels_must_start_at_zero(self):
+        with pytest.raises(ServiceError):
+            FrontDoorConfig(brownout_levels=(BrownoutLevel(1, "SDP"),))
+
+    def test_brownout_levels_must_be_consecutive(self):
+        with pytest.raises(ServiceError):
+            FrontDoorConfig(
+                brownout_levels=(BrownoutLevel(0, None), BrownoutLevel(2, "GOO"))
+            )
+
+    def test_stats_properties(self):
+        stats = FrontDoorStats(
+            admitted=5, completed=4, shed_queue=2, shed_tenant=1, shed_shutdown=3
+        )
+        assert stats.shed == 6
+        assert stats.submitted == 11
+
+
+# ---------------------------------------------------------------------------
+# Serving
+# ---------------------------------------------------------------------------
+
+
+class TestFrontDoorServing:
+    def test_unloaded_request_is_baseline(self, service, query):
+        # A huge cooldown pins the controller at level 0 for the whole test.
+        config = FrontDoorConfig(workers=2, cooldown_seconds=60.0)
+        with FrontDoor(service, config) as door:
+            first = door.optimize(query)
+            assert first.brownout_level == 0
+            assert first.entry == service.technique
+            assert not first.degraded
+            assert first.result.plan is not None
+            assert not first.result.cache_hit
+            assert first.total_seconds >= first.queue_wait_seconds >= 0.0
+            # The baseline path is the plain service path: it caches.
+            second = door.optimize(query)
+            assert second.result.cache_hit
+            assert second.result.plan == first.result.plan
+        stats = door.stats()
+        assert stats.admitted == stats.completed == 2
+        assert stats.shed == 0
+        assert stats.rung_entries == {service.technique: 2}
+
+    def test_submit_before_start_raises(self, service, query):
+        door = FrontDoor(service)
+        with pytest.raises(ServiceError):
+            door.submit(query)
+
+    def test_submit_after_close_is_typed_shutdown(self, service, query):
+        door = FrontDoor(service).start()
+        door.close()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            door.submit(query)
+        assert excinfo.value.reason == "shutdown"
+
+    def test_restart_after_close_rejected(self, service):
+        door = FrontDoor(service).start()
+        door.close()
+        with pytest.raises(ServiceError):
+            door.start()
+
+    def test_tenant_budget_rejection_and_isolation(self, service, query):
+        clock = FakeClock()
+        tenants = TenantRegistry(
+            default_policy=TenantPolicy(bucket_capacity=1.0, refill_per_second=1.0),
+            clock=clock,
+        )
+        config = FrontDoorConfig(workers=1, cooldown_seconds=60.0)
+        with FrontDoor(service, config, tenants=tenants) as door:
+            door.optimize(query, tenant="loud")
+            with pytest.raises(TenantBudgetExhausted) as excinfo:
+                door.submit(query, tenant="loud")
+            assert excinfo.value.reason == "tenant-budget"
+            assert excinfo.value.tenant == "loud"
+            assert excinfo.value.retry_after_seconds > 0.0
+            # One tenant's storm is not another tenant's problem.
+            quiet = door.optimize(query, tenant="quiet")
+            assert quiet.result.plan is not None
+            # The bucket refills continuously: the loud tenant recovers.
+            clock.advance(1.0)
+            recovered = door.optimize(query, tenant="loud")
+            assert recovered.result.plan is not None
+        assert door.stats().shed_tenant == 1
+
+    def _gate(self, service):
+        """Make the service's optimize block until the event is set."""
+        release = threading.Event()
+        real = service.optimize
+
+        def gated(query, stats=None, **kwargs):
+            assert release.wait(timeout=10.0), "test gate never released"
+            return real(query, stats, **kwargs)
+
+        service.optimize = gated
+        return release
+
+    def test_queue_full_shedding(self, service, query):
+        release = self._gate(service)
+        config = FrontDoorConfig(
+            queue_capacity=2, workers=1, cooldown_seconds=60.0
+        )
+        with FrontDoor(service, config) as door:
+            first = door.submit(query)
+            for _ in range(200):  # wait for the worker to dequeue it
+                if door.queue_depth == 0:
+                    break
+                time.sleep(0.01)
+            queued = [door.submit(query), door.submit(query)]
+            with pytest.raises(AdmissionRejected) as excinfo:
+                door.submit(query)
+            assert excinfo.value.reason == "queue-full"
+            release.set()
+            for future in [first, *queued]:
+                assert future.result(timeout=10.0).result.plan is not None
+        stats = door.stats()
+        assert stats.admitted == 3
+        assert stats.completed == 3
+        assert stats.shed_queue == 1
+
+    def test_close_without_drain_rejects_queued(self, service, query):
+        release = self._gate(service)
+        config = FrontDoorConfig(
+            queue_capacity=4, workers=1, cooldown_seconds=60.0
+        )
+        door = FrontDoor(service, config).start()
+        in_flight = door.submit(query)
+        for _ in range(200):
+            if door.queue_depth == 0:
+                break
+            time.sleep(0.01)
+        queued = [door.submit(query), door.submit(query)]
+        door.close(drain=False, timeout=0.2)
+        for future in queued:
+            with pytest.raises(AdmissionRejected) as excinfo:
+                future.result(timeout=1.0)
+            assert excinfo.value.reason == "shutdown"
+        # The in-flight request was admitted before close: it is served.
+        release.set()
+        assert in_flight.result(timeout=10.0).result.plan is not None
+        assert door.stats().shed_shutdown == 2
+
+    def test_brownout_serving_and_recovery(self, service, query):
+        clock = FakeClock()
+        config = FrontDoorConfig(
+            queue_capacity=8, workers=1, cooldown_seconds=1.0
+        )
+        with FrontDoor(service, config, clock=clock) as door:
+            # Drive the controller up the ladder by hand: the fake clock
+            # freezes between our evaluate() calls, so the worker's own
+            # re-evaluation cannot change the level underneath the test.
+            clock.advance(1.0)
+            assert door.controller.evaluate(8, 8) == 1
+            clock.advance(1.0)
+            assert door.controller.evaluate(8, 8) == 2
+
+            browned = door.optimize(query)
+            assert browned.brownout_level == 2
+            assert browned.entry == "IDP(4)"
+            assert browned.degraded
+            assert browned.result.plan is not None
+            assert not browned.result.cache_hit
+            # Degraded plans are never cached: a repeat under brownout
+            # still misses.
+            again = door.optimize(query)
+            assert not again.result.cache_hit
+
+            # Recovery: a calm queue walks the level back to baseline and
+            # full-quality results start landing in the cache again.
+            clock.advance(1.0)
+            assert door.controller.evaluate(0, 8) == 1
+            clock.advance(1.0)
+            assert door.controller.evaluate(0, 8) == 0
+            full = door.optimize(query)
+            assert full.brownout_level == 0
+            assert not full.degraded
+            assert not full.result.cache_hit
+            warmed = door.optimize(query)
+            assert warmed.result.cache_hit
+        mix = door.stats().rung_entries
+        assert mix == {"IDP(4)": 2, service.technique: 2}
+
+    def test_stats_refresh_routes_through_breaker(self, service, small_stats):
+        config = FrontDoorConfig(
+            workers=1, stats_refresh_interval_seconds=60.0, cooldown_seconds=60.0
+        )
+        with FrontDoor(service, config) as door:
+            epoch = service.stats_epoch
+            assert door.install_statistics(small_stats) == "applied"
+            assert service.stats_epoch == epoch + 1
+            # A storm inside the interval does not churn the epoch.
+            for _ in range(5):
+                assert door.install_statistics(small_stats) == "coalesced"
+            assert service.stats_epoch == epoch + 1
+            assert door.breaker.state == "open"
+
+
+# ---------------------------------------------------------------------------
+# The serving contract under sustained overload (opt-in: pytest -m stress)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.stress
+class TestOverloadContract:
+    def test_chaos_overload_never_drops_a_request(self, schema, stats):
+        from repro.bench import LoadScenario, run_load
+
+        scenario = LoadScenario(
+            label="smoke-overload",
+            duration_seconds=1.5,
+            overload_factor=4.0,
+            queue_capacity=8,
+            latency_fault_seconds=0.005,
+            latency_fault_every=64,
+            stats_churn_interval_seconds=0.2,
+            query_sizes=(8, 9, 10),
+            technique="DP",
+        )
+        report = run_load(scenario, schema=schema, stats=stats)
+
+        # Every submitted request ended in a plan or a typed rejection.
+        assert report["errors"] == 0
+        assert report["hung"] == 0
+        shed_total = sum(report["shed"].values())
+        assert report["completed"] + shed_total == report["submitted"]
+        assert report["completed"] > 0
+
+        # 4x overload must be *visible*: either the bounded queue shed or
+        # brownout moved requests off the baseline technique (usually both).
+        off_baseline = sum(
+            count
+            for entry, count in report["rung_mix"].items()
+            if entry != scenario.technique
+        )
+        assert report["shed"]["queue-full"] > 0 or off_baseline > 0

@@ -1,4 +1,4 @@
-"""Fixture-tree tests for every repro.lint checker (RL001-RL007).
+"""Fixture-tree tests for every repro.lint checker (RL001-RL008).
 
 Each test builds a minimal ``src/repro`` tree on disk, runs one checker
 over it, and asserts the checker fires (positive) or stays silent
@@ -529,4 +529,125 @@ class TestPublicApi:
         findings = lint_tree(tmp_path, {
             "src/repro/core/x.py": "x = 1\n",
         }, "RL007")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL008
+
+
+class TestServiceOps:
+    def test_unbounded_queue_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                import queue
+
+                work = queue.Queue()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert "maxsize" in findings[0].message
+
+    def test_bounded_queue_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                import queue
+
+                work = queue.Queue(maxsize=32)
+                also = queue.LifoQueue(8)
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_simplequeue_always_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                from queue import SimpleQueue
+
+                work = SimpleQueue()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert "cannot be bounded" in findings[0].message
+
+    def test_blocking_queue_get_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def loop(self):
+                    return self._queue.get()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert ".get()" in findings[0].message
+
+    def test_nonblocking_queue_ops_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def loop(self, item):
+                    self._queue.put(item, block=False)
+                    return self._queue.get(timeout=0.05)
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_wait_without_timeout_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def follow(event):
+                    event.wait()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert "timeout" in findings[0].message
+
+    def test_wait_with_timeout_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def follow(event):
+                    event.wait(timeout=30.0)
+                    event.wait(1.0)
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_worker_join_without_timeout_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def close(self):
+                    for worker in self._workers:
+                        worker.join()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert "shutdown" in findings[0].message
+
+    def test_nonthread_join_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def render(parts):
+                    return ", ".join(parts)
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_other_layers_out_of_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/x.py": """\
+                import queue
+
+                work = queue.Queue()
+
+                def follow(event):
+                    event.wait()
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": """\
+                def follow(event):
+                    # lint: waive[RL008] event is set in a finally block
+                    event.wait()
+            """,
+        }, "RL008")
         assert findings == []

@@ -28,9 +28,10 @@ def test_src_tree_lints_clean():
 
 
 def test_every_checker_registered():
-    # The gate above only means something if all seven checkers ran.
+    # The gate above only means something if all eight checkers ran.
     from repro.lint import CHECKER_CODES
 
     assert CHECKER_CODES() == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     ]

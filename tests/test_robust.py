@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.catalog import SchemaBuilder, analyze
@@ -207,3 +209,102 @@ class TestCancellation:
             Deadline(0)
         with pytest.raises(ValueError):
             Deadline(-1)
+
+
+class TestConcurrentDeadlines:
+    """One wall-clock deadline shared across concurrent optimizations."""
+
+    def _run_threads(self, workers):
+        threads = [threading.Thread(target=fn) for fn in workers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_expired_shared_deadline_cancels_every_request(
+        self, small_schema, small_stats
+    ):
+        query = make_star_query(small_schema, 8)
+        deadline = Deadline(1e-9)
+        outcomes = {}
+
+        def request(index):
+            optimizer = make_optimizer("SDP")
+            optimizer.checkpoint = deadline.checkpoint
+            try:
+                optimizer.optimize(query, small_stats)
+                outcomes[index] = "ok"
+            except OptimizationCancelled:
+                outcomes[index] = "cancelled"
+
+        self._run_threads(
+            [lambda i=i: request(i) for i in range(4)]
+        )
+        assert outcomes == {i: "cancelled" for i in range(4)}
+
+    def test_cancellation_does_not_leak_across_requests(
+        self, small_schema, small_stats
+    ):
+        """A neighbour's expired deadline must not cancel or degrade us."""
+        query = make_star_query(small_schema, 7)
+        expired = Deadline(1e-9)
+        outcomes = {}
+
+        def doomed(index):
+            robust = RobustOptimizer()
+            robust.checkpoint = expired.checkpoint
+            try:
+                robust.optimize(query, small_stats)
+                outcomes[index] = "ok"
+            except OptimizationCancelled:
+                outcomes[index] = "cancelled"
+
+        def unhindered(index):
+            robust = RobustOptimizer()
+            result = robust.optimize(query, small_stats)
+            outcomes[index] = (
+                "ok" if not result.degraded and result.cost > 0 else "degraded"
+            )
+
+        self._run_threads(
+            [lambda: doomed(0), lambda: unhindered(1), lambda: doomed(2)]
+        )
+        assert outcomes == {0: "cancelled", 1: "ok", 2: "cancelled"}
+
+    def test_generous_shared_deadline_serves_everyone(
+        self, small_schema, small_stats
+    ):
+        query = make_star_query(small_schema, 6)
+        deadline = Deadline(60.0)
+        results = {}
+
+        def request(index):
+            optimizer = make_optimizer("SDP")
+            optimizer.checkpoint = deadline.checkpoint
+            results[index] = optimizer.optimize(query, small_stats)
+
+        self._run_threads([lambda i=i: request(i) for i in range(4)])
+        costs = {result.cost for result in results.values()}
+        assert len(results) == 4
+        assert len(costs) == 1  # concurrency never changes the answer
+        assert not deadline.expired
+
+    def test_attempt_logs_stay_per_request(self, small_schema, small_stats):
+        """Each robust request keeps its own attempt log under concurrency."""
+        query = make_star_query(small_schema, 7)
+        logs = {}
+
+        def request(index):
+            robust = RobustOptimizer(ladder=("SDP", "GOO"))
+            result = robust.optimize(query, small_stats)
+            logs[index] = [
+                (attempt.technique, attempt.outcome)
+                for attempt in result.attempts
+            ]
+
+        self._run_threads([lambda i=i: request(i) for i in range(4)])
+        assert len(logs) == 4
+        reference = logs[0]
+        assert all(log == reference for log in logs.values())
+        assert reference[0] == ("SDP", "ok")

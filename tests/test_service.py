@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import pickle
+import threading
+import time
 
 import pytest
 
 from repro.bench.runner import run_comparison
+from repro.catalog import analyze
 from repro.bench.workloads import WorkloadSpec
 from repro.core.base import SearchBudget
 from repro.errors import OptimizationBudgetExceeded, ServiceError
@@ -352,3 +355,172 @@ class TestParallelComparison:
         )
         assert serial.outcomes["DP"].fallback_events > 0
         assert self._outcome_key(serial) == self._outcome_key(parallel)
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: cache counters, single-flight, atomic epoch swaps
+# ---------------------------------------------------------------------------
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=fn) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+class TestPlanCacheConcurrency:
+    def test_counters_are_exact_under_threads(self):
+        cache = PlanCache(64)
+        for key in range(32):
+            cache.put(key, key)
+        gets_per_thread = 200
+
+        def reader(offset):
+            for index in range(gets_per_thread):
+                # Even indices hit the pre-populated keys, odd ones miss.
+                if index % 2 == 0:
+                    assert cache.get((offset + index) % 32) is not None
+                else:
+                    assert cache.get(("absent", offset, index)) is None
+
+        _run_threads([lambda i=i: reader(i) for i in range(8)])
+        total = 8 * gets_per_thread
+        assert cache.stats.hits == total // 2
+        assert cache.stats.misses == total // 2
+
+    def test_capacity_is_never_exceeded_under_threads(self):
+        cache = PlanCache(16)
+
+        def writer(offset):
+            for index in range(200):
+                cache.put((offset, index), index)
+                cache.get((offset, max(0, index - 1)))
+
+        _run_threads([lambda i=i: writer(i) for i in range(8)])
+        assert len(cache) <= 16
+        assert cache.stats.evictions == 8 * 200 - len(cache)
+
+
+class TestSingleFlight:
+    def _slow_service(self, small_stats, delay_seconds):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        optimizer = service.optimizer
+        real = optimizer.optimize
+        calls = []
+
+        def slow(query, stats=None, **kwargs):
+            calls.append(threading.get_ident())
+            time.sleep(delay_seconds)
+            return real(query, stats, **kwargs)
+
+        optimizer.optimize = slow
+        return service, calls
+
+    def test_miss_storm_coalesces_to_one_search(self, small_schema, small_stats):
+        service, calls = self._slow_service(small_stats, delay_seconds=0.3)
+        query = make_star_query(small_schema, 5)
+        barrier = threading.Barrier(8)
+        results = {}
+
+        def request(index):
+            barrier.wait(timeout=10.0)
+            results[index] = service.optimize(query)
+
+        _run_threads([lambda i=i: request(i) for i in range(8)])
+        assert len(calls) == 1  # one leader searched; followers waited
+        plans = {repr(result.plan) for result in results.values()}
+        assert len(plans) == 1
+        assert sum(1 for r in results.values() if not r.cache_hit) == 1
+        assert sum(1 for r in results.values() if r.cache_hit) == 7
+
+    def test_follower_timeout_falls_back_to_own_search(
+        self, small_schema, small_stats, monkeypatch
+    ):
+        from repro.service import service as service_module
+
+        monkeypatch.setattr(service_module, "INFLIGHT_WAIT_SECONDS", 0.05)
+        service, calls = self._slow_service(small_stats, delay_seconds=0.5)
+        query = make_star_query(small_schema, 5)
+        results = {}
+
+        def request(index):
+            results[index] = service.optimize(query)
+
+        leader = threading.Thread(target=lambda: request(0))
+        leader.start()
+        for _ in range(200):  # wait until the leader holds the flight
+            if calls:
+                break
+            time.sleep(0.005)
+        follower = threading.Thread(target=lambda: request(1))
+        follower.start()
+        leader.join(timeout=30.0)
+        follower.join(timeout=30.0)
+
+        # The follower gave up waiting and computed independently: two
+        # searches, identical answers, neither served from cache.
+        assert len(calls) == 2
+        assert repr(results[0].plan) == repr(results[1].plan)
+        assert not results[0].cache_hit and not results[1].cache_hit
+
+    def test_override_path_is_not_single_flighted(
+        self, small_schema, small_stats
+    ):
+        service, calls = self._slow_service(small_stats, delay_seconds=0.0)
+        query = make_star_query(small_schema, 5)
+        from repro.core.registry import make_optimizer
+
+        override_results = [
+            service.optimize(query, optimizer=make_optimizer("GOO"))
+            for _ in range(2)
+        ]
+        # The override never touched the shared optimizer or the cache.
+        assert calls == []
+        assert all(not r.cache_hit for r in override_results)
+        assert len(service.cache) == 0
+
+
+class TestConcurrentEpochSwap:
+    def test_optimize_never_mixes_epochs(self, small_schema):
+        service = OptimizationService(technique="SDP")
+        service.analyze(small_schema)
+        first_epoch = service.stats_epoch
+        query = make_star_query(small_schema, 5)
+        results = []
+        results_lock = threading.Lock()
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                service.install_statistics(analyze(small_schema))
+                time.sleep(0.01)
+
+        def request():
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                result = service.optimize(query)
+                with results_lock:
+                    results.append(result)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            _run_threads([request for _ in range(4)])
+        finally:
+            stop.set()
+            churner.join(timeout=10.0)
+
+        assert results
+        final_epoch = service.stats_epoch
+        costs = set()
+        for result in results:
+            assert result.plan is not None
+            assert first_epoch <= result.stats_epoch <= final_epoch
+            costs.add(result.cost)
+        # analyze() of the same schema yields the same statistics, so the
+        # answer is epoch-independent even while epochs churn.
+        assert len(costs) == 1
