@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full pre-merge verification: static analysis, the tier-1 test suite,
-# the hot-path regression guard, and the front-door overload smoke, in
-# fail-fast order (cheapest first).
+# the parallel-kernel identity smoke, the hot-path regression guard, and
+# the front-door overload smoke, in fail-fast order (cheapest first).
 #
 #   scripts/verify.sh            # from the repo root
 #
@@ -13,16 +13,45 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/4 static analysis (python -m repro.lint) =="
+echo "== 1/5 static analysis (python -m repro.lint) =="
 python -m repro.lint src/
 
-echo "== 2/4 tier-1 tests (pytest) =="
+echo "== 2/5 tier-1 tests (pytest) =="
 python -m pytest
 
-echo "== 3/4 hot-path regression guard (sdp-bench --check) =="
+echo "== 3/5 parallel-kernel smoke (2-worker pool vs serial) =="
+python - <<'SMOKE'
+import glob
+
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.catalog import SchemaBuilder, analyze
+from repro.core.base import SearchBudget
+from repro.core.registry import make_optimizer
+
+schema = SchemaBuilder(seed=7, relation_count=12, column_count=14,
+                       name="verify-parallel-12").build()
+stats = analyze(schema)
+budget = SearchBudget(max_seconds=60.0)
+for technique, spec in (("DP", WorkloadSpec("star", 10)),
+                        ("SDP", WorkloadSpec("star", 12))):
+    query = make_query(spec, schema, 0)
+    serial = make_optimizer(technique, budget=budget).optimize(query, stats)
+    pooled = make_optimizer(technique, budget=budget, workers=2).optimize(
+        query, stats)
+    assert pooled.cost == serial.cost, (technique, pooled.cost, serial.cost)
+    assert pooled.plans_costed == serial.plans_costed, technique
+    assert pooled.jcrs_created == serial.jcrs_created, technique
+    print(f"  {technique} {spec.label}: 2-worker pool identical "
+          f"(cost={serial.cost:.1f}, plans_costed={serial.plans_costed})")
+leftovers = glob.glob("/dev/shm/repro_ps_*")
+assert not leftovers, f"shared-memory leak: {leftovers}"
+print("  /dev/shm clean")
+SMOKE
+
+echo "== 4/5 hot-path regression guard (sdp-bench --check) =="
 python -m repro.bench --check BENCH_optimize.json
 
-echo "== 4/4 overload smoke (pytest -m stress) =="
+echo "== 5/5 overload smoke (pytest -m stress) =="
 python -m pytest -m stress
 
 echo "verify: all stages passed"

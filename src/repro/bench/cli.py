@@ -159,10 +159,29 @@ def _run_check(baseline_path: str, repeats: int, workers: int | None) -> int:
             f"plans_costed={bench['plans_costed']} cost={bench['cost']}"
         )
     grid = current["benchmarks"]["grid_workers"]
+    fallback = (
+        f" fallback_reason={grid['fallback_reason']}"
+        if grid.get("fallback_reason")
+        else ""
+    )
     print(
         f"{'grid_workers':14s} mode={grid['mode']} speedup={grid['speedup']} "
-        f"identical_outcomes={grid['identical_outcomes']}"
+        f"identical_outcomes={grid['identical_outcomes']}{fallback}"
     )
+    for name in ("dp_star_15_parallel", "sdp_star_50_parallel"):
+        arm = current["benchmarks"].get(name)
+        if arm is None:
+            continue
+        reason = (
+            f" fallback_reason={arm['fallback_reason']}"
+            if arm.get("fallback_reason")
+            else ""
+        )
+        print(
+            f"{name:14s} mode={arm['parallel_mode']} workers={arm['workers']} "
+            f"speedup={arm['speedup']} merge={arm['merge_seconds_total']}s "
+            f"identical={arm['identical_outcomes']}{reason}"
+        )
     print(f"{'plan_cache':14s} speedup={current['benchmarks']['plan_cache']['speedup']}")
     if problems:
         print(f"\nREGRESSIONS ({elapsed:.1f}s):", file=sys.stderr)

@@ -8,8 +8,14 @@ Times the scenarios this codebase optimizes hardest:
   exercises skyline pruning plus the same hot paths);
 * ``grid_workers`` — a full ``run_comparison`` grid serially and with the
   requested worker count, asserting the aggregated outcomes are identical
-  and recording the speedup plus the serial-vs-pool decision
-  (:func:`repro.service.parallel.execution_mode`);
+  and recording the speedup plus the serial-vs-pool decision *and why*
+  (:func:`repro.service.parallel.execution_plan`);
+* ``dp_star_15_parallel`` / ``sdp_star_50_parallel`` — the intra-query
+  parallel kernel (:mod:`repro.core.parallel`) against the serial
+  mask-native kernel on one big level-synchronous search each: serial
+  vs N-worker medians, speedup, merge overhead, bit-identical counters,
+  and the per-level span ``plans_costed``-sum contract (validated on a
+  traced run);
 * ``plan_cache`` — cold vs. warm :class:`repro.service.OptimizationService`
   lookups on a repeated query;
 * ``frontdoor_load`` — the serving front door under an unloaded control
@@ -48,9 +54,12 @@ from repro.bench.workloads import WorkloadSpec, make_query
 from repro.catalog.schema import SchemaBuilder, paper_schema
 from repro.catalog.statistics import analyze
 from repro.core.base import SearchBudget
+from repro.core.kernel import resolve_workers
 from repro.core.registry import make_optimizer
+from repro.obs.names import SPAN_OPTIMIZE
+from repro.obs.runtime import capture
 from repro.service import OptimizationService
-from repro.service.parallel import execution_mode
+from repro.service.parallel import execution_plan
 
 __all__ = ["run_harness", "compare_reports", "BUDGET"]
 
@@ -107,7 +116,9 @@ def bench_grid(schema, stats, repeats: int, workers: int):
         == parallel.outcomes[name].plans_costed
         for name in serial.outcomes
     )
-    mode, effective_workers = execution_mode(workers, 4 * len(techniques))
+    mode, effective_workers, fallback_reason = execution_plan(
+        workers, 4 * len(techniques)
+    )
     return {
         "workload": spec.label,
         "techniques": techniques,
@@ -115,6 +126,7 @@ def bench_grid(schema, stats, repeats: int, workers: int):
         "workers": workers,
         "mode": mode,
         "effective_workers": effective_workers,
+        "fallback_reason": fallback_reason,
         "serial_median_seconds": round(serial_median, 6),
         "serial_samples_seconds": [round(s, 6) for s in serial_samples],
         "parallel_median_seconds": round(parallel_median, 6),
@@ -124,6 +136,89 @@ def bench_grid(schema, stats, repeats: int, workers: int):
         "plans_costed": {
             name: serial.outcomes[name].plans_costed for name in serial.outcomes
         },
+    }
+
+
+def bench_parallel_kernel(
+    technique: str,
+    spec: WorkloadSpec,
+    schema,
+    stats,
+    repeats: int,
+):
+    """Serial vs parallel-kernel arms on one level-synchronous search.
+
+    The worker count follows the auto policy
+    (:func:`repro.core.kernel.resolve_workers`): a multi-core host gets a
+    real pool, a single-core host records ``fallback_reason: cpu_count``
+    and runs the parallel driver's in-process path with one partition per
+    worker — the machinery is still exercised and the identity checks
+    still bite, but no speedup is claimable (or claimed).
+
+    One extra traced parallel run validates the observability contract:
+    per-level span ``plans_costed`` attrs must sum exactly to the
+    result's total, and the per-level ``merge_seconds`` attrs are
+    aggregated into the reported merge overhead.
+    """
+    query = make_query(spec, schema, 0)
+    auto_workers, fallback_reason = resolve_workers(None)
+
+    serial_opt = make_optimizer(technique, budget=BUDGET)
+    serial_median, serial_samples, serial = _timed(
+        lambda: serial_opt.optimize(query, stats), repeats
+    )
+    # An explicit count keeps the arm deterministic per host; workers=1
+    # (single-core fallback) runs the in-process partition/merge path.
+    parallel_opt = make_optimizer(
+        technique, budget=BUDGET, workers=auto_workers
+    )
+    parallel_median, parallel_samples, parallel = _timed(
+        lambda: parallel_opt.optimize(query, stats), repeats
+    )
+
+    with capture() as exporter:
+        traced = parallel_opt.optimize(query, stats)
+    # Per-phase spans (levels + finalize) carry plans_costed deltas that
+    # must sum exactly to the run total; the root "optimize" span carries
+    # the total itself and would double-count it.
+    span_costed = sum(
+        span.attributes["plans_costed"]
+        for span in exporter.spans
+        if "plans_costed" in span.attributes and span.name != SPAN_OPTIMIZE
+    )
+    merge_seconds = sum(
+        span.attributes["merge_seconds"]
+        for span in exporter.spans
+        if "merge_seconds" in span.attributes
+    )
+    modes = {
+        span.attributes["parallel_mode"]
+        for span in exporter.spans
+        if "parallel_mode" in span.attributes
+    }
+    identical = (
+        serial.plans_costed == parallel.plans_costed == traced.plans_costed
+        and serial.cost == parallel.cost == traced.cost
+    )
+    return {
+        "technique": technique,
+        "workload": spec.label,
+        "workers": auto_workers,
+        "fallback_reason": fallback_reason,
+        "parallel_mode": sorted(modes)[0] if len(modes) == 1 else sorted(modes),
+        "serial_median_seconds": round(serial_median, 6),
+        "serial_samples_seconds": [round(s, 6) for s in serial_samples],
+        "parallel_median_seconds": round(parallel_median, 6),
+        "parallel_samples_seconds": [round(s, 6) for s in parallel_samples],
+        "speedup": round(serial_median / parallel_median, 3),
+        "merge_seconds_total": round(merge_seconds, 6),
+        "merge_fraction": round(merge_seconds / parallel_median, 4)
+        if parallel_median
+        else 0.0,
+        "plans_costed": serial.plans_costed,
+        "span_plans_costed_sum": span_costed,
+        "cost": serial.cost,
+        "identical_outcomes": identical,
     }
 
 
@@ -200,6 +295,15 @@ def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
         seed=0, relation_count=25, column_count=27, name="bench-wide-25"
     ).build()
     wide_stats = analyze(wide_schema)
+    # The intra-query parallel arms: DP at its feasibility frontier and
+    # SDP at the 50-relation scale the paper targets. (The issue named a
+    # dp_star_45 arm, but exhaustive DP on a 45-star is ~44 * 2^43 pairs —
+    # the very infeasibility the paper is about; star-15 is the largest
+    # star the DP budget calibration admits, see docs/performance.md.)
+    wide50_schema = SchemaBuilder(
+        seed=0, relation_count=50, column_count=55, name="bench-wide-50"
+    ).build()
+    wide50_stats = analyze(wide50_schema)
 
     report = {
         "generated_unix": int(time.time()),
@@ -215,6 +319,23 @@ def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
                 "SDP", WorkloadSpec("star", 25), wide_schema, wide_stats, repeats
             ),
             "grid_workers": bench_grid(schema, stats, repeats, workers),
+            # Big single-query arms: medians over fewer samples (the
+            # deterministic counters, not wall-clock, are the real guard;
+            # sdp_star_50 runs ~30s per sample on the seed host).
+            "dp_star_15_parallel": bench_parallel_kernel(
+                "DP",
+                WorkloadSpec("star", 15),
+                wide_schema,
+                wide_stats,
+                min(repeats, 3),
+            ),
+            "sdp_star_50_parallel": bench_parallel_kernel(
+                "SDP",
+                WorkloadSpec("star", 50),
+                wide50_schema,
+                wide50_stats,
+                1,
+            ),
             "plan_cache": bench_plan_cache(schema, stats, repeats),
             "frontdoor_load": bench_frontdoor(schema, stats),
         },
@@ -275,6 +396,52 @@ def compare_reports(
             f"grid_workers: serial fallback shows impossible slowdown "
             f"(speedup {grid_c['speedup']}; both arms run the same path)"
         )
+
+    # Intra-query parallel arms. Mode differs across hosts by design
+    # (auto worker policy), so mode is never compared against the
+    # baseline — only the current run's own contract is enforced:
+    # serial/parallel identity, exact span sums, and speedup thresholds
+    # that apply only when a real pool actually ran.
+    for name in ("dp_star_15_parallel", "sdp_star_50_parallel"):
+        arm = cur.get(name)
+        if arm is None:
+            continue
+        if not arm["identical_outcomes"]:
+            problems.append(
+                f"{name}: parallel kernel diverged from serial "
+                f"(plans_costed/cost not identical)"
+            )
+        if arm["span_plans_costed_sum"] != arm["plans_costed"]:
+            problems.append(
+                f"{name}: per-level span plans_costed sum "
+                f"{arm['span_plans_costed_sum']} != result "
+                f"{arm['plans_costed']}"
+            )
+        arm_b = base.get(name)
+        if arm_b is not None:
+            if arm["plans_costed"] != arm_b["plans_costed"]:
+                problems.append(
+                    f"{name}: plans_costed drifted "
+                    f"{arm_b['plans_costed']} -> {arm['plans_costed']}"
+                )
+            if arm["cost"] != arm_b["cost"]:
+                problems.append(
+                    f"{name}: cost drifted {arm_b['cost']!r} -> {arm['cost']!r}"
+                )
+        if arm.get("parallel_mode") == "pool":
+            floor = 1.0
+            if name == "dp_star_15_parallel" and arm["workers"] >= 4:
+                floor = 1.5
+            if arm["speedup"] < floor:
+                problems.append(
+                    f"{name}: pooled speedup {arm['speedup']} below {floor}x "
+                    f"at {arm['workers']} workers"
+                )
+        elif arm["speedup"] < 0.6:
+            problems.append(
+                f"{name}: in-process parallel driver overhead out of bounds "
+                f"(speedup {arm['speedup']}; partition+merge should be cheap)"
+            )
 
     cache_c = cur["plan_cache"]
     if cache_c["speedup"] < 10.0:

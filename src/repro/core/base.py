@@ -308,6 +308,13 @@ class Optimizer(ABC):
     #: Display name; subclasses override (e.g. ``"IDP(7)"``).
     name: str = "optimizer"
 
+    #: Worker-process count for the level-parallel search driver. None
+    #: means serial unless ``REPRO_KERNEL=parallel`` resolves a count
+    #: from the environment; only the level-synchronous optimizers
+    #: (DP, SDP) consult it. Set via ``make_optimizer(workers=)`` /
+    #: ``repro.optimize(workers=)``.
+    workers: int | None = None
+
     def __init__(
         self,
         budget: SearchBudget | None = None,

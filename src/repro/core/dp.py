@@ -48,7 +48,27 @@ class DynamicProgrammingOptimizer(Optimizer):
         timer: Timer,
     ) -> PlanRecord:
         graph = query.graph
-        space = make_planspace(query, stats, self.cost_model, counters)
+        space = make_planspace(
+            query,
+            stats,
+            self.cost_model,
+            counters,
+            workers=self.workers,
+            level_parallel=True,
+        )
+        try:
+            return self._search_in_space(query, stats, counters, space)
+        finally:
+            space.release()
+
+    def _search_in_space(
+        self,
+        query: Query,
+        stats: CatalogStatistics,
+        counters: SearchCounters,
+        space,
+    ) -> PlanRecord:
+        graph = query.graph
         table = space.new_table()
         tracer = current_tracer()
         with maybe_span(tracer, SPAN_DP_LEVEL, level=1) as span:
@@ -91,7 +111,7 @@ class DynamicProgrammingOptimizer(Optimizer):
             span.set(pairs=pair_count, levels=len(buckets))
 
         by_mask = table._by_mask
-        join_batch = space.join_batch
+        join_level = space.join_level
         for level in sorted(buckets):
             pairs = buckets[level]
             with maybe_span(tracer, SPAN_DP_LEVEL, level=level) as span:
@@ -102,13 +122,16 @@ class DynamicProgrammingOptimizer(Optimizer):
                     raise OptimizationError(
                         "DP enumeration order violated: missing sub-JCR"
                     ) from exc
-                join_batch(table, jcr_pairs)
+                join_level(table, jcr_pairs)
                 if tracer is not None:
                     span.set(
                         pairs=len(pairs),
                         subsets=len(table.level(level)),
                         plans_costed=counters.plans_costed - costed_before,
                     )
+                    level_stats = getattr(space, "last_level_stats", None)
+                    if level_stats:
+                        span.set(**level_stats)
 
         full = table.get(graph.all_mask)
         if full is None:

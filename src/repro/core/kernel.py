@@ -1,19 +1,28 @@
 """Search-kernel selection.
 
-Two costing kernels implement the same plan-space surface:
+Three costing kernels implement the same plan-space surface:
 
 * ``fast`` — the mask-native struct-of-arrays kernel
   (:class:`repro.core.planspace.PlanSpace`), the default;
+* ``parallel`` — the level-synchronous intra-query parallel driver
+  (:class:`repro.core.parallel.ParallelPlanSpace`) over a shared-memory
+  arena, bit-identical to ``fast`` by construction; only the
+  level-synchronous optimizers (DP, SDP) fan out — every other
+  technique runs the fast kernel unchanged;
 * ``reference`` — the preserved eager object-graph kernel
   (:class:`repro.core.reference.ReferencePlanSpace`), the equivalence
   oracle.
 
 Every optimizer builds its plan space through :func:`make_planspace`, so
 the whole stack (DP/SDP/IDP/IDP2/GOO/II-2PO/GEQO, the robust ladder, the
-service layer, the bench harness) can be flipped to the reference kernel
-with ``REPRO_KERNEL=reference`` — which is exactly what the kernel
-equivalence tests do to assert identical winning costs, plan shapes, and
-counter values.
+service layer, the bench harness) can be flipped to another kernel with
+``REPRO_KERNEL=reference`` / ``REPRO_KERNEL=parallel`` — which is exactly
+what the kernel equivalence tests do to assert identical winning costs,
+plan shapes, and counter values.
+
+This module is the single place the determinism rules allow environment
+reads: kernel and worker-count resolution (``REPRO_KERNEL``,
+``REPRO_WORKERS``) happens here, never inside a search.
 """
 
 from __future__ import annotations
@@ -23,12 +32,27 @@ import os
 from repro.core.base import SearchCounters
 from repro.errors import OptimizationError
 
-__all__ = ["KERNEL_ENV", "kernel_name", "make_planspace"]
+__all__ = [
+    "KERNEL_ENV",
+    "WORKERS_ENV",
+    "kernel_name",
+    "make_planspace",
+    "resolve_workers",
+]
 
 #: Environment variable selecting the process-wide default kernel.
 KERNEL_ENV = "REPRO_KERNEL"
 
-_KERNELS = ("fast", "reference")
+#: Environment variable giving ``REPRO_KERNEL=parallel`` a worker count
+#: when the facade did not pass one explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Auto-resolved worker counts are capped here even on very wide hosts:
+#: past this, per-level merge and broadcast overhead outgrows the
+#: speedup on every graph the bench suite covers.
+_MAX_AUTO_WORKERS = 8
+
+_KERNELS = ("fast", "reference", "parallel")
 
 
 def kernel_name(kernel: str | None = None) -> str:
@@ -42,23 +66,84 @@ def kernel_name(kernel: str | None = None) -> str:
     return name
 
 
+def resolve_workers(workers: int | None = None) -> tuple[int, str | None]:
+    """Resolve a parallel-kernel worker count.
+
+    An explicit ``workers`` is honored as-is (tests rely on forcing a
+    real pool even on single-core hosts). Otherwise ``REPRO_WORKERS`` is
+    consulted, then the host CPU count (capped). Returns the effective
+    count plus the fallback reason — ``"cpu_count"`` when auto-resolution
+    lands on 1 because the host has a single CPU — so benchmarks can
+    record *why* a run stayed serial.
+    """
+    if workers is not None:
+        count = int(workers)
+        if count < 1:
+            raise OptimizationError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        return count, None
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is not None and raw.strip():
+        try:
+            count = int(raw)
+        except ValueError as exc:
+            raise OptimizationError(
+                f"invalid {WORKERS_ENV}={raw!r}: expected an integer"
+            ) from exc
+        if count < 1:
+            raise OptimizationError(
+                f"invalid {WORKERS_ENV}={raw!r}: expected a positive integer"
+            )
+        return count, None
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return 1, "cpu_count"
+    return min(cpus, _MAX_AUTO_WORKERS), None
+
+
 def make_planspace(
     query,
     stats,
     cost_model,
     counters: SearchCounters,
     kernel: str | None = None,
+    workers: int | None = None,
+    level_parallel: bool = False,
 ):
     """Build the plan space for the selected kernel.
 
     Args:
-        kernel: ``"fast"`` or ``"reference"``; None reads ``REPRO_KERNEL``
-            (defaulting to fast).
+        kernel: ``"fast"``, ``"reference"`` or ``"parallel"``; None reads
+            ``REPRO_KERNEL`` (defaulting to fast).
+        workers: explicit worker count for the parallel driver; any
+            explicit count (including 1, which runs the in-process
+            partition/merge path) selects the parallel driver for
+            level-parallel callers. None resolves via
+            :func:`resolve_workers` when the parallel kernel is
+            selected.
+        level_parallel: set by level-synchronous optimizers (DP, SDP)
+            that drive whole levels through ``join_level``. Only those
+            callers can use the parallel driver; everything else gets
+            the fast kernel even under ``REPRO_KERNEL=parallel``.
     """
-    if kernel_name(kernel) == "reference":
+    name = kernel_name(kernel)
+    if name == "reference":
         from repro.core.reference import ReferencePlanSpace
 
         return ReferencePlanSpace(query, stats, cost_model, counters)
+    if level_parallel and (name == "parallel" or workers is not None):
+        from repro.core.parallel import ParallelPlanSpace
+
+        count, reason = resolve_workers(workers)
+        return ParallelPlanSpace(
+            query,
+            stats,
+            cost_model,
+            counters,
+            workers=count,
+            fallback_reason=reason,
+        )
     from repro.core.planspace import PlanSpace
 
     return PlanSpace(query, stats, cost_model, counters)

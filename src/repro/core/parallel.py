@@ -1,0 +1,880 @@
+"""MPDP-style level-synchronous intra-query parallel search driver.
+
+``optimize_many`` parallelizes *across* queries; this module parallelizes
+*inside* one optimization, following "Efficient Massively Parallel Join
+Optimization for Large Queries" (MPDP): the DP/SDP search is already
+level-synchronous, so each level's csg–cmp pairs are partitioned across a
+persistent worker-process pool, costed concurrently against the parent
+levels, and merged back on the driver in a fixed order.
+
+The design is built around one invariant that makes partitioned costing
+*bit-identical* to the serial kernel: within a level, every pair reads
+only strictly-lower-level JCRs (immutable for the whole level) and writes
+only the JCR of its **output mask**. Partitioning pairs **by output
+mask** therefore gives each union JCR wholly to one worker, which costs
+that mask's pairs in original enumeration order — the slot evolution
+(and every ``cost < incumbent`` tie-break) is exactly the serial one, for
+any worker count.
+
+Mechanics:
+
+* the driver's arena is a :class:`~repro.plans.store.SharedPlanStore`;
+  workers attach read-only column views and run the *unmodified*
+  :meth:`PlanSpace.join_batch` against an :class:`OverlayStore` whose
+  reads below the shared length hit shared memory and whose appends land
+  in local scratch arrays (entry ids continue the global numbering) —
+  one source of float formulas, so costs cannot drift;
+* workers return compact deltas: the scratch columns plus the slot state
+  of each union JCR they own, and their counter counts;
+* the driver appends scratch blocks per worker **in worker-index order**
+  (remapping child entry ids), installs union JCRs in the level's global
+  first-occurrence mask order (so ``JCRTable.level()`` ordering — which
+  SDP's pruning partitions and next-level enumeration consume — matches
+  serial exactly), and charges worker counts into the run's
+  :class:`~repro.core.base.SearchCounters` in chunks, so budget trips
+  still fire mid-level;
+* a one-byte shared cancel flag is polled from each worker's counter
+  checkpoint: when the driver's budget trips (or cancellation fires) it
+  raises after flagging, and in-flight workers stop cooperatively;
+* a crashed worker demotes the run: its partition is recomputed inline
+  on the driver (same partition, same order — identical result) and the
+  remaining levels run in-process; the broken pool is torn down.
+
+The in-process path (``workers == 1``, single-core hosts, pool
+unavailable or busy) runs the *same* partition/cost/merge pipeline with
+an inline worker core, so every mode is bit-identical by construction —
+and the pooled protocol is exercised by tests that request explicit
+worker counts.
+
+Shared segments are owned by the driver only: :meth:`release` (called
+from a ``finally`` in DP/SDP) unlinks them on every exit path, including
+budget trips, cooperative cancellation and worker crashes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from array import array
+
+from repro.core.base import SearchBudget, SearchCounters
+from repro.core.planspace import PlanSpace
+from repro.core.table import JCRTable
+from repro.plans.jcr import JCR
+from repro.plans.store import (
+    PlanStore,
+    SharedPlanStore,
+    attach_shared_views,
+)
+from repro.util.timer import Timer
+
+__all__ = [
+    "ParallelPlanSpace",
+    "OverlayStore",
+    "partition_pairs",
+    "shutdown_pool",
+]
+
+#: Driver-side counter charges are flushed in chunks of this many events,
+#: mirroring the serial kernel's checkpoint cadence so budget trips fire
+#: within one interval of the precise crossing even for large partitions.
+_CHARGE_CHUNK = 2048
+
+#: Bounded-wait granularity for pool queues (seconds). Every blocking
+#: queue operation in this module is bounded; waits loop on this timeout
+#: re-checking worker liveness, so a dead worker can never hang the run.
+_POLL_SECONDS = 0.5
+
+#: (column attribute, array typecode) in :meth:`PlanStore.add` append order.
+_COLUMN_TYPECODES = (
+    ("method", "b"),
+    ("order", "i"),
+    ("left", "i"),
+    ("right", "i"),
+    ("rel", "i"),
+    ("eclass", "i"),
+    ("rows", "d"),
+    ("cost", "d"),
+)
+
+#: Test seam: a FaultPlan-like object shipped to pool workers; seeded
+#: schedules may crash a worker at task receipt (see tests). Never set in
+#: production paths.
+_FAULTS = None
+
+
+def install_faults(plan):
+    """Install a worker fault schedule (tests); returns the previous one."""
+    global _FAULTS
+    previous = _FAULTS
+    _FAULTS = plan
+    return previous
+
+
+class _CancelledInWorker(Exception):
+    """Raised inside a worker when the driver's cancel flag is set."""
+
+
+# -- overlay store -------------------------------------------------------------
+
+
+class _OverlayColumn:
+    """One column: shared/base reads below ``base_len``, local appends above."""
+
+    __slots__ = ("base", "base_len", "local")
+
+    def __init__(self, typecode: str):
+        self.base = ()
+        self.base_len = 0
+        self.local = array(typecode)
+
+    def append(self, value) -> None:
+        self.local.append(value)
+
+    def __len__(self) -> int:
+        return self.base_len + len(self.local)
+
+    def __getitem__(self, index: int):
+        if index < self.base_len:
+            return self.base[index]
+        return self.local[index - self.base_len]
+
+
+class OverlayStore(PlanStore):
+    """Copy-on-append view over the driver arena for one worker partition.
+
+    The worker runs the unmodified hot loop against this store: entry ids
+    continue the driver's numbering (``len(column)`` includes the base),
+    reads of parent entries resolve to the shared views, and every append
+    lands in the local scratch arrays the worker ships back. ``rebase``
+    resets the scratch and re-anchors the base before each level.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        for name, typecode in _COLUMN_TYPECODES:
+            setattr(self, name, _OverlayColumn(typecode))
+        self._records = {}
+
+    def rebase(self, base_columns: dict, base_len: int) -> None:
+        for name, typecode in _COLUMN_TYPECODES:
+            column = getattr(self, name)
+            column.base = base_columns[name]
+            column.base_len = base_len
+            column.local = array(typecode)
+
+    def scratch(self) -> tuple:
+        """The local append arrays, in :meth:`PlanStore.add` column order."""
+        return tuple(
+            getattr(self, name).local for name, _typecode in _COLUMN_TYPECODES
+        )
+
+
+# -- delta codec ---------------------------------------------------------------
+#
+# A JCR delta is the full slot state of one union mask:
+#   (mask, keys, orders, costs, entries, best_cost, best_entry)
+# Order keys and physical orders are eclass ids (>= 0), so -1 encodes
+# None on the wire. Entry ids are global; ids at or above the level's
+# base length index the owner's scratch block and are remapped at merge.
+
+
+def _encode_jcr(jcr: JCR) -> tuple:
+    return (
+        jcr.mask,
+        tuple(-1 if key is None else key for key in jcr.slots),
+        tuple(-1 if order is None else order for order in jcr.slot_orders),
+        tuple(jcr.slot_costs),
+        tuple(jcr.slot_entries),
+        jcr.best_cost,
+        jcr.best_entry,
+    )
+
+
+def _install_delta(jcr: JCR, delta: tuple, base_len: int, shift: int) -> None:
+    _mask, keys, orders, costs, entries, best_cost, best_entry = delta
+    jcr.slots = {
+        (None if key == -1 else key): index for index, key in enumerate(keys)
+    }
+    jcr.slot_orders = [None if order == -1 else order for order in orders]
+    jcr.slot_costs = list(costs)
+    if shift:
+        jcr.slot_entries = [
+            entry + shift if entry >= base_len else entry for entry in entries
+        ]
+        jcr.best_entry = (
+            best_entry + shift if best_entry >= base_len else best_entry
+        )
+    else:
+        jcr.slot_entries = list(entries)
+        jcr.best_entry = best_entry
+    jcr.best_cost = best_cost
+
+
+# -- partitioning --------------------------------------------------------------
+
+
+def partition_pairs(
+    mask_pairs: list, workers: int
+) -> tuple[list, list]:
+    """Deterministically partition a level's pairs by output mask.
+
+    Every pair of one union mask goes to one worker (in original order),
+    so that worker's slot evolution for the mask is exactly serial.
+    Masks are assigned in first-occurrence order to the least-loaded
+    partition (ties to the lowest index) — deterministic on any host.
+
+    Returns:
+        ``(mask_order, per_worker)`` — the level's union masks as
+        ``(mask, owner)`` in first-occurrence order (the merge installs
+        in this order), and one pair list per worker.
+    """
+    counts: dict[int, int] = {}
+    for lmask, rmask in mask_pairs:
+        union = lmask | rmask
+        counts[union] = counts.get(union, 0) + 1
+    loads = [0] * workers
+    owner_of: dict[int, int] = {}
+    mask_order: list[tuple[int, int]] = []
+    for union, count in counts.items():
+        owner = loads.index(min(loads))
+        owner_of[union] = owner
+        loads[owner] += count
+        mask_order.append((union, owner))
+    per_worker: list[list] = [[] for _ in range(workers)]
+    # lint: waive[RL004] re-partitioning pairs already charged at enumeration
+    for pair in mask_pairs:
+        per_worker[owner_of[pair[0] | pair[1]]].append(pair)
+    return mask_order, per_worker
+
+
+# -- worker core ---------------------------------------------------------------
+
+
+class _WorkerCore:
+    """The costing engine one partition runs through — pooled or inline.
+
+    Holds a private :class:`PlanSpace` (same query/stats/cost model, so
+    every estimator and cost value is the identical pure-function float),
+    an :class:`OverlayStore`, and the parent-JCR lookup: a live reference
+    to the driver table's ``_by_mask`` when inline, or a mirror dict fed
+    by broadcast deltas in a pool worker.
+    """
+
+    def __init__(self, query, stats, cost_model, parents=None, cancel_check=None):
+        checkpoint = None
+        if cancel_check is not None:
+
+            def checkpoint(_counters, _check=cancel_check):
+                if _check():
+                    raise _CancelledInWorker()
+
+        self.counters = SearchCounters(
+            SearchBudget.unlimited(), Timer().start(), checkpoint=checkpoint
+        )
+        self.space = PlanSpace(query, stats, cost_model, self.counters)
+        self.overlay = OverlayStore()
+        self.parents: dict[int, JCR] = {} if parents is None else parents
+
+    def apply_deltas(self, deltas) -> None:
+        """Install broadcast JCR states into the mirror (pool workers)."""
+        est = self.space.est
+        parents = self.parents
+        overlay = self.overlay
+        for delta in deltas:
+            mask = delta[0]
+            jcr = parents.get(mask)
+            if jcr is None:
+                jcr = JCR(
+                    mask,
+                    est.rows(mask),
+                    est.log_selectivity(mask),
+                    overlay,
+                    width=est.width(mask),
+                )
+                parents[mask] = jcr
+            _install_delta(jcr, delta, 0, 0)
+
+    def cost_pairs(self, base_columns: dict, base_len: int, mask_pairs) -> tuple:
+        """Cost one partition; returns ``(scratch, deltas, costed, retained)``."""
+        self.overlay.rebase(base_columns, base_len)
+        table = JCRTable(self.space.est, self.overlay)
+        parents = self.parents
+        jcr_pairs = [
+            (parents[lmask], parents[rmask]) for lmask, rmask in mask_pairs
+        ]
+        counters = self.counters
+        costed_before = counters.plans_costed
+        retained_before = counters.retained_slots
+        self.space.join_batch(table, jcr_pairs)
+        deltas = [_encode_jcr(jcr) for jcr in table._by_mask.values()]
+        return (
+            self.overlay.scratch(),
+            deltas,
+            counters.plans_costed - costed_before,
+            counters.retained_slots - retained_before,
+        )
+
+
+# -- pool worker process -------------------------------------------------------
+
+
+def _attach_cancel_flag(name: str | None):
+    if name is None:
+        return None
+    from multiprocessing import shared_memory
+
+    # Forked workers share the driver's resource tracker, so the
+    # attach-side registration dedupes against the driver's own; the
+    # driver's unlink clears it (see plans.store.attach_shared_views).
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+def _detach_views(base_columns, segments: dict) -> None:
+    """Release column memoryviews, then close (never unlink) segments.
+
+    Order matters: a segment cannot close while exported memoryview
+    slices into its buffer are alive.
+    """
+    if base_columns is not None:
+        for view in base_columns.values():
+            view.release()
+    for segment in segments.values():
+        segment.close()
+
+
+def _worker_main(worker_index: int, inbox_queue, outbox_queue) -> None:
+    """Entry point of one pool worker process.
+
+    No environment reads, no randomness, no clocks feed any result: the
+    worker is a pure function of the init message (query, statistics,
+    cost model) and each level task (store layout, parent deltas, pair
+    partition). Every blocking wait is bounded.
+    """
+    core = None
+    token = None
+    faults = None
+    segments: dict = {}
+    base_columns = None
+    base_len = 0
+    cancel_flag = None
+    while True:
+        try:
+            message = inbox_queue.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            continue
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "init":
+            _, token, query, stats, cost_model, flag_name, faults = message
+            _detach_views(base_columns, segments)
+            segments = {}
+            base_columns = None
+            if cancel_flag is not None:
+                cancel_flag.close()
+            cancel_flag = _attach_cancel_flag(flag_name)
+            cancel_check = None
+            if cancel_flag is not None:
+                buf = cancel_flag.buf
+
+                def cancel_check(_buf=buf):
+                    return _buf[0] != 0
+
+            core = _WorkerCore(
+                query, stats, cost_model, cancel_check=cancel_check
+            )
+        elif kind == "end":
+            if len(message) > 1 and message[1] != token:
+                continue
+            core = None
+            token = None
+            _detach_views(base_columns, segments)
+            segments = {}
+            base_columns = None
+            if cancel_flag is not None:
+                cancel_flag.close()
+                cancel_flag = None
+        elif kind == "level":
+            _, msg_token, layout, deltas, mask_pairs, level = message
+            if msg_token != token or core is None:
+                continue
+            if (
+                faults is not None
+                and mask_pairs
+                and faults.should_crash(level, f"parallel-w{worker_index}", 0)
+            ):
+                os._exit(3)
+            try:
+                if layout is not None:
+                    base_columns, segments = attach_shared_views(
+                        layout, segments
+                    )
+                    base_len = layout.length
+                core.apply_deltas(deltas)
+                result = core.cost_pairs(base_columns, base_len, mask_pairs)
+                outbox_queue.put(("ok", token) + result, timeout=60.0)
+            except _CancelledInWorker:
+                outbox_queue.put(("cancelled", token), timeout=60.0)
+            except Exception as exc:
+                outbox_queue.put(
+                    ("error", token, f"{type(exc).__name__}: {exc}"),
+                    timeout=60.0,
+                )
+    _detach_views(base_columns, segments)
+    if cancel_flag is not None:
+        cancel_flag.close()
+
+
+# -- persistent pool -----------------------------------------------------------
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "inbox_queue", "outbox_queue")
+
+    def __init__(self, process, inbox_queue, outbox_queue):
+        self.process = process
+        self.inbox_queue = inbox_queue
+        self.outbox_queue = outbox_queue
+
+
+class _WorkerPool:
+    """A fixed-size pool of level workers, one inbox/outbox pair each.
+
+    Tasks target specific workers (partition ``i`` always goes to worker
+    ``i``), which a shared-queue executor cannot express — hence the
+    per-worker queues.
+    """
+
+    def __init__(self, size: int):
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        # Start the resource tracker *before* forking, so every worker
+        # inherits the driver's tracker: attach-side shm registrations
+        # then dedupe against the driver's own instead of spawning
+        # per-worker trackers that try to re-unlink at shutdown.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self.size = size
+        self.in_use = False
+        self.broken = False
+        self.workers: list[_WorkerHandle] = []
+        for index in range(size):
+            inbox_queue = context.Queue(maxsize=8)
+            outbox_queue = context.Queue(maxsize=8)
+            process = context.Process(
+                target=_worker_main,
+                args=(index, inbox_queue, outbox_queue),
+                daemon=True,
+            )
+            process.start()
+            self.workers.append(
+                _WorkerHandle(process, inbox_queue, outbox_queue)
+            )
+
+    def shutdown(self) -> None:
+        for handle in self.workers:
+            try:
+                handle.inbox_queue.put(("stop",), timeout=0.2)
+            except Exception:
+                pass
+        # lint: waive[RL004] process teardown joins, not join-pair building
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+        for handle in self.workers:
+            handle.inbox_queue.cancel_join_thread()
+            handle.outbox_queue.cancel_join_thread()
+            handle.inbox_queue.close()
+            handle.outbox_queue.close()
+        self.workers = []
+
+
+_POOL: _WorkerPool | None = None
+_POOL_LOCK = threading.Lock()
+_RUN_SEQUENCE = 0
+
+
+def _acquire_pool(workers: int) -> _WorkerPool | None:
+    """The process-wide pool, grown to ``workers``; None when unavailable.
+
+    Unavailable means: spawn failed, or another run in this process holds
+    the pool right now (concurrent service threads) — callers fall back
+    to the inline path, which is bit-identical anyway.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool = _POOL
+        if pool is not None and (pool.broken or pool.size < workers):
+            if pool.in_use:
+                return None
+            pool.shutdown()
+            _POOL = pool = None
+        if pool is None:
+            try:
+                pool = _WorkerPool(workers)
+            except Exception:
+                return None
+            _POOL = pool
+        if pool.in_use:
+            return None
+        pool.in_use = True
+        return pool
+
+
+def _release_pool(pool: _WorkerPool) -> None:
+    global _POOL
+    with _POOL_LOCK:
+        pool.in_use = False
+        if pool.broken:
+            pool.shutdown()
+            if _POOL is pool:
+                _POOL = None
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+# -- the parallel plan space ---------------------------------------------------
+
+
+class ParallelPlanSpace(PlanSpace):
+    """A :class:`PlanSpace` whose :meth:`join_level` fans a level out.
+
+    Constructed by :func:`repro.core.kernel.make_planspace` for the
+    level-synchronous optimizers (DP, SDP) when the parallel kernel or an
+    explicit worker count is requested. With an available pool and
+    ``workers >= 2`` the arena is a :class:`SharedPlanStore` and levels
+    run on the pool; otherwise the same partition/merge pipeline runs
+    inline. ``release()`` must be called (DP/SDP do, in a ``finally``) to
+    detach workers and unlink shared segments.
+    """
+
+    def __init__(
+        self,
+        query,
+        stats,
+        cost_model,
+        counters: SearchCounters,
+        workers: int = 1,
+        fallback_reason: str | None = None,
+    ):
+        super().__init__(query, stats, cost_model, counters)
+        self.parallel_level = True
+        self.workers = max(1, int(workers))
+        self.fallback_reason = fallback_reason
+        self.last_level_stats: dict | None = None
+        self.total_merge_seconds = 0.0
+        self._query = query
+        self._stats = stats
+        self._pool: _WorkerPool | None = None
+        self._run_token: str | None = None
+        self._cancel_flag = None
+        self._synced: set[int] = set()
+        self._inline_core: _WorkerCore | None = None
+        self._inline_table = None
+        if self.workers >= 2:
+            self._start_pool(query, stats, cost_model)
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _start_pool(self, query, stats, cost_model) -> None:
+        global _RUN_SEQUENCE
+        pool = _acquire_pool(self.workers)
+        if pool is None:
+            if self.fallback_reason is None:
+                self.fallback_reason = "pool_unavailable"
+            return
+        from multiprocessing import shared_memory
+
+        _RUN_SEQUENCE += 1
+        token = f"run-{os.getpid()}-{_RUN_SEQUENCE}"
+        flag = shared_memory.SharedMemory(
+            name=f"repro_ps_flag_{os.getpid()}_{_RUN_SEQUENCE}",
+            create=True,
+            size=1,
+        )
+        flag.buf[0] = 0
+        try:
+            for handle in pool.workers[: self.workers]:
+                handle.inbox_queue.put(
+                    ("init", token, query, stats, cost_model, flag.name, _FAULTS),
+                    timeout=10.0,
+                )
+        except Exception:
+            pool.broken = True
+            _release_pool(pool)
+            flag.close()
+            try:
+                flag.unlink()
+            except FileNotFoundError:
+                pass
+            self.fallback_reason = "pool_unavailable"
+            return
+        self._pool = pool
+        self._run_token = token
+        self._cancel_flag = flag
+        self.store = SharedPlanStore()
+
+    def release(self) -> None:
+        """Detach from the pool and unlink every shared segment.
+
+        Safe to call on every exit path (and idempotent): the driver's
+        ``finally`` runs this after budget trips, cancellations and
+        worker crashes, so no ``/dev/shm`` entry can outlive the search.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            self._signal_cancel()
+            for handle in pool.workers[: self.workers]:
+                try:
+                    handle.inbox_queue.put(
+                        ("end", self._run_token), timeout=0.2
+                    )
+                except Exception:
+                    pass
+            for handle in pool.workers:
+                while True:
+                    try:
+                        handle.outbox_queue.get(timeout=0.02)
+                    except queue.Empty:
+                        break
+                    except Exception:
+                        break
+            _release_pool(pool)
+        flag = self._cancel_flag
+        self._cancel_flag = None
+        if flag is not None:
+            flag.close()
+            try:
+                flag.unlink()
+            except FileNotFoundError:
+                pass
+        store = self.store
+        if isinstance(store, SharedPlanStore):
+            store.close()
+
+    def _signal_cancel(self) -> None:
+        flag = self._cancel_flag
+        if flag is not None:
+            flag.buf[0] = 1
+
+    # -- level execution -------------------------------------------------------
+
+    def join_level(self, table: JCRTable, jcr_pairs) -> None:
+        """Cost one level's pairs — partitioned, merged, bit-identical."""
+        pairs = list(jcr_pairs)
+        self.last_level_stats = None
+        if not pairs:
+            return
+        mask_pairs = [(left.mask, right.mask) for left, right in pairs]
+        mask_order, per_worker = partition_pairs(mask_pairs, self.workers)
+        if self._pool is not None:
+            mode = "pool"
+            results = self._run_pool_level(table, mask_pairs, per_worker)
+        else:
+            mode = "inline"
+            results = self._run_inline_level(table, per_worker)
+        merge_seconds = self._merge(table, mask_order, results)
+        self.last_level_stats = {
+            "workers": self.workers,
+            "parallel_mode": mode,
+            "merge_seconds": round(merge_seconds, 6),
+        }
+        pool = self._pool
+        if pool is not None and pool.broken:
+            # A worker died this level; its partition was recomputed
+            # inline. Demote the rest of the run to the inline path and
+            # let the next acquirer build a fresh pool.
+            self._pool = None
+            _release_pool(pool)
+
+    def _base_columns(self) -> dict:
+        store = self.store
+        return {name: getattr(store, name) for name, _code in _COLUMN_TYPECODES}
+
+    def _ensure_inline_core(self, table: JCRTable) -> _WorkerCore:
+        core = self._inline_core
+        if core is None or self._inline_table is not table:
+            core = _WorkerCore(
+                self._query, self._stats, self.cm, parents=table._by_mask
+            )
+            self._inline_core = core
+            self._inline_table = table
+        return core
+
+    def _charge(self, costed: int, retained: int) -> None:
+        """Charge one partition's counts, chunked like the serial cadence.
+
+        Raises whatever the counters raise (budget trips, cancellation
+        checkpoints) — after flagging the workers so in-flight partitions
+        stop cooperatively.
+        """
+        counters = self.counters
+        try:
+            remaining = costed
+            while remaining > 0:
+                step = remaining if remaining < _CHARGE_CHUNK else _CHARGE_CHUNK
+                counters.note_plans_costed(step)
+                remaining -= step
+            remaining = retained
+            while remaining > 0:
+                step = remaining if remaining < _CHARGE_CHUNK else _CHARGE_CHUNK
+                counters.note_retained(step)
+                remaining -= step
+        except BaseException:
+            self._signal_cancel()
+            raise
+
+    def _run_inline_level(self, table: JCRTable, per_worker) -> list:
+        core = self._ensure_inline_core(table)
+        base_columns = self._base_columns()
+        base_len = len(self.store)
+        results = []
+        for pairs in per_worker:
+            scratch, deltas, costed, retained = core.cost_pairs(
+                base_columns, base_len, pairs
+            )
+            self._charge(costed, retained)
+            results.append((scratch, deltas))
+        return results
+
+    def _run_pool_level(
+        self, table: JCRTable, mask_pairs, per_worker
+    ) -> list:
+        pool = self._pool
+        by_mask = table._by_mask
+        synced = self._synced
+        new_masks = [mask for mask in by_mask if mask not in synced]
+        deltas = [_encode_jcr(by_mask[mask]) for mask in new_masks]
+        synced.update(new_masks)
+        layout = self.store.layout()
+        level = (mask_pairs[0][0] | mask_pairs[0][1]).bit_count()
+        token = self._run_token
+        for index in range(self.workers):
+            handle = pool.workers[index]
+            message = ("level", token, layout, deltas, per_worker[index], level)
+            try:
+                handle.inbox_queue.put(message, timeout=10.0)
+            except Exception:
+                pool.broken = True
+        results = []
+        for index in range(self.workers):
+            results.append(
+                self._collect(pool.workers[index], per_worker[index], table)
+            )
+        return results
+
+    def _collect(self, handle: _WorkerHandle, pairs, table: JCRTable) -> tuple:
+        """One worker's level result — bounded waits, crash recovery."""
+        while True:
+            try:
+                message = handle.outbox_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if not handle.process.is_alive():
+                    return self._recover(pairs, table)
+                continue
+            if message[1] != self._run_token:
+                continue
+            kind = message[0]
+            if kind == "ok":
+                scratch, deltas, costed, retained = message[2:]
+                self._charge(costed, retained)
+                return (scratch, deltas)
+            # "error" (a deterministic in-worker failure) and "cancelled"
+            # (a stale flag) both mean this partition produced nothing:
+            # recompute it inline — same pairs, same order, same result.
+            return self._recover(pairs, table)
+
+    def _recover(self, pairs, table: JCRTable) -> tuple:
+        pool = self._pool
+        if pool is not None:
+            pool.broken = True
+        core = self._ensure_inline_core(table)
+        scratch, deltas, costed, retained = core.cost_pairs(
+            self._base_columns(), len(self.store), pairs
+        )
+        self._charge(costed, retained)
+        return (scratch, deltas)
+
+    # -- merge -----------------------------------------------------------------
+
+    def _merge(self, table: JCRTable, mask_order, results) -> float:
+        """Install per-worker deltas on the driver, in fixed order.
+
+        Scratch blocks are appended per worker in worker-index order
+        (child entry ids at or above the level base remapped into the
+        block's final position); union JCRs are installed in the level's
+        first-occurrence mask order, so the table's per-level list — the
+        order SDP pruning and next-level enumeration consume — is exactly
+        the serial one.
+        """
+        started = time.perf_counter()
+        store = self.store
+        base_len = len(store)
+        offsets = []
+        for scratch, _deltas in results:
+            offset = len(store)
+            offsets.append(offset)
+            shift = offset - base_len
+            method_a, order_a, left_a, right_a, rel_a, eclass_a, rows_a, cost_a = (
+                scratch
+            )
+            if shift:
+                left_a = array("i", left_a)
+                right_a = array("i", right_a)
+                for position, entry in enumerate(left_a):
+                    if entry >= base_len:
+                        left_a[position] = entry + shift
+                for position, entry in enumerate(right_a):
+                    if entry >= base_len:
+                        right_a[position] = entry + shift
+            store.method.extend(method_a)
+            store.order.extend(order_a)
+            store.left.extend(left_a)
+            store.right.extend(right_a)
+            store.rel.extend(rel_a)
+            store.eclass.extend(eclass_a)
+            store.rows.extend(rows_a)
+            store.cost.extend(cost_a)
+        delta_maps = [
+            {delta[0]: delta for delta in deltas} for _scratch, deltas in results
+        ]
+        get_or_create = table.get_or_create
+        note_jcr_created = self.counters.note_jcr_created
+        for mask, owner in mask_order:
+            delta = delta_maps[owner].get(mask)
+            if delta is None:
+                # The pair(s) for this union were skipped (overlapping or
+                # disconnected inputs) — serial skips them identically.
+                continue
+            jcr, created = get_or_create(mask)
+            if created:
+                note_jcr_created()
+            _install_delta(jcr, delta, base_len, offsets[owner] - base_len)
+        elapsed = time.perf_counter() - started
+        self.total_merge_seconds += elapsed
+        return elapsed

@@ -160,6 +160,22 @@ class PlanSpace:
         """A fresh memo table backed by this space's shared plan arena."""
         return JCRTable(self.est, self.store)
 
+    #: Level-synchronous optimizers check this before handing whole levels
+    #: to :meth:`join_level`; the parallel driver subclass flips it.
+    parallel_level = False
+
+    def join_level(self, table: JCRTable, jcr_pairs) -> None:
+        """Cost one whole level of pairs — serial kernels just batch."""
+        self.join_batch(table, jcr_pairs)
+
+    def release(self) -> None:
+        """Free search-scoped resources; no-op for the in-process kernel.
+
+        The parallel driver overrides this to detach its worker pool and
+        unlink shared-memory segments; DP/SDP call it from a ``finally``
+        so every kernel sees the same lifecycle.
+        """
+
     def useful(self, mask: int) -> set[int]:
         """Useful order keys for ``mask`` (cached)."""
         cached = self._useful_cache.get(mask)

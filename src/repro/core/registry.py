@@ -15,6 +15,7 @@ from repro.core.greedy import GreedyOptimizer
 from repro.core.genetic import GeneticOptimizer
 from repro.core.idp import IDPConfig, IDPOptimizer
 from repro.core.idp2 import IDP2Config, IDP2Optimizer
+from repro.core.kernel import resolve_workers
 from repro.core.randomized import (
     IterativeImprovementOptimizer,
     TwoPhaseOptimizer,
@@ -54,12 +55,32 @@ def make_optimizer(
     name: str,
     budget: SearchBudget | None = None,
     cost_model: CostModel | None = None,
+    workers: int | None = None,
 ) -> Optimizer:
     """Build the optimizer the paper calls ``name``.
 
+    Args:
+        workers: Worker-process count for the level-parallel search
+            driver; only the level-synchronous techniques (DP, SDP
+            variants) fan out, every other technique ignores it.
+
     Raises:
-        OptimizationError: for an unknown technique name.
+        OptimizationError: for an unknown technique name or a
+            non-positive worker count.
     """
+    optimizer = _construct(name, budget, cost_model)
+    if workers is not None:
+        # Fail fast here rather than at search time inside the kernel.
+        count, _reason = resolve_workers(workers)
+        optimizer.workers = count
+    return optimizer
+
+
+def _construct(
+    name: str,
+    budget: SearchBudget | None,
+    cost_model: CostModel | None,
+) -> Optimizer:
     if name == "DP":
         return DynamicProgrammingOptimizer(budget=budget, cost_model=cost_model)
     match = _IDP2_PATTERN.match(name)

@@ -1,11 +1,15 @@
 """RL008 — service-layer blocking operations must be bounded.
 
 The serving layer (``repro/service/``) runs worker threads against
-shared queues, events and peer threads. Any *unbounded* blocking call
-there is a hung-request bug waiting for its trigger — precisely the
-failure mode the front door exists to rule out ("every request completes
-or is rejected; none hang"). Inside the service layer this checker
-forbids:
+shared queues, events and peer threads, and the intra-query parallel
+kernel (``repro/core/parallel.py``) runs forked worker processes
+against shared-memory plan stores and bounded message queues. Any
+*unbounded* blocking call in either is a hung-request bug waiting for
+its trigger — precisely the failure mode the front door exists to rule
+out ("every request completes or is rejected; none hang"), and for the
+parallel kernel the failure is worse: a driver blocked forever on a
+dead worker's queue can never unlink its shared-memory segments.
+Inside these modules this checker forbids:
 
 * constructing an unbounded queue: ``Queue()`` / ``LifoQueue()`` /
   ``PriorityQueue()`` without a ``maxsize``, and ``SimpleQueue()`` at
@@ -16,8 +20,9 @@ forbids:
   cannot observe shutdown;
 * ``.wait(...)`` without a timeout (positional or keyword) — an event
   whose setter died would otherwise hang every waiter;
-* ``.join(...)`` on a thread- or worker-named receiver without a
-  timeout — shutdown must complete even if a worker is wedged.
+* ``.join(...)`` on a thread-, worker- or process-named receiver
+  without a timeout — shutdown must complete even if a worker is
+  wedged.
 
 ``Future.result()`` and executor ``map`` are deliberately out of scope:
 they belong to the process-pool batch path, whose completion is the
@@ -37,6 +42,11 @@ _BOUNDED_QUEUE_TYPES = ("Queue", "LifoQueue", "PriorityQueue")
 
 #: Queue constructors that cannot be bounded at all.
 _UNBOUNDABLE_QUEUE_TYPES = ("SimpleQueue",)
+
+#: Core modules with multiprocessing workers, covered in addition to
+#: the whole service layer. (The rest of core is synchronous search
+#: code with nothing to block on.)
+_CORE_WORKER_MODULES = (("core", "parallel.py"),)
 
 
 def _call_type_name(call: ast.Call) -> str | None:
@@ -78,11 +88,14 @@ def _nonblocking_queue_op(call: ast.Call) -> bool:
 class ServiceOpsChecker(Checker):
     code = "RL008"
     name = "bounded-blocking"
-    description = "service-layer blocking calls must be bounded"
+    description = "service/worker-layer blocking calls must be bounded"
 
     def check(self, project):
         for module in project.modules:
-            if module.layer != "service":
+            if (
+                module.layer != "service"
+                and module.package_parts not in _CORE_WORKER_MODULES
+            ):
                 continue
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Call):
@@ -137,7 +150,11 @@ class ServiceOpsChecker(Checker):
                     ".wait() without a timeout hangs if the setter died; "
                     "pass timeout= and re-check state",
                 )
-        elif method == "join" and ("thread" in receiver or "worker" in receiver):
+        elif method == "join" and (
+            "thread" in receiver
+            or "worker" in receiver
+            or "process" in receiver
+        ):
             if not call.args and not _has_keyword(call, "timeout"):
                 yield Finding(
                     module.relpath,

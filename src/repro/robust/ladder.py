@@ -300,6 +300,7 @@ class RobustOptimizer(Optimizer):
                         technique,
                         budget=stage_budget,
                         cost_model=self.cost_model,
+                        workers=self.workers,
                     )
                     optimizer.checkpoint = self.checkpoint
                     try:

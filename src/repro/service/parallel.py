@@ -65,6 +65,7 @@ __all__ = [
     "BatchItem",
     "optimize_many",
     "execution_mode",
+    "execution_plan",
     "shutdown_pool",
     "MIN_PARALLEL_CELLS",
 ]
@@ -106,14 +107,35 @@ def execution_mode(workers: int | None, cells: int) -> tuple[str, int]:
     the pool only runs with at least 2 effective workers and at least
     :data:`MIN_PARALLEL_CELLS` cells, and never with more workers than
     cells. Exposed so benchmarks and tests can assert the decision rather
-    than re-deriving it.
+    than re-deriving it. (:func:`execution_plan` additionally reports
+    *why* a run stayed serial.)
+    """
+    mode, effective, _reason = execution_plan(workers, cells)
+    return mode, effective
+
+
+def execution_plan(
+    workers: int | None, cells: int
+) -> tuple[str, int, str | None]:
+    """:func:`execution_mode` plus the serial-fallback reason.
+
+    Returns ``(mode, effective_workers, fallback_reason)`` where the
+    reason is None for pool runs, ``"cpu_count"`` when the host cannot
+    supply 2 workers, ``"grid_too_small"`` below
+    :data:`MIN_PARALLEL_CELLS` cells, and ``"workers_requested"`` when
+    the caller explicitly asked for fewer than 2 — so benchmark reports
+    record *why* a host fell back instead of a bare ``"serial"``.
     """
     cpu = os.cpu_count() or 1
     requested = cpu if workers is None else workers
     effective = max(1, min(requested, cpu, cells))
-    if effective < 2 or cells < MIN_PARALLEL_CELLS:
-        return "serial", 1
-    return "pool", effective
+    if cells < MIN_PARALLEL_CELLS:
+        return "serial", 1, "grid_too_small"
+    if effective < 2:
+        if workers is not None and workers < 2:
+            return "serial", 1, "workers_requested"
+        return "serial", 1, "cpu_count"
+    return "pool", effective, None
 
 
 #: Per-process execution context installed by :func:`_install_context`.

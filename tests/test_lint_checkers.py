@@ -651,3 +651,47 @@ class TestServiceOps:
             """,
         }, "RL008")
         assert findings == []
+
+    def test_core_parallel_in_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py": """\
+                def collect(self):
+                    return self.outbox_queue.get()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert ".get()" in findings[0].message
+
+    def test_core_parallel_process_join_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py": """\
+                def shutdown(self):
+                    for worker in self.workers:
+                        worker.process.join()
+            """,
+        }, "RL008")
+        assert len(findings) == 1
+        assert "shutdown" in findings[0].message
+
+    def test_core_parallel_bounded_ops_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py": """\
+                def collect(self):
+                    self.inbox_queue.put(("level",), timeout=60.0)
+                    return self.outbox_queue.get(timeout=0.5)
+
+                def shutdown(self):
+                    for worker in self.workers:
+                        worker.process.join(timeout=5.0)
+            """,
+        }, "RL008")
+        assert findings == []
+
+    def test_other_core_modules_still_out_of_scope(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/dp.py": """\
+                def collect(self):
+                    return self.outbox_queue.get()
+            """,
+        }, "RL008")
+        assert findings == []

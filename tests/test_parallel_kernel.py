@@ -1,0 +1,299 @@
+"""Tests for the intra-query level-parallel driver (repro.core.parallel).
+
+Bit-identity of the parallel search itself is asserted by the sweep in
+``test_kernel_equivalence.py``; this file covers the machinery around it:
+the shared-memory plan arena's grow/attach/unlink lifecycle, worker-count
+and grid fallback policies, budget trips that fire mid-level against a
+live pool, cooperative cancellation, and deterministic worker-crash
+recovery via the same :class:`~repro.robust.faults.FaultPlan` schedules
+the batch layer uses. Every pool test ends by asserting ``/dev/shm`` is
+clean — the release contract is the point.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.catalog import SchemaBuilder, analyze
+from repro.core.base import SearchBudget, SearchCounters
+from repro.core.kernel import make_planspace, resolve_workers
+from repro.core.parallel import ParallelPlanSpace, install_faults, partition_pairs
+from repro.core.registry import make_optimizer
+from repro.cost.model import CostModel
+from repro.errors import OptimizationBudgetExceeded, OptimizationError
+from repro.plans.store import (
+    SEGMENT_CAPACITY,
+    SharedPlanStore,
+    attach_shared_views,
+)
+from repro.robust.faults import FaultPlan
+from repro.service.parallel import execution_plan
+from repro.util.timer import Timer
+
+BUDGET = SearchBudget(max_seconds=60.0)
+
+
+def shm_entries() -> list[str]:
+    """Live ``/dev/shm`` names created by this package (empty = no leak)."""
+    return sorted(glob.glob("/dev/shm/repro_ps_*"))
+
+
+@pytest.fixture(scope="module")
+def pk_schema():
+    return SchemaBuilder(
+        seed=5, relation_count=10, column_count=12, name="parallel-kernel-10"
+    ).build()
+
+
+@pytest.fixture(scope="module")
+def pk_stats(pk_schema):
+    return analyze(pk_schema)
+
+
+# ---------------------------------------------------------------- shared store
+
+
+class TestSharedPlanStore:
+    def test_grows_by_segment_and_reads_across_boundary(self):
+        with SharedPlanStore() as store:
+            total = SEGMENT_CAPACITY + 7
+            for index in range(total):
+                store.add(method=1, cost=float(index), rows=2.0 * index)
+            assert len(store) == total
+            assert store.segment_count == 2
+            # Reads on both sides of the segment boundary.
+            assert store.cost[SEGMENT_CAPACITY - 1] == float(SEGMENT_CAPACITY - 1)
+            assert store.cost[SEGMENT_CAPACITY] == float(SEGMENT_CAPACITY)
+            assert store.rows[total - 1] == 2.0 * (total - 1)
+        assert shm_entries() == []
+
+    def test_layout_attach_round_trip(self):
+        store = SharedPlanStore()
+        try:
+            for index in range(10):
+                store.add(
+                    method=2, cost=10.0 + index, rows=1.0, left=index, right=-1
+                )
+            layout = store.layout()
+            assert layout.length == 10
+            columns, segments = attach_shared_views(layout)
+            try:
+                assert [columns["left"][i] for i in range(10)] == list(range(10))
+                assert columns["cost"][3] == 13.0
+                assert columns["method"][0] == 2
+            finally:
+                for view in columns.values():
+                    view.release()
+                for segment in segments.values():
+                    segment.close()
+        finally:
+            store.close()
+        assert shm_entries() == []
+
+    def test_attach_view_is_length_bounded(self):
+        store = SharedPlanStore()
+        try:
+            for index in range(5):
+                store.add(method=1, cost=float(index), rows=1.0)
+            layout = store.layout()
+            # Appends after the snapshot are invisible to the view.
+            store.add(method=1, cost=99.0, rows=1.0)
+            columns, segments = attach_shared_views(layout)
+            try:
+                view = columns["cost"]
+                assert len(view) == 5
+                with pytest.raises(IndexError):
+                    view[5]
+            finally:
+                for column in columns.values():
+                    column.release()
+                for segment in segments.values():
+                    segment.close()
+        finally:
+            store.close()
+
+    def test_close_is_idempotent(self):
+        store = SharedPlanStore()
+        store.add(method=1, cost=1.0, rows=1.0)
+        store.close()
+        store.close()
+        assert shm_entries() == []
+
+
+# ---------------------------------------------------------------- policies
+
+
+class TestWorkerPolicies:
+    def test_explicit_count_honored(self):
+        assert resolve_workers(5) == (5, None)
+        assert resolve_workers(1) == (1, None)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(OptimizationError):
+            resolve_workers(0)
+        with pytest.raises(OptimizationError):
+            make_optimizer("DP", budget=BUDGET, workers=0)
+
+    def test_env_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == (3, None)
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(OptimizationError):
+            resolve_workers()
+
+    def test_single_cpu_records_reason(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers() == (1, "cpu_count")
+
+    def test_auto_count_capped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        count, reason = resolve_workers()
+        assert count == 8 and reason is None
+
+    def test_grid_execution_plan_reasons(self, monkeypatch):
+        assert execution_plan(4, 2) == ("serial", 1, "grid_too_small")
+        assert execution_plan(1, 16) == ("serial", 1, "workers_requested")
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert execution_plan(None, 16) == ("serial", 1, "cpu_count")
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert execution_plan(None, 16) == ("pool", 8, None)
+        assert execution_plan(4, 16) == ("pool", 4, None)
+
+
+class TestPartitioner:
+    def test_one_owner_per_union_mask(self):
+        pairs = [(1, 2), (1, 4), (2, 4), (4, 2), (8, 1), (2, 1)]
+        mask_order, per_worker = partition_pairs(pairs, 3)
+        owner_of = dict(mask_order)
+        # First-occurrence order of union masks, each with one owner.
+        assert [mask for mask, _ in mask_order] == [3, 5, 6, 9]
+        for worker, chunk in enumerate(per_worker):
+            for left, right in chunk:
+                assert owner_of[left | right] == worker
+        # Same-union pairs stay in original relative order on one worker.
+        six = per_worker[owner_of[6]]
+        assert [p for p in six if p[0] | p[1] == 6] == [(2, 4), (4, 2)]
+
+    def test_single_worker_keeps_original_order(self):
+        pairs = [(1, 2), (4, 8), (1, 4)]
+        mask_order, per_worker = partition_pairs(pairs, 1)
+        assert per_worker == [pairs]
+        assert [mask for mask, _ in mask_order] == [3, 12, 5]
+
+
+# ---------------------------------------------------------------- pool runs
+
+
+class TestPoolLifecycle:
+    def test_budget_trips_mid_level_and_unlinks(self, pk_schema, pk_stats):
+        query = make_query(WorkloadSpec("star", 10), pk_schema, 0)
+        # Big enough to pass level 1 (base tables), far below the total:
+        # the trip fires mid-level against a live pool.
+        budget = SearchBudget(max_plans_costed=500)
+        optimizer = make_optimizer("DP", budget=budget, workers=2)
+        with pytest.raises(OptimizationBudgetExceeded):
+            optimizer.optimize(query, pk_stats)
+        assert shm_entries() == []
+
+    def test_budget_trip_point_is_deterministic(self, pk_schema, pk_stats):
+        query = make_query(WorkloadSpec("star", 9), pk_schema, 1)
+        budget = SearchBudget(max_plans_costed=400)
+        messages = set()
+        for _ in range(2):
+            optimizer = make_optimizer("SDP", budget=budget, workers=2)
+            with pytest.raises(OptimizationBudgetExceeded) as exc_info:
+                optimizer.optimize(query, pk_stats)
+            messages.add(str(exc_info.value))
+        assert len(messages) == 1
+        assert shm_entries() == []
+
+    def test_pool_survives_cancellation(self, pk_schema, pk_stats):
+        """Cooperative cancel: workers answer the flag, pool stays usable."""
+        import repro.core.parallel as parallel_mod
+
+        query = make_query(WorkloadSpec("star", 10), pk_schema, 0)
+        optimizer = make_optimizer(
+            "DP", budget=SearchBudget(max_plans_costed=500), workers=2
+        )
+        with pytest.raises(OptimizationBudgetExceeded):
+            optimizer.optimize(query, pk_stats)
+        pool = parallel_mod._POOL
+        assert pool is not None and not pool.broken
+        assert all(handle.process.is_alive() for handle in pool.workers)
+        # The same pool then serves a clean run, bit-identical to serial.
+        clean = make_optimizer("DP", budget=BUDGET, workers=2).optimize(
+            query, pk_stats
+        )
+        serial = make_optimizer("DP", budget=BUDGET).optimize(query, pk_stats)
+        assert clean.cost == serial.cost
+        assert clean.plans_costed == serial.plans_costed
+        assert shm_entries() == []
+
+    def test_worker_crash_recovers_identically(self, pk_schema, pk_stats):
+        """A worker killed mid-level degrades to inline, same answer, no leak."""
+        query = make_query(WorkloadSpec("star", 8), pk_schema, 2)
+        serial = make_optimizer("DP", budget=BUDGET).optimize(query, pk_stats)
+        previous = install_faults(FaultPlan(seed=0, crash_fraction=1.0))
+        try:
+            crashed = make_optimizer("DP", budget=BUDGET, workers=2).optimize(
+                query, pk_stats
+            )
+        finally:
+            install_faults(previous)
+        assert crashed.cost == serial.cost
+        assert crashed.plans_costed == serial.plans_costed
+        assert crashed.jcrs_created == serial.jcrs_created
+        assert shm_entries() == []
+        # And the next pooled run rebuilds a fresh pool and still agrees.
+        rebuilt = make_optimizer("DP", budget=BUDGET, workers=2).optimize(
+            query, pk_stats
+        )
+        assert rebuilt.cost == serial.cost
+        assert rebuilt.plans_costed == serial.plans_costed
+        assert shm_entries() == []
+
+    def test_release_is_idempotent(self, pk_schema, pk_stats):
+        query = make_query(WorkloadSpec("chain", 6), pk_schema, 0)
+        counters = SearchCounters(BUDGET, Timer())
+        space = make_planspace(
+            query,
+            pk_stats,
+            CostModel(),
+            counters,
+            workers=2,
+            level_parallel=True,
+        )
+        assert isinstance(space, ParallelPlanSpace)
+        space.release()
+        space.release()
+        assert shm_entries() == []
+
+
+# ---------------------------------------------------------------- facade
+
+
+class TestFacade:
+    def test_workers_flows_through_optimize(self, pk_schema, pk_stats):
+        import repro
+
+        query = make_query(WorkloadSpec("star", 8), pk_schema, 0)
+        serial = repro.optimize(query, technique="SDP", stats=pk_stats)
+        pooled = repro.optimize(
+            query, technique="SDP", stats=pk_stats, workers=2
+        )
+        assert pooled.cost == serial.cost
+        assert pooled.plans_costed == serial.plans_costed
+        assert shm_entries() == []
+
+    def test_workers_validated(self, pk_schema, pk_stats):
+        import repro
+
+        query = make_query(WorkloadSpec("star", 8), pk_schema, 0)
+        with pytest.raises(OptimizationError):
+            repro.optimize(query, stats=pk_stats, workers=0)
