@@ -7,18 +7,26 @@ evaluation needs — a synthetic relational catalog, a PostgreSQL-style cost
 model, join-graph machinery, a skyline engine, and the full benchmark
 harness regenerating the paper's tables and figures.
 
-Quickstart — :func:`repro.optimize` is the front door::
+Quickstart — :func:`repro.optimize` is the front door, and SQL text is
+the front format::
 
     import repro
 
-    schema = repro.paper_schema(seed=0)
-    hub = schema.largest_relation().name
-    spokes = [n for n in schema.relation_names if n != hub][:9]
-    graph = repro.JoinGraph(
-        [hub, *spokes], repro.star_joins(schema, hub, spokes)
+    schema = repro.tpch_lite_schema()
+    result = repro.optimize(
+        "SELECT * FROM customer, orders"
+        " WHERE orders.o_custkey = customer.c_custkey"
+        " AND orders.o_totalprice > 100000"
+        " ORDER BY orders.o_custkey",
+        schema=schema,
     )
-    query = repro.Query(schema, graph, label="star-10")
+    print(result.cost)
+    print(result.tree())          # provenance: result.query, result.sql
 
+Parsed :class:`repro.Query` objects are interchangeable with their SQL
+text (bit-identical plans and costs) and expose the programmatic route::
+
+    query = repro.parse_sql(schema, sql)           # or build a JoinGraph
     sdp = repro.optimize(query)                    # SDP by default
     dp = repro.optimize(query, technique="dp")     # the optimal reference
     print(sdp.cost / dp.cost, sdp.plans_costed, dp.plans_costed)
@@ -88,6 +96,7 @@ from repro.robust import (
 from repro.query import (
     JoinGraph,
     Query,
+    Selection,
     chain_joins,
     clique_joins,
     cycle_joins,
@@ -111,6 +120,7 @@ from repro.service import (
     optimize_many,
     query_fingerprint,
 )
+from repro.workloads import TPCH_LITE_SQL, tpch_lite_queries, tpch_lite_schema
 
 __version__ = "1.0.0"
 
@@ -131,6 +141,7 @@ __all__ = [
     # query
     "JoinGraph",
     "Query",
+    "Selection",
     "render_sql",
     "parse_sql",
     "chain_joins",
@@ -138,6 +149,10 @@ __all__ = [
     "cycle_joins",
     "clique_joins",
     "star_chain_joins",
+    # workloads
+    "TPCH_LITE_SQL",
+    "tpch_lite_queries",
+    "tpch_lite_schema",
     # cost
     "CostModel",
     "DEFAULT_COST_MODEL",

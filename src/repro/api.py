@@ -7,6 +7,12 @@ service, record a trace — is reachable from this single facade::
     import repro
 
     schema = repro.paper_schema(seed=0)
+    result = repro.optimize(                          # SQL text in,
+        "SELECT * FROM r0, r1 WHERE r0.c0 = r1.c1",   # plan out
+        schema=schema,
+    )
+    print(result.tree())                              # provenance attached
+
     query = repro.parse_sql(schema, "SELECT ... FROM r0, r1 WHERE ...")
     result = repro.optimize(query)                    # SDP, defaults
     result = repro.optimize(query, technique="dp")    # case-insensitive
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.catalog.schema import Schema
 from repro.catalog.statistics import CatalogStatistics
 from repro.core.base import OptimizerResult, SearchBudget
 from repro.core.registry import available_techniques, make_optimizer
@@ -36,6 +43,7 @@ from repro.cost.model import CostModel
 from repro.errors import OptimizationError
 from repro.obs.runtime import capture
 from repro.obs.trace import TraceRecording
+from repro.query.parser import parse_sql
 from repro.query.query import Query
 
 __all__ = ["optimize", "resolve_technique"]
@@ -78,8 +86,9 @@ def _resolve_budget(budget) -> SearchBudget | None:
 
 
 def optimize(
-    query: Query,
+    query: Query | str,
     *,
+    schema: Schema | None = None,
     technique: str = "sdp",
     stats: CatalogStatistics | None = None,
     budget: SearchBudget | float | None = None,
@@ -92,9 +101,15 @@ def optimize(
     """Optimize ``query`` and return a plan — the package's front door.
 
     Args:
-        query: The query to optimize.
-        stats: Statistics snapshot; collected from ``query.schema`` when
-            omitted (each call — hold your own snapshot, or pass a
+        query: The query to optimize — a :class:`~repro.query.Query` or
+            raw SQL text. Text needs a parse target: pass ``schema=``,
+            or route through a ``service`` that has analyzed one. The
+            two forms are interchangeable: optimizing SQL text yields
+            bit-identical plans and costs to optimizing its parsed
+            ``Query``.
+        schema: Schema SQL text is parsed against. Only valid with text.
+        stats: Statistics snapshot; collected from the query's schema
+            when omitted (each call — hold your own snapshot, or pass a
             ``service``, to amortize).
         technique: Technique name, case-insensitive (``"sdp"``, ``"dp"``,
             ``"idp(7)"``, ...; see :func:`repro.available_techniques`).
@@ -126,10 +141,29 @@ def optimize(
         satisfying the :class:`~repro.core.base.PlanResult` protocol.
 
     Raises:
-        OptimizationError: unknown technique or invalid argument combo.
+        OptimizationError: unknown technique, invalid argument combo, or
+            SQL text without a parse target.
+        QueryError: malformed SQL text.
         OptimizationBudgetExceeded: the search outgrew ``budget`` (single
             technique only; ``robust=True`` degrades instead).
     """
+    sql: str | None = None
+    if isinstance(query, str):
+        sql = query
+        if schema is not None:
+            query = parse_sql(schema, sql)
+        elif service is None:
+            raise OptimizationError(
+                "optimize(sql_text) needs a parse target: pass "
+                "schema=, or a service that has analyzed one"
+            )
+        # else: the service parses against its analyzed schema below.
+    elif schema is not None:
+        raise OptimizationError(
+            "schema= only applies to SQL text input; the Query already "
+            "carries its schema"
+        )
+
     if service is not None:
         if robust or budget is not None or cost_model is not None or workers is not None:
             raise OptimizationError(
@@ -167,7 +201,19 @@ def optimize(
         runner = lambda: optimizer.optimize(query, stats)  # noqa: E731
 
     if not trace:
-        return runner()
-    with capture() as exporter:
         result = runner()
-    return replace(result, trace=TraceRecording(exporter.spans))
+    else:
+        with capture() as exporter:
+            result = runner()
+        result = replace(result, trace=TraceRecording(exporter.spans))
+
+    # Attach query/SQL provenance (the service path attaches its own when
+    # it did the parsing; don't overwrite it).
+    provenance = {}
+    if isinstance(query, Query) and result.query is None:
+        provenance["query"] = query
+    if sql is not None and result.sql is None:
+        provenance["sql"] = sql
+    if provenance:
+        result = replace(result, **provenance)
+    return result

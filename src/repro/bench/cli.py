@@ -183,6 +183,16 @@ def _run_check(baseline_path: str, repeats: int, workers: int | None) -> int:
             f"identical={arm['identical_outcomes']}{reason}"
         )
     print(f"{'plan_cache':14s} speedup={current['benchmarks']['plan_cache']['speedup']}")
+    sqlw = current["benchmarks"].get("sql_workload")
+    if sqlw is not None:
+        ratios = " ".join(
+            f"{technique}<={sqlw['summary'][technique]['max_ratio_to_dp']}x"
+            for technique in sqlw["techniques"]
+        )
+        print(
+            f"{'sql_workload':14s} templates={sqlw['templates']} "
+            f"sql==query={sqlw['sql_equals_query_path']} {ratios}"
+        )
     if problems:
         print(f"\nREGRESSIONS ({elapsed:.1f}s):", file=sys.stderr)
         for problem in problems:

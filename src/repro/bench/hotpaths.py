@@ -18,6 +18,11 @@ Times the scenarios this codebase optimizes hardest:
   traced run);
 * ``plan_cache`` — cold vs. warm :class:`repro.service.OptimizationService`
   lookups on a repeated query;
+* ``sql_workload`` — the TPC-H-lite SQL suite (:mod:`repro.workloads`)
+  through the SQL-first front door: DP / SDP / IDP(4) plan quality
+  (cost ratio to exhaustive DP) and overhead (``plans_costed``, median
+  seconds) per template, plus a bit-identity check that optimizing the
+  SQL text equals optimizing its parsed :class:`~repro.query.Query`;
 * ``frontdoor_load`` — the serving front door under an unloaded control
   arm and a 4x-overload chaos arm (latency faults + statistics churn),
   via :mod:`repro.bench.loadgen`: latency percentiles, shed rate and the
@@ -48,6 +53,7 @@ import platform
 import statistics
 import time
 
+from repro.api import optimize as front_door
 from repro.bench.loadgen import LoadScenario, run_load
 from repro.bench.runner import run_comparison
 from repro.bench.workloads import WorkloadSpec, make_query
@@ -60,6 +66,7 @@ from repro.obs.names import SPAN_OPTIMIZE
 from repro.obs.runtime import capture
 from repro.service import OptimizationService
 from repro.service.parallel import execution_plan
+from repro.workloads import TPCH_LITE_SQL, tpch_lite_queries, tpch_lite_schema
 
 __all__ = ["run_harness", "compare_reports", "BUDGET"]
 
@@ -245,6 +252,72 @@ def bench_plan_cache(schema, stats, repeats: int):
     }
 
 
+def bench_sql_workload(repeats: int) -> dict:
+    """DP / SDP / IDP(4) over the TPC-H-lite SQL templates.
+
+    Quality is the cost ratio to exhaustive DP (DP enumerates every plan
+    the heuristics consider, so every ratio is >= 1.0 by construction —
+    a ratio below 1.0 means the plan space itself diverged); overhead is
+    ``plans_costed`` and the median wall-clock. Both search counters and
+    costs are deterministic, so the guard holds them bit-exact against
+    the committed baseline.
+
+    The suite is the SQL-first contract's canary: each template also runs
+    once through ``repro.optimize(sql, schema=...)`` and once through the
+    parsed ``Query``, and the two must agree on cost and counters.
+    """
+    schema = tpch_lite_schema()
+    stats = analyze(schema)
+    queries = tpch_lite_queries(schema)
+    techniques = ("DP", "SDP", "IDP(4)")
+    per_query: dict[str, dict] = {}
+    for (label, _sql), query in zip(TPCH_LITE_SQL, queries):
+        dp_cost = None
+        entry = {}
+        for technique in techniques:
+            optimizer = make_optimizer(technique, budget=BUDGET)
+            median, _, result = _timed(
+                lambda: optimizer.optimize(query, stats), repeats
+            )
+            if dp_cost is None:
+                dp_cost = result.cost
+            entry[technique] = {
+                "median_seconds": round(median, 6),
+                "plans_costed": result.plans_costed,
+                "cost": result.cost,
+                "ratio_to_dp": round(result.cost / dp_cost, 6),
+            }
+        per_query[label] = entry
+    identical = True
+    for (_label, sql), query in zip(TPCH_LITE_SQL, queries):
+        from_sql = front_door(sql, schema=schema, stats=stats)
+        from_query = front_door(query, stats=stats)
+        if (
+            from_sql.cost != from_query.cost
+            or from_sql.plans_costed != from_query.plans_costed
+        ):
+            identical = False
+    summary = {
+        technique: {
+            "max_ratio_to_dp": max(
+                entry[technique]["ratio_to_dp"] for entry in per_query.values()
+            ),
+            "total_plans_costed": sum(
+                entry[technique]["plans_costed"] for entry in per_query.values()
+            ),
+        }
+        for technique in techniques
+    }
+    return {
+        "schema": schema.name,
+        "templates": len(queries),
+        "techniques": list(techniques),
+        "sql_equals_query_path": identical,
+        "queries": per_query,
+        "summary": summary,
+    }
+
+
 def bench_frontdoor(schema, stats) -> dict:
     """The two canonical load arms (see :mod:`repro.bench.loadgen`)."""
     # A DP baseline makes the brownout shift legible in the rung mix:
@@ -337,6 +410,7 @@ def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
                 1,
             ),
             "plan_cache": bench_plan_cache(schema, stats, repeats),
+            "sql_workload": bench_sql_workload(min(repeats, 3)),
             "frontdoor_load": bench_frontdoor(schema, stats),
         },
     }
@@ -448,6 +522,47 @@ def compare_reports(
         problems.append(
             f"plan_cache: warm-hit speedup {cache_c['speedup']} below 10x"
         )
+
+    # The SQL workload arm: quality and counters are deterministic, so
+    # they are held bit-exact per (template, technique) against the
+    # baseline; the SQL-vs-Query identity and the ratio floor are
+    # contracts of the current run alone. Older baselines may predate
+    # the arm entirely.
+    sqlw = cur.get("sql_workload")
+    if sqlw is not None:
+        if not sqlw["sql_equals_query_path"]:
+            problems.append(
+                "sql_workload: optimizing SQL text diverged from optimizing "
+                "the parsed Query (cost/plans_costed not identical)"
+            )
+        sqlw_b = base.get("sql_workload")
+        for label, arms in sqlw["queries"].items():
+            for technique, arm in arms.items():
+                if arm["ratio_to_dp"] < 1.0:
+                    problems.append(
+                        f"sql_workload/{label}: {technique} found a plan "
+                        f"cheaper than exhaustive DP (ratio "
+                        f"{arm['ratio_to_dp']}); the heuristic plan spaces "
+                        f"are no longer subsets of DP's"
+                    )
+                arm_b = (
+                    sqlw_b["queries"].get(label, {}).get(technique)
+                    if sqlw_b is not None
+                    else None
+                )
+                if arm_b is None:
+                    continue
+                if arm["plans_costed"] != arm_b["plans_costed"]:
+                    problems.append(
+                        f"sql_workload/{label}/{technique}: plans_costed "
+                        f"drifted {arm_b['plans_costed']} -> "
+                        f"{arm['plans_costed']}"
+                    )
+                if arm["cost"] != arm_b["cost"]:
+                    problems.append(
+                        f"sql_workload/{label}/{technique}: cost drifted "
+                        f"{arm_b['cost']!r} -> {arm['cost']!r}"
+                    )
 
     # The front-door arms assert the serving contract on the *current*
     # run only — their wall-clock curves are recorded for trending, not

@@ -242,8 +242,9 @@ class PlanResult(Protocol):
     :class:`~repro.robust.RobustResult` all expose these members, so a
     caller can consume any layer's answer without branching on which one
     produced it: the plan, its cost, the costing effort, whether the
-    answer is degraded (fallback-ladder runs only set this), and the
-    optional trace recording.
+    answer is degraded (fallback-ladder runs only set this), the
+    optional trace recording, and the query/SQL provenance attached by
+    the SQL-first entry points.
     """
 
     technique: str
@@ -252,6 +253,8 @@ class PlanResult(Protocol):
     plans_costed: int
     degraded: bool
     trace: TraceRecording | None
+    query: Query | None
+    sql: str | None
 
 
 @dataclass(frozen=True)
@@ -274,6 +277,11 @@ class OptimizerResult:
             protocol shared by every result layer.
         trace: Span recording attached by ``repro.optimize(...,
             trace=True)``; None on untraced runs.
+        query: The optimized :class:`~repro.query.Query` — attached by
+            the SQL-first entry points (``repro.optimize``, the service)
+            so callers that submitted SQL text can recover the parsed
+            form; None when the result came from a raw optimizer run.
+        sql: The submitted SQL text, when the query arrived as text.
     """
 
     technique: str
@@ -287,9 +295,22 @@ class OptimizerResult:
     jcrs_pruned: int
     degraded: bool = False
     trace: TraceRecording | None = None
+    query: Query | None = None
+    sql: str | None = None
 
-    def tree(self, query: Query) -> PlanNode:
-        """The plan as a public, validated tree."""
+    def tree(self, query: Query | None = None) -> PlanNode:
+        """The plan as a public, validated tree.
+
+        ``query`` defaults to the result's own :attr:`query` provenance
+        when the SQL-first entry points attached one.
+        """
+        if query is None:
+            query = self.query
+        if query is None:
+            raise OptimizationError(
+                "tree() needs the query: this result carries no query "
+                "provenance, pass tree(query)"
+            )
         return build_plan_tree(self.plan, query.graph)
 
 

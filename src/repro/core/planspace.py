@@ -51,13 +51,14 @@ from repro.core.base import SearchCounters
 from repro.core.table import JCRTable
 from repro.cost.cardinality import CardinalityEstimator
 from repro.cost.model import CostModel
-from repro.cost.scans import index_scan_full_cost, seq_scan_cost
+from repro.cost.scans import filter_cost, index_scan_full_cost, seq_scan_cost
 from repro.cost.sorts import sort_cost
 from repro.errors import OptimizationError
 from repro.plans.jcr import JCR
 from repro.plans.ordering import useful_orders
 from repro.plans.records import PlanRecord
 from repro.plans.store import (
+    M_FILTER,
     M_HASH_JOIN,
     M_INDEX_NESTLOOP,
     M_INDEX_SCAN,
@@ -94,8 +95,11 @@ class PlanSpace:
         self.graph = query.graph
         self.cm = cost_model
         self.counters = counters
-        self.est = CardinalityEstimator(self.graph, stats)
+        self.est = CardinalityEstimator(
+            self.graph, stats, selections=query.selections
+        )
         self.order_by_eclass = query.order_by_eclass
+        self.order_by_key = query.order_by_key
 
         graph = self.graph
         self._tables: list[TableStats] = [
@@ -115,6 +119,39 @@ class PlanSpace:
             self._indexed_join_columns.append(entries)
         self._useful_cache: dict[int, set[int]] = {}
         self._sort_cost_cache: dict[int, float] = {}
+
+        # Selections, grouped per relation: qual counts, unfiltered base
+        # cardinalities, and the per-relation filter cost added on top of
+        # every access path. All zeros for selection-free queries, leaving
+        # the existing float arithmetic untouched.
+        self._selection_quals: list[int] = [0] * graph.n
+        for selection in query.selections:
+            self._selection_quals[graph.index_of(selection.relation)] += 1
+        self._raw_rows: list[float] = [
+            float(t.row_count) for t in self._tables
+        ]
+        self._filter_costs: list[float] = [
+            filter_cost(self._raw_rows[index], quals, cost_model)
+            if quals
+            else 0.0
+            for index, quals in enumerate(self._selection_quals)
+        ]
+        self._filter_per_row: list[float] = [
+            quals * cost_model.cpu_operator_cost
+            for quals in self._selection_quals
+        ]
+
+        # A non-join ORDER BY column with an index: an index scan on that
+        # relation produces the order under the query's synthetic order key
+        # (Query.order_by_key), letting finalize skip the enforcer sort.
+        self._extra_order: tuple[int, int] | None = None
+        self._order_index_scan: tuple[int, int] | None = None
+        if query.order_by is not None and query.order_by_eclass is None:
+            order_rel, order_col = query.order_by
+            if stats.table(order_rel).column(order_col).has_index:
+                rel_index = graph.index_of(order_rel)
+                self._extra_order = (query.order_by_key, 1 << rel_index)
+                self._order_index_scan = (rel_index, query.order_by_key)
 
         # One plan arena per space: IDP re-seeds fresh tables every
         # iteration while carrying composite JCRs across, so their entry
@@ -180,7 +217,9 @@ class PlanSpace:
         """Useful order keys for ``mask`` (cached)."""
         cached = self._useful_cache.get(mask)
         if cached is None:
-            cached = useful_orders(self.graph, mask, self.order_by_eclass)
+            cached = useful_orders(
+                self.graph, mask, self.order_by_eclass, self._extra_order
+            )
             self._useful_cache[mask] = cached
         return cached
 
@@ -195,7 +234,13 @@ class PlanSpace:
     # -- level 1: access paths ---------------------------------------------------
 
     def base_jcr(self, table: JCRTable, relation_index: int) -> JCR:
-        """Build the access-path JCR for one base relation."""
+        """Build the access-path JCR for one base relation.
+
+        Selections wrap every access path in a Filter entry: the scan keeps
+        its unfiltered rows/cost, the filter charges qual evaluation
+        (:func:`repro.cost.scans.filter_cost`) and outputs the JCR's
+        filtered cardinality, preserving the scan's physical order.
+        """
         mask = 1 << relation_index
         jcr, created = table.get_or_create(mask)
         if created:
@@ -205,11 +250,23 @@ class PlanSpace:
         cm = self.cm
         store_add = table.store.add
         counters = self.counters
+        quals = self._selection_quals[relation_index]
+        filter_add = self._filter_costs[relation_index]
+        raw_rows = self._raw_rows[relation_index]
 
-        cost = seq_scan_cost(stats_table, cm)
+        scan_cost = seq_scan_cost(stats_table, cm)
+        cost = scan_cost + filter_add if quals else scan_cost
         counters.note_plans_costed()
         if jcr.improves(None, cost):
-            eid = store_add(M_SEQ_SCAN, cost, jcr.rows, rel=relation_index)
+            if quals:
+                child = store_add(
+                    M_SEQ_SCAN, scan_cost, raw_rows, rel=relation_index
+                )
+                eid = store_add(
+                    M_FILTER, cost, jcr.rows, left=child, rel=relation_index
+                )
+            else:
+                eid = store_add(M_SEQ_SCAN, cost, jcr.rows, rel=relation_index)
             _, new_slot = jcr.put(None, None, cost, eid)
             if new_slot:
                 counters.note_retained()
@@ -217,20 +274,77 @@ class PlanSpace:
         for eclass, _col_stats in self._indexed_join_columns[relation_index]:
             if eclass not in useful:
                 continue
-            cost = index_scan_full_cost(stats_table, cm)
+            scan_cost = index_scan_full_cost(stats_table, cm)
+            cost = scan_cost + filter_add if quals else scan_cost
             counters.note_plans_costed()
             if jcr.improves(eclass, cost):
-                eid = store_add(
-                    M_INDEX_SCAN,
-                    cost,
-                    jcr.rows,
-                    order=eclass,
-                    rel=relation_index,
-                    eclass=eclass,
-                )
+                if quals:
+                    child = store_add(
+                        M_INDEX_SCAN,
+                        scan_cost,
+                        raw_rows,
+                        order=eclass,
+                        rel=relation_index,
+                        eclass=eclass,
+                    )
+                    eid = store_add(
+                        M_FILTER,
+                        cost,
+                        jcr.rows,
+                        order=eclass,
+                        left=child,
+                        rel=relation_index,
+                    )
+                else:
+                    eid = store_add(
+                        M_INDEX_SCAN,
+                        cost,
+                        jcr.rows,
+                        order=eclass,
+                        rel=relation_index,
+                        eclass=eclass,
+                    )
                 _, new_slot = jcr.put(eclass, eclass, cost, eid)
                 if new_slot:
                     counters.note_retained()
+
+        # Non-join ORDER BY column with an index: one more ordered access
+        # path under the synthetic order key.
+        order_scan = self._order_index_scan
+        if order_scan is not None and order_scan[0] == relation_index:
+            key = order_scan[1]
+            if key in useful:
+                scan_cost = index_scan_full_cost(stats_table, cm)
+                cost = scan_cost + filter_add if quals else scan_cost
+                counters.note_plans_costed()
+                if jcr.improves(key, cost):
+                    if quals:
+                        child = store_add(
+                            M_INDEX_SCAN,
+                            scan_cost,
+                            raw_rows,
+                            order=key,
+                            rel=relation_index,
+                        )
+                        eid = store_add(
+                            M_FILTER,
+                            cost,
+                            jcr.rows,
+                            order=key,
+                            left=child,
+                            rel=relation_index,
+                        )
+                    else:
+                        eid = store_add(
+                            M_INDEX_SCAN,
+                            cost,
+                            jcr.rows,
+                            order=key,
+                            rel=relation_index,
+                        )
+                    _, new_slot = jcr.put(key, key, cost, eid)
+                    if new_slot:
+                        counters.note_retained()
         return jcr
 
     # -- joins ---------------------------------------------------------------------
@@ -282,6 +396,7 @@ class PlanSpace:
         probe_descent = self._probe_descent
         probe_per_match = self._probe_per_match
         indexed_names_all = self._indexed_names
+        filter_per_row = self._filter_per_row
 
         # Store columns, aliased for inline appends (store.add is too hot to
         # call ~100k times per query; the append sequence below is its body).
@@ -443,6 +558,11 @@ class PlanSpace:
                         probe = (
                             probe_descent[inner_index] + matches * probe_per_match
                         )
+                        # Selections on the inner relation re-check their
+                        # quals on every matched row of every probe.
+                        probe_filter = filter_per_row[inner_index]
+                        if probe_filter:
+                            probe = probe + matches * probe_filter
                         probe_term = outer_rows * probe
                         seen_eclasses: set[int] = set()
                         for pred in preds:
@@ -632,7 +752,7 @@ class PlanSpace:
         reference kernel's finalize loop.
         """
         final_sort = self._sort_cost(jcr)
-        order_by_eclass = self.order_by_eclass
+        order_by_key = self.order_by_key
         note = self.counters.note_plans_costed
         best_cost = 0.0
         best_position = -1
@@ -640,8 +760,8 @@ class PlanSpace:
         slot_orders = jcr.slot_orders
         for position, cost in enumerate(jcr.slot_costs):
             if (
-                order_by_eclass is not None
-                and slot_orders[position] == order_by_eclass
+                order_by_key is not None
+                and slot_orders[position] == order_by_key
             ):
                 wrapped = False
             else:
@@ -675,12 +795,13 @@ class PlanSpace:
         store = jcr.store
         if not wrapped:
             return store.materialize(entry)
+        order_by_key = self.order_by_key
         order_by_eclass = self.order_by_eclass
         eid = store.add(
             M_SORT,
             cost,
             jcr.rows,
-            order=order_by_eclass if order_by_eclass is not None else NO_FIELD,
+            order=order_by_key if order_by_key is not None else NO_FIELD,
             left=entry,
             eclass=order_by_eclass if order_by_eclass is not None else NO_FIELD,
         )

@@ -33,11 +33,17 @@ from repro.cost.joins import (
     nestloop_cost,
 )
 from repro.cost.model import CostModel
-from repro.cost.scans import index_lookup_cost, index_scan_full_cost, seq_scan_cost
+from repro.cost.scans import (
+    filter_cost,
+    index_lookup_cost,
+    index_scan_full_cost,
+    seq_scan_cost,
+)
 from repro.cost.sorts import sort_cost
 from repro.errors import OptimizationError, PlanError
 from repro.plans.ordering import useful_orders
 from repro.plans.records import (
+    FILTER,
     HASH_JOIN,
     INDEX_NESTLOOP,
     INDEX_SCAN,
@@ -191,8 +197,11 @@ class ReferencePlanSpace:
         self.graph = query.graph
         self.cm = cost_model
         self.counters = counters
-        self.est = CardinalityEstimator(self.graph, stats)
+        self.est = CardinalityEstimator(
+            self.graph, stats, selections=query.selections
+        )
         self.order_by_eclass = query.order_by_eclass
+        self.order_by_key = query.order_by_key
 
         graph = self.graph
         self._tables: list[TableStats] = [
@@ -211,6 +220,35 @@ class ReferencePlanSpace:
             self._indexed_join_columns.append(entries)
         self._useful_cache: dict[int, set[int]] = {}
         self._sort_cost_cache: dict[int, float] = {}
+
+        # Selection placement mirrors the fast kernel exactly (see
+        # PlanSpace.__init__): per-relation qual counts, unfiltered base
+        # cardinalities and access-path filter costs.
+        self._selection_quals: list[int] = [0] * graph.n
+        for selection in query.selections:
+            self._selection_quals[graph.index_of(selection.relation)] += 1
+        self._raw_rows: list[float] = [
+            float(t.row_count) for t in self._tables
+        ]
+        self._filter_costs: list[float] = [
+            filter_cost(self._raw_rows[index], quals, cost_model)
+            if quals
+            else 0.0
+            for index, quals in enumerate(self._selection_quals)
+        ]
+        self._filter_per_row: list[float] = [
+            quals * cost_model.cpu_operator_cost
+            for quals in self._selection_quals
+        ]
+
+        self._extra_order: tuple[int, int] | None = None
+        self._order_index_scan: tuple[int, int] | None = None
+        if query.order_by is not None and query.order_by_eclass is None:
+            order_rel, order_col = query.order_by
+            if stats.table(order_rel).column(order_col).has_index:
+                rel_index = graph.index_of(order_rel)
+                self._extra_order = (query.order_by_key, 1 << rel_index)
+                self._order_index_scan = (rel_index, query.order_by_key)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -231,7 +269,9 @@ class ReferencePlanSpace:
     def useful(self, mask: int) -> set[int]:
         cached = self._useful_cache.get(mask)
         if cached is None:
-            cached = useful_orders(self.graph, mask, self.order_by_eclass)
+            cached = useful_orders(
+                self.graph, mask, self.order_by_eclass, self._extra_order
+            )
             self._useful_cache[mask] = cached
         return cached
 
@@ -260,31 +300,100 @@ class ReferencePlanSpace:
         useful = self.useful(mask)
         stats_table = self._tables[relation_index]
         cm = self.cm
+        quals = self._selection_quals[relation_index]
+        filter_add = self._filter_costs[relation_index]
+        raw_rows = self._raw_rows[relation_index]
 
-        seq = PlanRecord(
-            mask,
-            jcr.rows,
-            seq_scan_cost(stats_table, cm),
-            SEQ_SCAN,
-            rel=relation_index,
-        )
+        scan_cost = seq_scan_cost(stats_table, cm)
+        cost = scan_cost + filter_add if quals else scan_cost
+        if quals:
+            seq = PlanRecord(
+                mask,
+                jcr.rows,
+                cost,
+                FILTER,
+                left=PlanRecord(
+                    mask, raw_rows, scan_cost, SEQ_SCAN, rel=relation_index
+                ),
+                rel=relation_index,
+            )
+        else:
+            seq = PlanRecord(mask, jcr.rows, cost, SEQ_SCAN, rel=relation_index)
         self.counters.note_plans_costed()
         self._offer(jcr, seq, useful)
 
         for eclass, _col_stats in self._indexed_join_columns[relation_index]:
             if eclass not in useful:
                 continue
-            idx = PlanRecord(
-                mask,
-                jcr.rows,
-                index_scan_full_cost(stats_table, cm),
-                INDEX_SCAN,
-                order=eclass,
-                rel=relation_index,
-                eclass=eclass,
-            )
+            scan_cost = index_scan_full_cost(stats_table, cm)
+            cost = scan_cost + filter_add if quals else scan_cost
+            if quals:
+                idx = PlanRecord(
+                    mask,
+                    jcr.rows,
+                    cost,
+                    FILTER,
+                    order=eclass,
+                    left=PlanRecord(
+                        mask,
+                        raw_rows,
+                        scan_cost,
+                        INDEX_SCAN,
+                        order=eclass,
+                        rel=relation_index,
+                        eclass=eclass,
+                    ),
+                    rel=relation_index,
+                )
+            else:
+                idx = PlanRecord(
+                    mask,
+                    jcr.rows,
+                    cost,
+                    INDEX_SCAN,
+                    order=eclass,
+                    rel=relation_index,
+                    eclass=eclass,
+                )
             self.counters.note_plans_costed()
             self._offer(jcr, idx, useful)
+
+        # Non-join ORDER BY column with an index: one more ordered access
+        # path under the synthetic order key (mirrors PlanSpace.base_jcr).
+        order_scan = self._order_index_scan
+        if order_scan is not None and order_scan[0] == relation_index:
+            key = order_scan[1]
+            if key in useful:
+                scan_cost = index_scan_full_cost(stats_table, cm)
+                cost = scan_cost + filter_add if quals else scan_cost
+                if quals:
+                    ordered = PlanRecord(
+                        mask,
+                        jcr.rows,
+                        cost,
+                        FILTER,
+                        order=key,
+                        left=PlanRecord(
+                            mask,
+                            raw_rows,
+                            scan_cost,
+                            INDEX_SCAN,
+                            order=key,
+                            rel=relation_index,
+                        ),
+                        rel=relation_index,
+                    )
+                else:
+                    ordered = PlanRecord(
+                        mask,
+                        jcr.rows,
+                        cost,
+                        INDEX_SCAN,
+                        order=key,
+                        rel=relation_index,
+                    )
+                self.counters.note_plans_costed()
+                self._offer(jcr, ordered, useful)
         return jcr
 
     # -- joins -------------------------------------------------------------------
@@ -443,6 +552,13 @@ class ReferencePlanSpace:
                 continue
             per_probe_rows = out_rows / max(1.0, outer_rows)
             probe = index_lookup_cost(inner_table, col_stats, per_probe_rows, cm)
+            # Selections on the inner relation re-check their quals on
+            # every matched row of every probe (same association order as
+            # the fast kernel: filter term added onto the lookup cost).
+            fq = self._filter_per_row[inner_index]
+            if fq:
+                matches = per_probe_rows if per_probe_rows > 1.0 else 1.0
+                probe = probe + matches * fq
             probe_record = PlanRecord(
                 inner.mask,
                 per_probe_rows,
@@ -512,8 +628,8 @@ class ReferencePlanSpace:
         best: PlanRecord | None = None
         for plan in jcr.plans.values():
             if (
-                self.order_by_eclass is not None
-                and plan.order == self.order_by_eclass
+                self.order_by_key is not None
+                and plan.order == self.order_by_key
             ):
                 candidate = plan
             else:
@@ -522,7 +638,7 @@ class ReferencePlanSpace:
                     jcr.rows,
                     plan.cost + final_sort,
                     SORT,
-                    order=self.order_by_eclass,
+                    order=self.order_by_key,
                     left=plan,
                     eclass=self.order_by_eclass,
                 )

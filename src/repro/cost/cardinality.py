@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 
 from repro.catalog.statistics import CatalogStatistics, ColumnStats
-from repro.cost.selectivity import eclass_selectivity
+from repro.cost.selectivity import eclass_selectivity, selection_selectivity
 from repro.errors import CatalogError
 from repro.query.joingraph import JoinGraph
 
@@ -36,6 +36,11 @@ class CardinalityEstimator:
         graph: The query's join graph.
         stats: Catalog statistics for every graph relation.
         min_rows: Lower clamp on any estimate (PostgreSQL clamps to 1).
+        selections: Single-table filter predicates
+            (:class:`repro.query.Selection`). Their selectivities scale the
+            affected relations' effective base cardinalities, so every
+            relation-set estimate reflects scan-time filtering. With no
+            selections the estimator's arithmetic is untouched.
     """
 
     def __init__(
@@ -43,6 +48,7 @@ class CardinalityEstimator:
         graph: JoinGraph,
         stats: CatalogStatistics,
         min_rows: float = 1.0,
+        selections=(),
     ):
         self._graph = graph
         self._min_rows = min_rows
@@ -60,6 +66,19 @@ class CardinalityEstimator:
             self._base_rows[index] = float(table.row_count)
             self._base_log_rows[index] = math.log(table.row_count)
             self._base_width[index] = table.row_width
+        if selections:
+            factors: dict[int, float] = {}
+            for selection in selections:
+                index = graph.index_of(selection.relation)
+                column = stats.table(selection.relation).column(selection.column)
+                factor = selection_selectivity(
+                    column, selection.op, selection.value
+                )
+                factors[index] = factors.get(index, 1.0) * factor
+            for index, factor in factors.items():
+                effective = max(min_rows, self._base_rows[index] * factor)
+                self._base_rows[index] = effective
+                self._base_log_rows[index] = math.log(effective)
 
         # Pre-resolve, per eclass: (relation mask, [(relation bit, stats)]).
         self._eclass_info: list[tuple[int, list[tuple[int, ColumnStats]]]] = []

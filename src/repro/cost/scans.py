@@ -7,7 +7,23 @@ import math
 from repro.catalog.statistics import ColumnStats, TableStats
 from repro.cost.model import CostModel
 
-__all__ = ["seq_scan_cost", "index_scan_full_cost", "index_lookup_cost"]
+__all__ = [
+    "seq_scan_cost",
+    "index_scan_full_cost",
+    "index_lookup_cost",
+    "filter_cost",
+]
+
+
+def filter_cost(input_rows: float, qual_count: int, cm: CostModel) -> float:
+    """Added cost of evaluating ``qual_count`` filter quals per input row.
+
+    ``rows * quals * cpu_operator_cost`` — PostgreSQL's qual-evaluation
+    term, charged on top of the producing scan's cost. Both search kernels
+    call this one function at access-path level so filtered scans stay
+    bit-identical between them.
+    """
+    return input_rows * qual_count * cm.cpu_operator_cost
 
 
 def seq_scan_cost(table: TableStats, cm: CostModel) -> float:

@@ -19,7 +19,49 @@ import math
 from repro.catalog.statistics import ColumnStats
 from repro.errors import CatalogError
 
-__all__ = ["predicate_selectivity", "eclass_selectivity"]
+__all__ = [
+    "predicate_selectivity",
+    "eclass_selectivity",
+    "selection_selectivity",
+]
+
+#: Lower clamp on any single selection's selectivity; keeps log-space
+#: cardinality math finite even for stacked, very selective filters.
+MIN_SELECTION_SELECTIVITY = 1e-9
+
+
+def selection_selectivity(column: ColumnStats, op: str, value: float) -> float:
+    """Selectivity of the filter ``column <op> value``.
+
+    Equality uses the distinct-count rule (``1 / n_distinct``) floored at
+    the most-common-value fraction — under skew an equality against *some*
+    constant is at least as likely to hit the heavy value as a uniform
+    draw. Range operators assume values spread over ``[1, domain_size]``
+    and take the covered fraction of the domain.
+
+    >>> from repro.catalog.statistics import ColumnStats
+    >>> stats = ColumnStats("c", 100, 0.01, 4, False, 1000)
+    >>> selection_selectivity(stats, "=", 5.0)
+    0.01
+    >>> selection_selectivity(stats, "<", 250.0)
+    0.25
+    """
+    if op in ("=", "!="):
+        equal = max(
+            1.0 / max(1, column.n_distinct),
+            min(1.0, column.most_common_frac),
+        )
+        fraction = equal if op == "=" else 1.0 - equal
+    else:
+        domain = max(1, column.domain_size)
+        covered = min(1.0, max(0.0, value / domain))
+        if op in ("<", "<="):
+            fraction = covered
+        elif op in (">", ">="):
+            fraction = 1.0 - covered
+        else:
+            raise CatalogError(f"unknown selection operator {op!r}")
+    return min(1.0, max(fraction, MIN_SELECTION_SELECTIVITY))
 
 
 def predicate_selectivity(left: ColumnStats, right: ColumnStats) -> float:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.engine.database import Database
 from repro.errors import PlanError
 from repro.plans.records import (
+    FILTER,
     INDEX_NESTLOOP,
     INDEX_SCAN,
     JOIN_METHODS,
@@ -31,6 +32,16 @@ from repro.plans.records import (
     PlanRecord,
 )
 from repro.query.query import Query
+
+#: Selection operator -> numpy elementwise comparison.
+_SELECTION_UFUNCS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
 
 __all__ = ["Executor", "ExecutionResult", "OperatorActual"]
 
@@ -139,6 +150,8 @@ class Executor:
             result = self._scan(plan, ordered=True)
         elif plan.method == SORT:
             result = self._sort(plan)
+        elif plan.method == FILTER:
+            result = self._filter(plan)
         elif plan.method in JOIN_METHODS:
             result = self._join(plan)
         else:
@@ -159,13 +172,30 @@ class Executor:
         name = self.graph.relation_names[plan.rel]
         count = self.db.row_count(name)
         if ordered:
-            column = self._eclass_column(plan.rel, plan.eclass)
+            column = self._eclass_column(plan.rel, plan.eclass, plan.order)
             try:
                 ids = self.db.index_order(name, column)
             except Exception:
                 ids = np.argsort(self.db.column(name, column), kind="stable")
             return _Intermediate({plan.rel: ids.copy()}, plan.order)
         return _Intermediate({plan.rel: np.arange(count)}, None)
+
+    def _filter(self, plan: PlanRecord) -> _Intermediate:
+        if plan.left is None or plan.rel is None:
+            raise PlanError("Filter record without input or relation")
+        child = self._execute(plan.left)
+        name = self.graph.relation_names[plan.rel]
+        ids = child.rows.get(plan.rel)
+        if ids is None:
+            raise PlanError(f"Filter references {name} outside its input")
+        keep = np.ones(len(ids), dtype=bool)
+        for selection in self.query.selections_of(name):
+            values = self.db.column(name, selection.column)[ids]
+            keep &= _SELECTION_UFUNCS[selection.op](values, selection.value)
+        positions = np.nonzero(keep)[0]
+        result = child.take(positions)
+        result.order = plan.order
+        return result
 
     def _sort(self, plan: PlanRecord) -> _Intermediate:
         if plan.left is None:
@@ -238,11 +268,33 @@ class Executor:
             )
         return self.db.column(name, column)[ids]
 
-    def _eclass_column(self, rel: int, eclass: int | None) -> str:
+    def _order_by_column(self, rel: int, order: int | None) -> str | None:
+        """The query's ORDER BY column when ``order`` is its synthetic key.
+
+        Non-join ORDER BY columns sort under a synthetic order key (see
+        :attr:`repro.query.Query.order_by_key`) that has no eclass entry.
+        """
+        query = self.query
+        if (
+            order is not None
+            and order == query.order_by_key
+            and query.order_by is not None
+        ):
+            order_rel, order_col = query.order_by
+            if self.graph.index_of(order_rel) == rel:
+                return order_col
+        return None
+
+    def _eclass_column(
+        self, rel: int, eclass: int | None, order: int | None = None
+    ) -> str:
         if eclass is not None:
             for member_rel, column in self.graph.eclasses.get(eclass, ()):
                 if member_rel == rel:
                     return column
+        order_column = self._order_by_column(rel, order)
+        if order_column is not None:
+            return order_column
         indexed = self.db.schema.relation(
             self.graph.relation_names[rel]
         ).indexed_columns
@@ -258,6 +310,11 @@ class Executor:
         for rel, column in self.graph.eclasses.get(eclass, ()):
             if rel in intermediate.rows:
                 return self._values(intermediate, rel, column)
+        query = self.query
+        if eclass == query.order_by_key and query.order_by is not None:
+            rel = self.graph.index_of(query.order_by[0])
+            if rel in intermediate.rows:
+                return self._values(intermediate, rel, query.order_by[1])
         return None
 
 

@@ -36,6 +36,7 @@ LAYER_RANKS = {
     "obs": 1,
     "catalog": 2,
     "query": 2,
+    "workloads": 2,
     "cost": 3,
     "plans": 4,
     "skyline": 4,

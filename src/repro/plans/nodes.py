@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlanError
-from repro.plans.records import PlanRecord, SCAN_METHODS, SORT
+from repro.plans.records import FILTER, PlanRecord, SCAN_METHODS, SORT
 from repro.query.joingraph import JoinGraph
 
 __all__ = ["PlanNode", "build_plan_tree"]
@@ -87,17 +87,18 @@ def build_plan_tree(record: PlanRecord, graph: JoinGraph) -> PlanNode:
             children=(),
             relation=name,
         )
-    if record.method == SORT:
+    if record.method in (SORT, FILTER):
         if record.left is None:
-            raise PlanError("Sort record without an input")
+            raise PlanError(f"{record.method} record without an input")
         child = build_plan_tree(record.left, graph)
         return PlanNode(
-            method=SORT,
+            method=record.method,
             relations=child.relations,
             rows=record.rows,
             cost=record.cost,
             order_column=_order_label(graph, record.order),
             children=(child,),
+            relation=child.relation if record.method == FILTER else None,
         )
     if record.left is None or record.right is None:
         raise PlanError(f"join record missing children: {record!r}")

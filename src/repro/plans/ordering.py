@@ -12,6 +12,13 @@ plan for) iff some later operation can exploit it:
   merge join on that class can skip a sort; or
 * it is the query's ORDER BY eclass — the final sort can be skipped.
 
+A non-join ORDER BY column gets a *synthetic* order key (one past the dense
+eclass ids, see :attr:`repro.query.Query.order_by_key`) that is useful
+whenever its relation is inside ``S``: an index scan on the column produces
+the order, nested loops propagate it, and the finalize step skips the
+enforcer sort — the ``extra_order`` parameter carries that
+``(key, relation mask)`` pair.
+
 Anything else is demoted to "no order" when stored into a JCR.
 """
 
@@ -26,17 +33,30 @@ def useful_orders(
     graph: JoinGraph,
     mask: int,
     order_by_eclass: int | None = None,
+    extra_order: tuple[int, int] | None = None,
 ) -> set[int]:
-    """Eclass ids whose orders are worth retaining for the set ``mask``."""
+    """Order keys whose orders are worth retaining for the set ``mask``.
+
+    Args:
+        graph: The join graph (supplies the eclass membership masks).
+        mask: The relation set.
+        order_by_eclass: The query's ORDER BY eclass, if it is a join
+            column.
+        extra_order: ``(synthetic key, relation mask)`` of a non-join
+            ORDER BY column whose order a scan can produce, or None.
+    """
     # Iterates the graph's precomputed eclass->relation-mask table rather
     # than calling is_useful_order per eclass: this runs once per relation
     # set the search visits, which makes it hot enough to inline.
     outside = ~mask
-    return {
+    orders = {
         eclass
         for eclass, members in graph.eclass_relation_masks.items()
         if members & mask and (eclass == order_by_eclass or members & outside)
     }
+    if extra_order is not None and extra_order[1] & mask:
+        orders.add(extra_order[0])
+    return orders
 
 
 def is_useful_order(
@@ -44,8 +64,11 @@ def is_useful_order(
     mask: int,
     eclass: int,
     order_by_eclass: int | None = None,
+    extra_order: tuple[int, int] | None = None,
 ) -> bool:
-    """Whether an order on ``eclass`` is useful for the set ``mask``."""
+    """Whether an order on key ``eclass`` is useful for the set ``mask``."""
+    if extra_order is not None and eclass == extra_order[0]:
+        return bool(extra_order[1] & mask)
     members = graph.eclass_relation_mask(eclass)
     if members & mask == 0:
         return False  # the set cannot even be sorted on this class

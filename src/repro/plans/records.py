@@ -15,6 +15,7 @@ __all__ = [
     "SEQ_SCAN",
     "INDEX_SCAN",
     "SORT",
+    "FILTER",
     "NESTLOOP",
     "INDEX_NESTLOOP",
     "HASH_JOIN",
@@ -26,6 +27,7 @@ __all__ = [
 SEQ_SCAN = "SeqScan"
 INDEX_SCAN = "IndexScan"
 SORT = "Sort"
+FILTER = "Filter"
 NESTLOOP = "NestLoop"
 INDEX_NESTLOOP = "IndexNestLoop"
 HASH_JOIN = "HashJoin"
@@ -33,7 +35,7 @@ MERGE_JOIN = "MergeJoin"
 
 SCAN_METHODS = frozenset({SEQ_SCAN, INDEX_SCAN})
 JOIN_METHODS = frozenset({NESTLOOP, INDEX_NESTLOOP, HASH_JOIN, MERGE_JOIN})
-_UNARY_METHODS = frozenset({SORT})
+_UNARY_METHODS = frozenset({SORT, FILTER})
 _ALL_METHODS = SCAN_METHODS | JOIN_METHODS | _UNARY_METHODS
 
 

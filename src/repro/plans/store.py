@@ -28,6 +28,7 @@ import os
 from array import array
 
 from repro.plans.records import (
+    FILTER,
     HASH_JOIN,
     INDEX_NESTLOOP,
     INDEX_SCAN,
@@ -52,6 +53,7 @@ __all__ = [
     "M_INDEX_NESTLOOP",
     "M_HASH_JOIN",
     "M_MERGE_JOIN",
+    "M_FILTER",
     "NO_FIELD",
 ]
 
@@ -63,6 +65,7 @@ M_NESTLOOP = 3
 M_INDEX_NESTLOOP = 4
 M_HASH_JOIN = 5
 M_MERGE_JOIN = 6
+M_FILTER = 7
 
 METHOD_NAMES = (
     SEQ_SCAN,
@@ -72,6 +75,7 @@ METHOD_NAMES = (
     INDEX_NESTLOOP,
     HASH_JOIN,
     MERGE_JOIN,
+    FILTER,
 )
 
 #: Sentinel for "no value" in the integer columns (order/left/right/rel/eclass).

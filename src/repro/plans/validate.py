@@ -9,7 +9,7 @@ slipping through, or cost/cardinality fields that do not add up.
 from __future__ import annotations
 
 from repro.errors import PlanError
-from repro.plans.records import JOIN_METHODS, PlanRecord, SCAN_METHODS, SORT
+from repro.plans.records import FILTER, JOIN_METHODS, PlanRecord, SCAN_METHODS, SORT
 from repro.query.joingraph import JoinGraph
 
 __all__ = ["validate_plan"]
@@ -70,6 +70,19 @@ def _validate_node(record: PlanRecord, graph: JoinGraph, allow_cartesian: bool) 
             raise PlanError("Sort changes the relation set")
         if record.cost < record.left.cost:
             raise PlanError("Sort cheaper than its input")
+        _validate_node(record.left, graph, allow_cartesian)
+        return
+    if record.method == FILTER:
+        if record.left is None or record.right is not None:
+            raise PlanError(f"Filter must have exactly one input: {record!r}")
+        if record.rel is None:
+            raise PlanError(f"Filter without a relation: {record!r}")
+        if record.left.mask != record.mask:
+            raise PlanError("Filter changes the relation set")
+        if record.cost < record.left.cost:
+            raise PlanError("Filter cheaper than its input")
+        if record.rows > record.left.rows + 1e-9:
+            raise PlanError("Filter grows its input")
         _validate_node(record.left, graph, allow_cartesian)
         return
     if record.method in JOIN_METHODS:

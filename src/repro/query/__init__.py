@@ -9,14 +9,15 @@ This package provides:
   on in Section 2.1.4) and hub detection;
 * topology generators for the paper's workloads (chain, star, cycle, clique,
   star-chain);
-* :class:`Query` — a join graph bound to a schema, with ORDER BY support;
-* a SQL renderer, so generated queries can be inspected or replayed against a
-  real engine.
+* :class:`Query` — a join graph bound to a schema, with single-table
+  :class:`Selection` predicates and ORDER BY support;
+* a SQL parser and renderer, so queries round-trip through SQL text
+  (``parse_sql(schema, render_sql(q))`` is equivalent to ``q``).
 """
 
 from repro.query.joingraph import JoinGraph, JoinPredicate
 from repro.query.parser import parse_sql
-from repro.query.query import Query
+from repro.query.query import SELECTION_OPS, Query, Selection
 from repro.query.sql import render_sql
 from repro.query.topology import (
     chain_joins,
@@ -30,6 +31,8 @@ __all__ = [
     "JoinGraph",
     "JoinPredicate",
     "Query",
+    "Selection",
+    "SELECTION_OPS",
     "render_sql",
     "parse_sql",
     "chain_joins",

@@ -1,12 +1,13 @@
 """A small SQL parser for the query dialect the library emits.
 
 :func:`parse_sql` is the inverse of :func:`repro.query.render_sql`: it turns
-conjunctive equi-join SELECT statements into :class:`repro.query.Query`
-objects, so workloads can be written (or replayed) as plain SQL text::
+conjunctive SELECT statements — equi-joins plus single-table filter
+predicates — into :class:`repro.query.Query` objects, so workloads can be
+written (or replayed) as plain SQL text::
 
     SELECT *
     FROM R1, R2, R3
-    WHERE R1.c4 = R2.c2 AND R2.c7 = R3.c1
+    WHERE R1.c4 = R2.c2 AND R2.c7 = R3.c1 AND R3.c5 < 100
     ORDER BY R2.c2;
 
 Supported grammar (case-insensitive keywords)::
@@ -14,13 +15,17 @@ Supported grammar (case-insensitive keywords)::
     query     := SELECT select FROM tables [WHERE conj] [ORDER BY column] [;]
     select    := '*' | column (',' column)*
     tables    := name (',' name)*
-    conj      := equality (AND equality)*
-    equality  := column '=' column
+    conj      := predicate (AND predicate)*
+    predicate := column '=' column            -- equi-join
+               | column op number             -- selection
+    op        := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
     column    := name '.' name
+    number    := digits ['.' digits]
 
-Anything else — projections with expressions, non-equi predicates, OUTER
-JOIN syntax — is outside the optimizer's scope here and is rejected with a
-:class:`~repro.errors.QueryError` naming the offending token.
+Anything else — projections with expressions, column-to-column inequality
+predicates, OUTER JOIN syntax — is outside the optimizer's scope here and is
+rejected with a :class:`~repro.errors.QueryError` naming the offending
+token. Projected columns are validated against the schema.
 """
 
 from __future__ import annotations
@@ -30,14 +35,16 @@ import re
 from repro.catalog.schema import Schema
 from repro.errors import QueryError
 from repro.query.joingraph import JoinGraph
-from repro.query.query import Query
+from repro.query.query import Query, Selection
 
 __all__ = ["parse_sql"]
 
 _TOKEN = re.compile(
     r"""
     (?P<name>[A-Za-z_][A-Za-z_0-9]*)
-  | (?P<symbol>[*.,=;()])
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<op><=|>=|!=|<>|<|>|=)
+  | (?P<symbol>[*.,;()])
   | (?P<ws>\s+)
   | (?P<bad>.)
     """,
@@ -86,7 +93,7 @@ class _Tokens:
 
     def expect_symbol(self, symbol: str) -> None:
         kind, value, offset = self.next()
-        if kind != "symbol" or value != symbol:
+        if kind not in ("symbol", "op") or value != symbol:
             raise QueryError(
                 f"expected {symbol!r} at offset {offset}, got {value!r}"
             )
@@ -107,6 +114,27 @@ class _Tokens:
             )
         return value
 
+    def take_op(self) -> str:
+        kind, value, offset = self.next()
+        if kind != "op":
+            raise QueryError(
+                f"expected a comparison operator at offset {offset}, "
+                f"got {value!r}"
+            )
+        # Canonicalize the SQL spelling of "not equal".
+        return "!=" if value == "<>" else value
+
+    def take_number(self, offset_hint: int) -> float:
+        token = self.peek()
+        if token is None or token[0] != "number":
+            got = "end of SQL text" if token is None else repr(token[1])
+            at = offset_hint if token is None else token[2]
+            raise QueryError(
+                f"expected a numeric constant at offset {at}, got {got}"
+            )
+        self.next()
+        return float(token[1])
+
 
 def _parse_column(tokens: _Tokens) -> tuple[str, str]:
     relation = tokens.take_name("a relation name")
@@ -115,15 +143,33 @@ def _parse_column(tokens: _Tokens) -> tuple[str, str]:
     return relation, column
 
 
-def _parse_select_list(tokens: _Tokens) -> None:
+def _parse_select_list(tokens: _Tokens) -> list[tuple[str, str]] | None:
+    """The projected columns, or None for ``SELECT *``."""
     token = tokens.peek()
     if token is not None and token[1] == "*":
         tokens.next()
-        return
-    _parse_column(tokens)
+        return None
+    projected = [_parse_column(tokens)]
     while tokens.peek() is not None and tokens.peek()[1] == ",":
         tokens.next()
-        _parse_column(tokens)
+        projected.append(_parse_column(tokens))
+    return projected
+
+
+def _check_column(
+    schema: Schema, relations: list[str], rel_name: str, col_name: str, where: str
+) -> None:
+    if rel_name not in set(relations):
+        raise QueryError(
+            f"{where} references {rel_name!r} not listed in FROM"
+        )
+    if not any(
+        column.name == col_name
+        for column in schema.relation(rel_name).columns
+    ):
+        raise QueryError(
+            f"{where} references unknown column {rel_name}.{col_name}"
+        )
 
 
 def parse_sql(schema: Schema, text: str, label: str | None = None) -> Query:
@@ -135,12 +181,13 @@ def parse_sql(schema: Schema, text: str, label: str | None = None) -> Query:
         label: Query label; defaults to a truncated form of the text.
 
     Raises:
-        QueryError: on syntax errors, unknown relations/columns, non-equi
-            predicates, or a disconnected join graph.
+        QueryError: on syntax errors, unknown relations/columns (including
+            projected ones), column-to-column inequality predicates, or a
+            disconnected join graph.
     """
     tokens = _Tokens(text)
     tokens.expect_keyword("select")
-    _parse_select_list(tokens)
+    projected = _parse_select_list(tokens)
     tokens.expect_keyword("from")
 
     relations = [tokens.take_name("a relation name")]
@@ -151,13 +198,26 @@ def parse_sql(schema: Schema, text: str, label: str | None = None) -> Query:
         raise QueryError("duplicate relation in FROM (self-joins unsupported)")
 
     joins: list[tuple[str, str, str, str]] = []
+    selections: list[Selection] = []
     if tokens.at_keyword("where"):
         tokens.next()
         while True:
             left_rel, left_col = _parse_column(tokens)
-            tokens.expect_symbol("=")
-            right_rel, right_col = _parse_column(tokens)
-            joins.append((left_rel, left_col, right_rel, right_col))
+            op = tokens.take_op()
+            right = tokens.peek()
+            if right is not None and right[0] == "name":
+                if op != "=":
+                    raise QueryError(
+                        f"only equi-joins are supported between columns; "
+                        f"got {op!r} at offset {right[2]}"
+                    )
+                right_rel, right_col = _parse_column(tokens)
+                joins.append((left_rel, left_col, right_rel, right_col))
+            else:
+                value = tokens.take_number(
+                    right[2] if right is not None else len(text)
+                )
+                selections.append(Selection(left_rel, left_col, op, value))
             if tokens.at_keyword("and"):
                 tokens.next()
                 continue
@@ -183,22 +243,25 @@ def parse_sql(schema: Schema, text: str, label: str | None = None) -> Query:
     for rel_name in relations:
         if rel_name not in schema:
             raise QueryError(f"FROM references unknown relation {rel_name!r}")
+    if projected is not None:
+        for rel_name, col_name in projected:
+            _check_column(schema, relations, rel_name, col_name, "SELECT")
     for left_rel, left_col, right_rel, right_col in joins:
         for rel_name, col_name in ((left_rel, left_col), (right_rel, right_col)):
-            if rel_name not in set(relations):
-                raise QueryError(
-                    f"WHERE references {rel_name!r} not listed in FROM"
-                )
-            if not any(
-                column.name == col_name
-                for column in schema.relation(rel_name).columns
-            ):
-                raise QueryError(
-                    f"WHERE references unknown column {rel_name}.{col_name}"
-                )
+            _check_column(schema, relations, rel_name, col_name, "WHERE")
+    for selection in selections:
+        _check_column(
+            schema, relations, selection.relation, selection.column, "WHERE"
+        )
 
     graph = JoinGraph(relations, joins)
     if label is None:
         flat = " ".join(text.split())
         label = flat[:60] + ("..." if len(flat) > 60 else "")
-    return Query(schema, graph, order_by=order_by, label=label)
+    return Query(
+        schema,
+        graph,
+        order_by=order_by,
+        label=label,
+        selections=tuple(selections),
+    )

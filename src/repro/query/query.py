@@ -1,4 +1,4 @@
-"""The Query object: a join graph bound to a schema, plus ORDER BY."""
+"""The Query object: a join graph bound to a schema, selections, ORDER BY."""
 
 from __future__ import annotations
 
@@ -8,7 +8,53 @@ from repro.catalog.schema import Schema
 from repro.errors import QueryError
 from repro.query.joingraph import JoinGraph
 
-__all__ = ["Query"]
+__all__ = ["Query", "Selection", "SELECTION_OPS", "format_selection_value"]
+
+#: Comparison operators a selection predicate may use (``<>`` is
+#: canonicalized to ``!=`` by the parser).
+SELECTION_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def format_selection_value(value: float) -> str:
+    """Render a selection constant the way :func:`render_sql` emits it.
+
+    Integral floats render as integers so parse/render round-trips are
+    textually stable (``42.0`` -> ``"42"``).
+    """
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A single-table filter predicate ``relation.column <op> constant``.
+
+    Attributes:
+        relation: Name of the filtered relation.
+        column: Name of the filtered column.
+        op: One of :data:`SELECTION_OPS`.
+        value: The comparison constant (numeric).
+    """
+
+    relation: str
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in SELECTION_OPS:
+            raise QueryError(
+                f"unknown selection operator {self.op!r}; "
+                f"known: {', '.join(SELECTION_OPS)}"
+            )
+        object.__setattr__(self, "value", float(self.value))
+
+    def describe(self) -> str:
+        return (
+            f"{self.relation}.{self.column} {self.op} "
+            f"{format_selection_value(self.value)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -19,24 +65,47 @@ class Query:
         schema: The catalog the relations come from.
         graph: The join graph (relations + equi-join predicates).
         order_by: Optional ``(relation_name, column_name)`` the user wants
-            the output sorted on. Per the paper, only orders on *join
-            columns* influence the optimizer; other orders just cost a final
-            sort regardless of the plan.
+            the output sorted on. Orders on *join columns* participate in
+            interesting-order propagation through joins; orders on other
+            columns can still be produced at the scan (an index scan on the
+            ORDER BY column) and propagated, sparing the final enforcer
+            sort.
         label: Free-form identifier used in reports.
+        selections: Single-table filter predicates, applied at scan time.
     """
 
     schema: Schema
     graph: JoinGraph
     order_by: tuple[str, str] | None = None
     label: str = "query"
+    selections: tuple[Selection, ...] = ()
 
     #: Eclass id of the ORDER BY column, or None (computed at init).
     order_by_eclass: int | None = field(init=False, default=None)
+
+    #: Order key of the ORDER BY column: the eclass id for join columns, a
+    #: synthetic key (``len(graph.eclasses)``) for non-join columns, None
+    #: without ORDER BY (computed at init).
+    order_by_key: int | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         for name in self.graph.relation_names:
             if name not in self.schema:
                 raise QueryError(f"graph relation {name!r} missing from schema")
+        object.__setattr__(self, "selections", tuple(self.selections))
+        for selection in self.selections:
+            if not isinstance(selection, Selection):
+                raise QueryError(
+                    f"selections must be Selection instances, got "
+                    f"{selection!r}"
+                )
+            if selection.relation not in self.graph.relation_names:
+                raise QueryError(
+                    f"selection references relation {selection.relation!r} "
+                    f"not in the join graph"
+                )
+            # Raises CatalogError if the column does not exist.
+            self.schema.relation(selection.relation).column(selection.column)
         if self.order_by is not None:
             rel_name, col_name = self.order_by
             if rel_name not in self.graph.relation_names:
@@ -49,6 +118,11 @@ class Query:
                 self.graph.index_of(rel_name), col_name
             )
             object.__setattr__(self, "order_by_eclass", eclass)
+            # Non-join ORDER BY columns get a synthetic order key one past
+            # the dense eclass ids, so scan-produced orders on them can be
+            # retained and propagated like any interesting order.
+            key = eclass if eclass is not None else len(self.graph.eclasses)
+            object.__setattr__(self, "order_by_key", key)
 
     @property
     def relation_count(self) -> int:
@@ -59,9 +133,17 @@ class Query:
         """True iff ORDER BY targets a join column (the interesting case)."""
         return self.order_by_eclass is not None
 
+    def selections_of(self, relation_name: str) -> tuple[Selection, ...]:
+        """The selections filtering ``relation_name`` (possibly empty)."""
+        return tuple(
+            s for s in self.selections if s.relation == relation_name
+        )
+
     def describe(self) -> str:
         """Human-readable multi-line description."""
         lines = [f"Query {self.label!r}:", self.graph.describe()]
+        for selection in self.selections:
+            lines.append(f"  WHERE {selection.describe()}")
         if self.order_by:
             rel, col = self.order_by
             kind = "join column" if self.has_join_column_order else "plain column"

@@ -7,7 +7,7 @@ did exactly this on PostgreSQL 8.1.2) or simply eyeball a query instance.
 
 from __future__ import annotations
 
-from repro.query.query import Query
+from repro.query.query import Query, format_selection_value
 
 __all__ = ["render_sql"]
 
@@ -34,6 +34,10 @@ def render_sql(query: Query, select_star: bool = False) -> str:
         for p in graph.predicates
         if not p.implied  # the rewriter re-derives implied edges
     ]
+    conditions.extend(
+        f"{s.relation}.{s.column} {s.op} {format_selection_value(s.value)}"
+        for s in query.selections
+    )
     sql = [f"SELECT {select_list}", f"FROM {from_list}"]
     if conditions:
         sql.append("WHERE " + "\n  AND ".join(conditions))

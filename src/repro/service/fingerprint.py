@@ -15,6 +15,13 @@ consumes, in a canonical form:
   leaves it implied;
 * the **equivalence classes** as sorted member-column sets (they carry the
   interesting-order and shared-join-column structure);
+* the **selections**, sorted, with each constant *parameterized* into a
+  coarse selectivity bucket derived from the column's schema domain —
+  equality constants collapse into one bucket (their selectivity is
+  ``1/n_distinct`` regardless of the value) and range constants quantize
+  to sixteenths of the domain. Templated workloads that re-issue the same
+  SQL shape with different constants therefore hit the warm cache unless
+  a constant moves far enough to change plan choice materially;
 * the **ORDER BY** target, if any.
 
 Catalog *content* (row counts, distinct values) is deliberately excluded:
@@ -29,9 +36,35 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.query.query import Query
+from repro.query.query import Query, Selection
 
-__all__ = ["query_fingerprint", "fingerprint_components"]
+__all__ = [
+    "query_fingerprint",
+    "fingerprint_components",
+    "selection_bucket",
+    "SELECTIVITY_BUCKETS",
+]
+
+#: Number of buckets range-selection constants quantize into.
+SELECTIVITY_BUCKETS = 16
+
+
+def selection_bucket(query: Query, selection: Selection) -> int:
+    """Selectivity bucket of one selection's constant.
+
+    Equality and inequality constants map to bucket ``-1`` (their
+    selectivity does not depend on the constant); range constants map to
+    ``floor(fraction * SELECTIVITY_BUCKETS)`` where ``fraction`` is the
+    share of the column's schema domain the constant covers, clamped to
+    ``[0, SELECTIVITY_BUCKETS - 1]``. Only schema metadata is consulted —
+    the fingerprint must not depend on catalog statistics content.
+    """
+    if selection.op in ("=", "!="):
+        return -1
+    column = query.schema.relation(selection.relation).column(selection.column)
+    domain = max(1, column.domain_size)
+    fraction = min(1.0, max(0.0, selection.value / domain))
+    return min(SELECTIVITY_BUCKETS - 1, int(fraction * SELECTIVITY_BUCKETS))
 
 
 def fingerprint_components(query: Query) -> tuple:
@@ -59,6 +92,16 @@ def fingerprint_components(query: Query) -> tuple:
         tuple(sorted(f"{names[rel]}.{column}" for rel, column in points))
         for points in graph.eclasses.values()
     )
+    selections = tuple(
+        sorted(
+            (
+                f"{s.relation}.{s.column}",
+                s.op,
+                selection_bucket(query, s),
+            )
+            for s in query.selections
+        )
+    )
     order_by = None
     if query.order_by is not None:
         order_by = f"{query.order_by[0]}.{query.order_by[1]}"
@@ -67,6 +110,7 @@ def fingerprint_components(query: Query) -> tuple:
         tuple(sorted(names)),
         tuple(predicates),
         tuple(eclasses),
+        selections,
         order_by,
     )
 

@@ -57,6 +57,7 @@ from repro.obs.names import (
 )
 from repro.obs.runtime import current_tracer, enabled as _obs_enabled, metrics as _obs_metrics
 from repro.obs.trace import maybe_span
+from repro.query.parser import parse_sql
 from repro.query.query import Query
 from repro.robust.ladder import RobustOptimizer, ladder_from
 from repro.service.service import OptimizationService, ServiceResult
@@ -460,6 +461,7 @@ class _Request:
     budget: SearchBudget
     future: Future
     enqueued_at: float
+    sql: str | None = None
 
 
 class FrontDoor:
@@ -584,8 +586,12 @@ class FrontDoor:
 
     # -- admission --------------------------------------------------------------
 
-    def submit(self, query: Query, tenant: str = "default") -> Future:
+    def submit(self, query: Query | str, tenant: str = "default") -> Future:
         """Admit ``query`` or raise a typed rejection, synchronously.
+
+        ``query`` may be raw SQL text; it is parsed at admission time
+        against the backing service's analyzed schema, so malformed SQL
+        is rejected synchronously rather than poisoning a worker.
 
         Admission order: shutdown check, then the tenant's token bucket
         (a shed there must not consume queue capacity), then the bounded
@@ -597,6 +603,16 @@ class FrontDoor:
             raise AdmissionRejected("shutdown", "front door is closing")
         if not self._started:
             raise ServiceError("front door not started (use start() or a with-block)")
+        sql: str | None = None
+        if isinstance(query, str):
+            schema = self.service.schema
+            if schema is None:
+                raise ServiceError(
+                    "SQL text needs an analyzed schema on the backing "
+                    "service (call service.analyze(schema) first)"
+                )
+            sql = query
+            query = parse_sql(schema, sql)
 
         bucket = self.tenants.bucket(tenant)
         if not bucket.try_acquire():
@@ -615,6 +631,7 @@ class FrontDoor:
             budget=budget,
             future=Future(),
             enqueued_at=self._clock(),
+            sql=sql,
         )
         try:
             self._queue.put(request, block=False)
@@ -634,7 +651,7 @@ class FrontDoor:
 
     def optimize(
         self,
-        query: Query,
+        query: Query | str,
         tenant: str = "default",
         timeout: float | None = None,
     ) -> FrontDoorResult:
@@ -671,16 +688,20 @@ class FrontDoor:
             brownout_level=level.level, entry=entry,
         ) as span:
             try:
+                # SQL submissions re-enter the service as text so the
+                # result carries full query/sql provenance (the re-parse
+                # is noise next to the search).
+                target = request.sql if request.sql is not None else request.query
                 if level.level == 0:
                     # Baseline: the exact service path an unloaded caller
                     # would take (cached, single-flighted, full budget).
-                    inner = self.service.optimize(request.query)
+                    inner = self.service.optimize(target)
                 else:
                     optimizer = RobustOptimizer(
                         ladder=ladder_from(level.entry),
                         budget=_scaled_budget(request.budget, level.budget_scale),
                     )
-                    inner = self.service.optimize(request.query, optimizer=optimizer)
+                    inner = self.service.optimize(target, optimizer=optimizer)
             except Exception as exc:
                 span.set(outcome="error")
                 self._count("errors")

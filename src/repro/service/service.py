@@ -40,9 +40,11 @@ from repro.catalog.statistics import CatalogStatistics, analyze
 from repro.core.base import Optimizer, OptimizerResult, SearchBudget
 from repro.core.registry import make_optimizer
 from repro.cost.model import CostModel
+from repro.errors import ServiceError
 from repro.obs.names import SPAN_SERVICE_OPTIMIZE
 from repro.obs.runtime import current_tracer
 from repro.obs.trace import maybe_span
+from repro.query.parser import parse_sql
 from repro.query.query import Query
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.fingerprint import query_fingerprint
@@ -98,6 +100,7 @@ class OptimizationService:
         )
         self._cache = PlanCache(cache_capacity)
         self._stats: CatalogStatistics | None = None
+        self._schema: Schema | None = None
         self._epoch = 0
         # RLock: analyze() -> install_statistics() nests under optimize()'s
         # epoch-snapshot critical section.
@@ -110,9 +113,13 @@ class OptimizationService:
         """Collect fresh statistics for ``schema`` and install them.
 
         Bumps the statistics epoch and invalidates the plan cache: every
-        plan optimized before this call is considered stale.
+        plan optimized before this call is considered stale. The schema
+        is retained so subsequent :meth:`optimize` calls may submit raw
+        SQL text without re-passing it.
         """
-        return self.install_statistics(analyze(schema))
+        with self._lock:
+            self._schema = schema
+            return self.install_statistics(analyze(schema))
 
     def install_statistics(self, stats: CatalogStatistics) -> CatalogStatistics:
         """Install a pre-collected snapshot (same epoch/invalidation rules).
@@ -140,17 +147,30 @@ class OptimizationService:
 
     # -- optimization ------------------------------------------------------------
 
+    @property
+    def schema(self) -> Schema | None:
+        """Schema retained by :meth:`analyze` (SQL-text parsing target)."""
+        return self._schema
+
     def optimize(
         self,
-        query: Query,
+        query: Query | str,
         stats: CatalogStatistics | None = None,
         *,
+        schema: Schema | None = None,
         optimizer: Optimizer | None = None,
     ) -> ServiceResult:
         """Optimize ``query``, serving repeated fingerprints from cache.
 
         Args:
-            query: The query to optimize.
+            query: The query to optimize — a :class:`~repro.query.Query`,
+                or raw SQL text. Text is parsed against ``schema`` (or
+                the schema retained by the last :meth:`analyze`); the
+                parsed form is fingerprinted with selection constants
+                collapsed into selectivity buckets, so a templated
+                workload re-issuing one SQL shape with different
+                constants hits the warm cache.
+            schema: Parse target for SQL text. Only valid with text.
             stats: Optional snapshot override. Passing a *different* object
                 than the installed one installs it first (bumping the epoch
                 and invalidating the cache); passing the installed object
@@ -165,9 +185,26 @@ class OptimizationService:
                 own, deliberately cheap, search).
 
         Raises:
+            ServiceError: SQL text submitted with no schema to parse
+                against, or ``schema=`` passed alongside a ``Query``.
+            QueryError: malformed SQL text.
             OptimizationBudgetExceeded: propagated from the backing
                 optimizer; budget trips are never cached.
         """
+        sql: str | None = None
+        if isinstance(query, str):
+            sql = query
+            parse_schema = schema if schema is not None else self._schema
+            if parse_schema is None:
+                raise ServiceError(
+                    "SQL text needs a schema to parse against: pass "
+                    "schema= or analyze() one first"
+                )
+            query = parse_sql(parse_schema, sql)
+        elif schema is not None:
+            raise ServiceError(
+                "schema= only applies to SQL text submissions"
+            )
         with self._lock:
             if stats is not None:
                 if stats is not self._stats:
@@ -192,12 +229,17 @@ class OptimizationService:
                     cached,  # type: ignore[arg-type]
                     cache_hit=True,
                     elapsed_seconds=timer.stop(),
+                    query=query,
+                    sql=sql,
                 )
             span.set(cache_hit=False)
 
             if optimizer is not None:
                 result = optimizer.optimize(query, snapshot)
-                return self._served(result, fingerprint, epoch, cache=False)
+                return self._served(
+                    result, fingerprint, epoch, cache=False,
+                    query=query, sql=sql,
+                )
 
             leader, event = self._claim(key)
             if not leader:
@@ -209,16 +251,24 @@ class OptimizationService:
                         cached,  # type: ignore[arg-type]
                         cache_hit=True,
                         elapsed_seconds=timer.stop(),
+                        query=query,
+                        sql=sql,
                     )
                 # Leader failed, timed out, or the epoch moved: compute
                 # independently rather than re-electing (no herd left —
                 # every waiter was woken by the same event).
                 result = self._optimizer.optimize(query, snapshot)
-                return self._served(result, fingerprint, epoch, cache=True)
+                return self._served(
+                    result, fingerprint, epoch, cache=True,
+                    query=query, sql=sql,
+                )
 
             try:
                 result = self._optimizer.optimize(query, snapshot)
-                served = self._served(result, fingerprint, epoch, cache=True)
+                served = self._served(
+                    result, fingerprint, epoch, cache=True,
+                    query=query, sql=sql,
+                )
             finally:
                 self._release(key, event)
             return served
@@ -229,6 +279,8 @@ class OptimizationService:
         fingerprint: str,
         epoch: int,
         cache: bool,
+        query: Query | None = None,
+        sql: str | None = None,
     ) -> ServiceResult:
         """Wrap an optimizer result; optionally publish it to the cache."""
         served = ServiceResult(
@@ -245,6 +297,8 @@ class OptimizationService:
             cache_hit=False,
             fingerprint=fingerprint,
             stats_epoch=epoch,
+            query=query,
+            sql=sql,
         )
         if cache:
             self._cache.put((fingerprint, epoch), served)

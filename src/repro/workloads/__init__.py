@@ -1,0 +1,16 @@
+"""Canonical SQL workloads for benchmarks, docs and tests.
+
+The paper evaluates on synthetic chain/star/cycle/clique topologies over a
+generated catalog (:mod:`repro.bench.workloads`); this package adds a
+*recognizable* workload on top of the SQL-first entry points: a TPC-H-like
+schema at reduced scale and a suite of SQL-text query templates exercising
+joins, selections and interesting orders together.
+"""
+
+from repro.workloads.tpch_lite import (
+    TPCH_LITE_SQL,
+    tpch_lite_queries,
+    tpch_lite_schema,
+)
+
+__all__ = ["TPCH_LITE_SQL", "tpch_lite_queries", "tpch_lite_schema"]

@@ -1,0 +1,278 @@
+"""TPC-H-lite: a recognizable star/snowflake workload in SQL text.
+
+The eight TPC-H relations at reduced (scale-factor-like) cardinalities,
+with key/foreign-key domains sized so join selectivities behave like the
+real benchmark's (a key column's domain equals its relation's row count;
+a foreign key's domain equals the referenced relation's row count), plus
+seeded exponential skew on the measure-like columns.
+
+The queries are plain SQL text (:data:`TPCH_LITE_SQL`), written in the
+dialect :func:`repro.parse_sql` accepts: conjunctive equi-joins,
+single-table filter predicates, and ORDER BY. They deliberately cover the
+plan-space features the optimizer distinguishes:
+
+* selection-free joins (pure join-order problems);
+* equality and range selections at different selectivities;
+* ORDER BY on join columns (interesting-order propagation through joins);
+* ORDER BY on a non-join column both *with* an index (a scan can produce
+  the order) and *without* one (only the enforcer sort can).
+
+Use :func:`tpch_lite_queries` for the parsed :class:`~repro.query.Query`
+forms, or feed the SQL text straight to ``repro.optimize(sql,
+schema=tpch_lite_schema())``.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column, Index
+from repro.catalog.distributions import ExponentialDistribution
+from repro.catalog.relation import Relation
+from repro.catalog.schema import Schema
+from repro.query.parser import parse_sql
+from repro.query.query import Query
+
+__all__ = ["TPCH_LITE_SQL", "tpch_lite_queries", "tpch_lite_schema"]
+
+# Relation cardinalities, ~1/10th of TPC-H scale factor 1 for the big
+# tables (full-size cardinalities would be fine for optimization — no data
+# is materialized — but these keep estimate-validation runs executable).
+_REGION = 5
+_NATION = 25
+_SUPPLIER = 1_000
+_CUSTOMER = 15_000
+_PART = 20_000
+_PARTSUPP = 80_000
+_ORDERS = 150_000
+_LINEITEM = 600_000
+
+#: Days in the benchmark's 1992-1998 date range, as an integer domain.
+_DATES = 2_406
+
+_SKEW = ExponentialDistribution(decay=0.6)
+
+
+def tpch_lite_schema() -> Schema:
+    """Build the TPC-H-lite :class:`~repro.catalog.Schema`.
+
+    Deterministic — no seeds, no randomness: every call returns an equal
+    schema named ``"tpch-lite"``.
+    """
+    relations = (
+        Relation(
+            "region",
+            _REGION,
+            (
+                Column("r_regionkey", _REGION),
+                Column("r_name", _REGION, width=16),
+            ),
+            (Index("r_regionkey"),),
+        ),
+        Relation(
+            "nation",
+            _NATION,
+            (
+                Column("n_nationkey", _NATION),
+                Column("n_regionkey", _REGION),
+                Column("n_name", _NATION, width=16),
+            ),
+            (Index("n_nationkey"), Index("n_regionkey")),
+        ),
+        Relation(
+            "supplier",
+            _SUPPLIER,
+            (
+                Column("s_suppkey", _SUPPLIER),
+                Column("s_nationkey", _NATION),
+                Column("s_acctbal", 10_000, distribution=_SKEW),
+            ),
+            (Index("s_suppkey"), Index("s_nationkey")),
+        ),
+        Relation(
+            "customer",
+            _CUSTOMER,
+            (
+                Column("c_custkey", _CUSTOMER),
+                Column("c_nationkey", _NATION),
+                Column("c_acctbal", 10_000, distribution=_SKEW),
+                Column("c_mktsegment", 5, width=10, distribution=_SKEW),
+            ),
+            (Index("c_custkey"), Index("c_nationkey")),
+        ),
+        Relation(
+            "part",
+            _PART,
+            (
+                Column("p_partkey", _PART),
+                Column("p_brand", 25, width=10),
+                Column("p_size", 50),
+                Column("p_retailprice", 20_000, distribution=_SKEW),
+            ),
+            (Index("p_partkey"),),
+        ),
+        Relation(
+            "partsupp",
+            _PARTSUPP,
+            (
+                Column("ps_partkey", _PART),
+                Column("ps_suppkey", _SUPPLIER),
+                Column("ps_availqty", 10_000),
+                Column("ps_supplycost", 1_000, distribution=_SKEW),
+            ),
+            (Index("ps_partkey"), Index("ps_suppkey")),
+        ),
+        Relation(
+            "orders",
+            _ORDERS,
+            (
+                Column("o_orderkey", _ORDERS),
+                Column("o_custkey", _CUSTOMER),
+                Column("o_orderdate", _DATES),
+                Column("o_totalprice", _ORDERS, distribution=_SKEW),
+                Column("o_orderpriority", 5, width=15),
+            ),
+            (Index("o_orderkey"), Index("o_custkey")),
+        ),
+        Relation(
+            "lineitem",
+            _LINEITEM,
+            (
+                Column("l_orderkey", _ORDERS),
+                Column("l_partkey", _PART),
+                Column("l_suppkey", _SUPPLIER),
+                Column("l_quantity", 50),
+                Column("l_extendedprice", 100_000, distribution=_SKEW),
+                Column("l_discount", 11),
+                Column("l_shipdate", _DATES),
+            ),
+            (Index("l_orderkey"), Index("l_partkey"), Index("l_suppkey")),
+        ),
+    )
+    return Schema(relations, name="tpch-lite")
+
+
+#: The query templates: ``(label, SQL text)`` pairs, 2-way through 8-way.
+TPCH_LITE_SQL: tuple[tuple[str, str], ...] = (
+    (
+        "region-nations",
+        "SELECT * FROM region, nation"
+        " WHERE nation.n_regionkey = region.r_regionkey",
+    ),
+    (
+        "suppliers-by-region",
+        "SELECT * FROM region, nation, supplier"
+        " WHERE supplier.s_nationkey = nation.n_nationkey"
+        " AND nation.n_regionkey = region.r_regionkey"
+        " AND region.r_regionkey = 2",
+    ),
+    (
+        "big-customer-orders",
+        "SELECT * FROM customer, orders"
+        " WHERE orders.o_custkey = customer.c_custkey"
+        " AND orders.o_totalprice > 100000"
+        " ORDER BY orders.o_custkey",
+    ),
+    (
+        "shipping-priority",
+        "SELECT * FROM customer, orders, lineitem"
+        " WHERE customer.c_custkey = orders.o_custkey"
+        " AND lineitem.l_orderkey = orders.o_orderkey"
+        " AND customer.c_mktsegment = 1"
+        " AND orders.o_orderdate < 1200"
+        " ORDER BY orders.o_orderdate",
+    ),
+    (
+        "order-lineitems-ordered",
+        "SELECT * FROM orders, lineitem"
+        " WHERE lineitem.l_orderkey = orders.o_orderkey"
+        " ORDER BY orders.o_orderkey",
+    ),
+    (
+        "parts-suppliers",
+        "SELECT * FROM part, partsupp, supplier"
+        " WHERE partsupp.ps_partkey = part.p_partkey"
+        " AND partsupp.ps_suppkey = supplier.s_suppkey"
+        " AND part.p_size = 15"
+        " AND partsupp.ps_supplycost < 300",
+    ),
+    (
+        "min-cost-supplier",
+        "SELECT * FROM part, partsupp, supplier, nation, region"
+        " WHERE partsupp.ps_partkey = part.p_partkey"
+        " AND partsupp.ps_suppkey = supplier.s_suppkey"
+        " AND supplier.s_nationkey = nation.n_nationkey"
+        " AND nation.n_regionkey = region.r_regionkey"
+        " AND part.p_size = 15"
+        " AND region.r_regionkey = 3"
+        " ORDER BY supplier.s_suppkey",
+    ),
+    (
+        "national-market",
+        "SELECT * FROM customer, orders, lineitem, nation"
+        " WHERE customer.c_custkey = orders.o_custkey"
+        " AND lineitem.l_orderkey = orders.o_orderkey"
+        " AND customer.c_nationkey = nation.n_nationkey"
+        " AND lineitem.l_discount <= 5",
+    ),
+    (
+        "volume-shipping",
+        "SELECT * FROM supplier, lineitem, orders, customer, nation, region"
+        " WHERE supplier.s_suppkey = lineitem.l_suppkey"
+        " AND lineitem.l_orderkey = orders.o_orderkey"
+        " AND orders.o_custkey = customer.c_custkey"
+        " AND customer.c_nationkey = nation.n_nationkey"
+        " AND nation.n_regionkey = region.r_regionkey"
+        " AND lineitem.l_shipdate > 1000",
+    ),
+    (
+        "market-share",
+        "SELECT * FROM part, partsupp, supplier, lineitem, orders,"
+        " customer, nation, region"
+        " WHERE partsupp.ps_partkey = part.p_partkey"
+        " AND partsupp.ps_suppkey = supplier.s_suppkey"
+        " AND lineitem.l_partkey = part.p_partkey"
+        " AND lineitem.l_suppkey = supplier.s_suppkey"
+        " AND lineitem.l_orderkey = orders.o_orderkey"
+        " AND orders.o_custkey = customer.c_custkey"
+        " AND customer.c_nationkey = nation.n_nationkey"
+        " AND nation.n_regionkey = region.r_regionkey"
+        " AND part.p_size < 25"
+        " AND orders.o_orderdate >= 800",
+    ),
+    (
+        "promo-parts",
+        "SELECT * FROM part, lineitem"
+        " WHERE lineitem.l_partkey = part.p_partkey"
+        " AND part.p_brand = 12"
+        " AND lineitem.l_quantity < 25",
+    ),
+    (
+        "top-suppliers-ordered",
+        "SELECT * FROM supplier, lineitem, orders"
+        " WHERE supplier.s_suppkey = lineitem.l_suppkey"
+        " AND lineitem.l_orderkey = orders.o_orderkey"
+        " AND orders.o_orderdate >= 1800"
+        " ORDER BY supplier.s_suppkey",
+    ),
+    (
+        "nation-suppliers-ordered",
+        "SELECT * FROM nation, supplier"
+        " WHERE supplier.s_nationkey = nation.n_nationkey"
+        " AND supplier.s_acctbal > 5000"
+        " ORDER BY supplier.s_suppkey",
+    ),
+)
+
+
+def tpch_lite_queries(schema: Schema | None = None) -> tuple[Query, ...]:
+    """Parse every template into a :class:`~repro.query.Query`.
+
+    Args:
+        schema: Parse target; a fresh :func:`tpch_lite_schema` when
+            omitted. Pass your own to share one schema object across the
+            workload and its statistics.
+    """
+    if schema is None:
+        schema = tpch_lite_schema()
+    return tuple(
+        parse_sql(schema, sql, label=label) for label, sql in TPCH_LITE_SQL
+    )

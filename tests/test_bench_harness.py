@@ -36,11 +36,12 @@ def test_bench_harness_end_to_end(tmp_path):
         [sys.executable, HARNESS, "--repeats", "1", "--output", str(output)],
         capture_output=True,
         text=True,
-        timeout=120,
+        timeout=600,
     )
     elapsed = time.perf_counter() - started
     assert completed.returncode == 0, completed.stderr
-    assert elapsed < 60.0, f"harness smoke run took {elapsed:.1f}s"
+    # The big single-query parallel arms dominate; generous but bounded.
+    assert elapsed < 300.0, f"harness smoke run took {elapsed:.1f}s"
 
     report = json.loads(output.read_text())
     benches = report["benchmarks"]
@@ -48,7 +49,11 @@ def test_bench_harness_end_to_end(tmp_path):
         "dp_star_12",
         "sdp_star_25",
         "grid_workers",
+        "dp_star_15_parallel",
+        "sdp_star_50_parallel",
         "plan_cache",
+        "sql_workload",
+        "frontdoor_load",
     }
     # Search counters are deterministic: they only move when the search
     # itself changes, so the smoke run pins them.
@@ -154,6 +159,54 @@ class TestCompareReports:
         )
         assert any("plan_cache" in p for p in problems)
 
+    def _sql_workload_arm(self, **overrides):
+        arm = {
+            "templates": 1,
+            "techniques": ["DP", "SDP"],
+            "sql_equals_query_path": True,
+            "queries": {
+                "q1": {
+                    "DP": {"plans_costed": 10, "cost": 1.0, "ratio_to_dp": 1.0},
+                    "SDP": {"plans_costed": 8, "cost": 1.2, "ratio_to_dp": 1.2},
+                }
+            },
+        }
+        for path, value in overrides.items():
+            technique, key = path.split(".")
+            arm["queries"]["q1"][technique][key] = value
+        return arm
+
+    def test_sql_workload_absent_in_baseline_is_fine(self):
+        current = self._report()
+        current["benchmarks"]["sql_workload"] = self._sql_workload_arm()
+        assert compare_reports(self._report(), current) == []
+
+    def test_sql_workload_entry_path_divergence_is_flagged(self):
+        current = self._report()
+        current["benchmarks"]["sql_workload"] = self._sql_workload_arm()
+        current["benchmarks"]["sql_workload"]["sql_equals_query_path"] = False
+        problems = compare_reports(self._report(), current)
+        assert any("SQL text diverged" in p for p in problems)
+
+    def test_sql_workload_heuristic_beating_dp_is_flagged(self):
+        current = self._report()
+        current["benchmarks"]["sql_workload"] = self._sql_workload_arm(
+            **{"SDP.ratio_to_dp": 0.9}
+        )
+        problems = compare_reports(self._report(), current)
+        assert any("cheaper than exhaustive DP" in p for p in problems)
+
+    def test_sql_workload_drift_against_baseline_is_flagged(self):
+        baseline = self._report()
+        baseline["benchmarks"]["sql_workload"] = self._sql_workload_arm()
+        current = self._report()
+        current["benchmarks"]["sql_workload"] = self._sql_workload_arm(
+            **{"SDP.plans_costed": 9, "DP.cost": 1.1}
+        )
+        problems = compare_reports(baseline, current)
+        assert any("q1/SDP: plans_costed drifted" in p for p in problems)
+        assert any("q1/DP: cost drifted" in p for p in problems)
+
 
 def test_committed_report_matches_current_counters():
     """The committed BENCH_optimize.json must track the current search."""
@@ -161,3 +214,11 @@ def test_committed_report_matches_current_counters():
     assert benches["dp_star_12"]["plans_costed"] == 78871
     assert benches["sdp_star_25"]["plans_costed"] == 157472
     assert benches["grid_workers"]["identical_outcomes"] is True
+    sqlw = benches["sql_workload"]
+    assert sqlw["templates"] == 13
+    assert sqlw["sql_equals_query_path"] is True
+    assert all(
+        arm["ratio_to_dp"] >= 1.0
+        for arms in sqlw["queries"].values()
+        for arm in arms.values()
+    )

@@ -135,6 +135,82 @@ class TestFacade:
                 repro.optimize(query, service=service, **kwargs)
 
 
+class TestSqlFirst:
+    def _sql(self, small_schema):
+        names = small_schema.relation_names
+        return (
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c3 < 40 ORDER BY {names[1]}.c2"
+        )
+
+    def test_sql_text_matches_parsed_query(self, small_schema, small_stats):
+        sql = self._sql(small_schema)
+        query = repro.parse_sql(small_schema, sql)
+        from_sql = repro.optimize(sql, schema=small_schema, stats=small_stats)
+        from_query = repro.optimize(query, stats=small_stats)
+        assert from_sql.cost == from_query.cost
+        assert from_sql.plans_costed == from_query.plans_costed
+        assert repr(from_sql.plan) == repr(from_query.plan)
+
+    def test_selection_free_sql_matches_too(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 6)
+        sql = repro.render_sql(query)
+        from_sql = repro.optimize(sql, schema=small_schema, stats=small_stats)
+        from_query = repro.optimize(query, stats=small_stats)
+        assert from_sql.cost == from_query.cost
+        assert from_sql.plans_costed == from_query.plans_costed
+
+    def test_provenance_attached(self, small_schema, small_stats):
+        sql = self._sql(small_schema)
+        result = repro.optimize(sql, schema=small_schema, stats=small_stats)
+        assert result.sql == sql
+        assert result.query is not None
+        assert result.query.selections and result.query.order_by
+        assert repro.explain(result.tree())  # no query argument needed
+        from_query = repro.optimize(
+            repro.parse_sql(small_schema, sql), stats=small_stats
+        )
+        assert from_query.sql is None
+        assert from_query.query is not None
+
+    def test_text_without_parse_target_rejected(self, small_schema):
+        with pytest.raises(OptimizationError, match="parse target"):
+            repro.optimize(self._sql(small_schema))
+
+    def test_schema_with_query_rejected(self, small_schema, small_stats):
+        query = make_star_query(small_schema, 5)
+        with pytest.raises(OptimizationError, match="SQL text"):
+            repro.optimize(query, schema=small_schema, stats=small_stats)
+
+    def test_malformed_sql_raises_query_error(self, small_schema):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            repro.optimize("SELECT FROM WHERE", schema=small_schema)
+
+    def test_text_through_service(self, small_schema):
+        sql = self._sql(small_schema)
+        service = repro.OptimizationService(technique="SDP")
+        service.analyze(small_schema)
+        cold = repro.optimize(sql, service=service)
+        warm = repro.optimize(sql, service=service)
+        assert not cold.cache_hit and warm.cache_hit
+        assert cold.sql == warm.sql == sql
+        assert warm.query is not None
+
+    def test_result_without_provenance_needs_query_for_tree(
+        self, small_schema, small_stats
+    ):
+        query = make_star_query(small_schema, 5)
+        result = repro.SDPOptimizer().optimize(query, small_stats)
+        if result.query is None:
+            with pytest.raises(OptimizationError):
+                result.tree()
+        else:
+            assert result.tree() is not None
+
+
 class TestPlanResultProtocol:
     def test_every_path_satisfies_protocol(self, small_schema, small_stats):
         query = make_star_query(small_schema, 6)

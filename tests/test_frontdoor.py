@@ -319,6 +319,52 @@ class TestFrontDoorServing:
         with pytest.raises(ServiceError):
             door.submit(query)
 
+
+class TestFrontDoorSql:
+    def _analyzed_service(self, small_schema):
+        svc = OptimizationService(
+            technique="SDP", budget=SearchBudget(max_seconds=10.0)
+        )
+        svc.analyze(small_schema)
+        return svc
+
+    def _sql(self, small_schema):
+        names = small_schema.relation_names
+        return (
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 AND {names[0]}.c3 < 40"
+        )
+
+    def test_sql_submission_matches_query_path(self, small_schema):
+        from repro.query import parse_sql
+
+        sql = self._sql(small_schema)
+        svc = self._analyzed_service(small_schema)
+        config = FrontDoorConfig(workers=2, cooldown_seconds=60.0)
+        with FrontDoor(svc, config) as door:
+            from_sql = door.optimize(sql)
+            from_query = door.optimize(parse_sql(small_schema, sql))
+            assert from_sql.result.cost == from_query.result.cost
+            assert from_sql.result.sql == sql
+            assert from_sql.result.query is not None
+            # Same canonical form: the second submission is a warm hit.
+            assert from_query.result.cache_hit
+
+    def test_malformed_sql_rejected_at_admission(self, small_schema):
+        from repro.errors import QueryError
+
+        svc = self._analyzed_service(small_schema)
+        with FrontDoor(svc) as door:
+            with pytest.raises(QueryError):
+                door.submit("SELECT * FROM nope WHERE")
+        assert door.stats().admitted == 0
+
+    def test_sql_needs_analyzed_schema(self, service, small_schema):
+        # The shared fixture installs statistics but never a schema.
+        with FrontDoor(service) as door:
+            with pytest.raises(ServiceError, match="schema"):
+                door.submit(self._sql(small_schema))
+
     def test_submit_after_close_is_typed_shutdown(self, service, query):
         door = FrontDoor(service).start()
         door.close()

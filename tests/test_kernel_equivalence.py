@@ -161,6 +161,62 @@ def test_parallel_env_kernel_dp_identical(eq_schema, eq_stats):
     assert parallel.jcrs_created == fast.jcrs_created
 
 
+# SQL-first coverage: the same three-kernel contract on queries carrying
+# selections and interesting orders. The labels pick the plan-space
+# features apart: an equality selection, selections plus an unindexed
+# non-join ORDER BY (enforcer sort only), a range selection plus a
+# join-column ORDER BY (order propagation through joins), and a
+# selection plus an indexed non-join ORDER BY (the ordered-index-scan
+# access path).
+SQL_LABELS = (
+    "suppliers-by-region",
+    "shipping-priority",
+    "big-customer-orders",
+    "nation-suppliers-ordered",
+)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    from repro.workloads import tpch_lite_queries, tpch_lite_schema
+
+    schema = tpch_lite_schema()
+    queries = {q.label: q for q in tpch_lite_queries(schema)}
+    return schema, analyze(schema), queries
+
+
+@pytest.mark.parametrize("label", SQL_LABELS)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_kernels_agree_on_selections_and_orders(label, technique, tpch):
+    _, stats, queries = tpch
+    query = queries[label]
+    fast = run(technique, query, stats, "fast")
+    reference = run(technique, query, stats, "reference")
+    tag = f"{technique} {label}"
+    assert fast.cost == reference.cost, tag
+    assert fast.rows == reference.rows, tag
+    assert serialize(fast.plan) == serialize(reference.plan), tag
+    assert fast.plans_costed == reference.plans_costed, tag
+    assert fast.jcrs_created == reference.jcrs_created, tag
+    assert fast.jcrs_pruned == reference.jcrs_pruned, tag
+
+
+@pytest.mark.parametrize("label", SQL_LABELS)
+@pytest.mark.parametrize("technique", ("DP", "SDP"))
+def test_parallel_driver_agrees_on_selections_and_orders(label, technique, tpch):
+    _, stats, queries = tpch
+    query = queries[label]
+    serial = make_optimizer(technique, budget=BUDGET).optimize(query, stats)
+    for workers in (1, 2):
+        parallel = make_optimizer(
+            technique, budget=BUDGET, workers=workers
+        ).optimize(query, stats)
+        tag = f"{technique} {label} workers={workers}"
+        assert parallel.cost == serial.cost, tag
+        assert serialize(parallel.plan) == serialize(serial.plan), tag
+        assert parallel.plans_costed == serial.plans_costed, tag
+
+
 def test_kernel_env_selects_reference(monkeypatch):
     monkeypatch.setenv("REPRO_KERNEL", "reference")
     assert kernel_name() == "reference"

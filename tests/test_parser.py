@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.bench.workloads import WorkloadSpec, make_query
 from repro.errors import QueryError
+from repro.query import SELECTION_OPS, Query, Selection
 from repro.query.parser import parse_sql
 from repro.query.sql import render_sql
 
@@ -83,6 +86,121 @@ class TestParseBasics:
             f"WHERE {names[0]}.c1 = {names[1]}.c2",
         )
         assert query.label.startswith("SELECT")
+
+
+class TestSelections:
+    @pytest.mark.parametrize("op", sorted(SELECTION_OPS))
+    def test_every_operator_parses(self, small_schema, op):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c3 {op} 42",
+        )
+        assert query.selections == (Selection(names[0], "c3", op, 42.0),)
+
+    def test_not_equal_spellings_canonicalize(self, small_schema):
+        names = small_schema.relation_names
+        base = (
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 AND {names[0]}.c3 "
+        )
+        a = parse_sql(small_schema, base + "<> 7")
+        b = parse_sql(small_schema, base + "!= 7")
+        assert a.selections == b.selections
+        assert a.selections[0].op == "!="
+
+    def test_values_are_floats(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c3 < 12.5 AND {names[1]}.c4 >= 3",
+        )
+        values = [s.value for s in query.selections]
+        assert values == [12.5, 3.0]
+        assert all(isinstance(v, float) for v in values)
+
+    def test_selections_of_groups_by_relation(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c3 < 10 AND {names[0]}.c4 > 2",
+        )
+        assert len(query.selections_of(names[0])) == 2
+        assert query.selections_of(names[1]) == ()
+
+    def test_selection_unknown_column_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="unknown column"):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[1]}.c2 AND {names[0]}.zz < 5",
+            )
+
+    def test_selection_relation_not_in_from_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="not listed in FROM"):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[1]}.c2 AND {names[2]}.c3 < 5",
+            )
+
+    def test_column_to_column_inequality_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="equi-joins"):
+            parse_sql(
+                small_schema,
+                f"SELECT * FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 < {names[1]}.c2",
+            )
+
+    def test_selection_round_trips(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c3 <= 99.5 AND {names[1]}.c4 != 3",
+        )
+        parsed = parse_sql(small_schema, render_sql(query))
+        assert parsed.selections == query.selections
+
+
+class TestProjectionValidation:
+    def test_unknown_projected_column_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="SELECT references unknown column"):
+            parse_sql(
+                small_schema,
+                f"SELECT {names[0]}.zz FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[1]}.c2",
+            )
+
+    def test_projected_relation_not_in_from_rejected(self, small_schema):
+        names = small_schema.relation_names
+        with pytest.raises(QueryError, match="not listed in FROM"):
+            parse_sql(
+                small_schema,
+                f"SELECT {names[2]}.c1 FROM {names[0]}, {names[1]} "
+                f"WHERE {names[0]}.c1 = {names[1]}.c2",
+            )
+
+    def test_valid_projection_still_accepted(self, small_schema):
+        names = small_schema.relation_names
+        query = parse_sql(
+            small_schema,
+            f"SELECT {names[0]}.c1, {names[1]}.c2 "
+            f"FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2",
+        )
+        assert query.relation_count == 2
 
 
 class TestParseErrors:
@@ -168,3 +286,69 @@ class TestRoundTrip:
         parsed = parse_sql(schema, render_sql(original))
         result = SDPOptimizer().optimize(parsed, stats)
         assert result.cost > 0
+
+
+class TestRoundTripProperty:
+    """``parse_sql(schema, render_sql(q))`` is equivalent to ``q``.
+
+    Randomized queries over the paper's topologies, decorated with random
+    selections (any relation/column/op, integral and fractional constants)
+    and a random ORDER BY (absent, join column, or arbitrary column) —
+    the parse must reproduce the join graph, the selections, and the
+    ORDER BY exactly.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_round_trip_equivalent(self, small_schema, data):
+        topology = data.draw(
+            st.sampled_from(["chain", "star", "clique"]), label="topology"
+        )
+        size = data.draw(st.integers(3, 6), label="size")
+        instance = data.draw(st.integers(0, 2), label="instance")
+        base = make_query(
+            WorkloadSpec(topology, size, seed=5), small_schema, instance
+        )
+        names = base.graph.relation_names
+
+        selections = []
+        for _ in range(data.draw(st.integers(0, 3), label="n_selections")):
+            rel = data.draw(st.sampled_from(list(names)))
+            columns = [
+                c.name for c in small_schema.relation(rel).columns
+            ]
+            column = data.draw(st.sampled_from(columns))
+            op = data.draw(st.sampled_from(sorted(SELECTION_OPS)))
+            # Quarter-integers in [0, 10000]: round-trip exactly through
+            # the renderer's decimal format (no exponents, no negatives —
+            # the grammar has neither).
+            value = data.draw(st.integers(0, 40_000)) / 4
+            selections.append(Selection(rel, column, op, value))
+
+        order_by = None
+        order_kind = data.draw(
+            st.sampled_from(["none", "join", "any"]), label="order_kind"
+        )
+        if order_kind == "join":
+            pred = data.draw(st.sampled_from(list(base.graph.predicates)))
+            order_by = (names[pred.left], pred.left_column)
+        elif order_kind == "any":
+            rel = data.draw(st.sampled_from(list(names)))
+            columns = [c.name for c in small_schema.relation(rel).columns]
+            order_by = (rel, data.draw(st.sampled_from(columns)))
+
+        original = Query(
+            small_schema,
+            base.graph,
+            selections=tuple(selections),
+            order_by=order_by,
+        )
+        parsed = parse_sql(small_schema, render_sql(original))
+
+        assert set(parsed.graph.relation_names) == set(names)
+        assert _predicate_set(parsed) == _predicate_set(original)
+        key = lambda s: (s.relation, s.column, s.op, s.value)  # noqa: E731
+        assert sorted(parsed.selections, key=key) == sorted(
+            original.selections, key=key
+        )
+        assert parsed.order_by == original.order_by

@@ -98,6 +98,70 @@ class TestFingerprint:
         assert components[1] == tuple(sorted(components[1]))
 
 
+class TestFingerprintSelections:
+    """Selections are significant, but constants are bucketed."""
+
+    def _selected(self, small_schema, op, value):
+        from repro.query import Selection
+
+        base = make_star_query(small_schema, 4)
+        rel = base.graph.relation_names[0]
+        column = small_schema.relation(rel).columns[0].name
+        return Query(
+            small_schema,
+            base.graph,
+            selections=(Selection(rel, column, op, value),),
+        )
+
+    def test_selections_are_significant(self, small_schema):
+        plain = make_star_query(small_schema, 4)
+        selected = self._selected(small_schema, "<", 10.0)
+        assert query_fingerprint(plain) != query_fingerprint(selected)
+
+    def test_selection_op_is_significant(self, small_schema):
+        lt = self._selected(small_schema, "<", 10.0)
+        ge = self._selected(small_schema, ">=", 10.0)
+        assert query_fingerprint(lt) != query_fingerprint(ge)
+
+    def test_equality_constants_collapse(self, small_schema):
+        a = self._selected(small_schema, "=", 1.0)
+        b = self._selected(small_schema, "=", 999.0)
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_range_constants_bucket(self, small_schema):
+        base = make_star_query(small_schema, 4)
+        rel = base.graph.relation_names[0]
+        column = small_schema.relation(rel).columns[0]
+        domain = column.domain_size
+        # Same 1/16th-of-domain bucket: aliases. Opposite end: differs.
+        near = self._selected(small_schema, "<", domain / 32)
+        nearer = self._selected(small_schema, "<", domain / 33)
+        far = self._selected(small_schema, "<", domain / 2)
+        assert query_fingerprint(near) == query_fingerprint(nearer)
+        assert query_fingerprint(near) != query_fingerprint(far)
+
+    def test_selections_precede_order_by_component(self, small_schema):
+        from repro.query import Selection
+        from repro.service.fingerprint import selection_bucket
+
+        base = make_star_query(small_schema, 4)
+        rel = base.graph.relation_names[0]
+        pred = base.graph.predicates[0]
+        order_rel = base.graph.relation_names[pred.left]
+        column = small_schema.relation(rel).columns[0].name
+        query = Query(
+            small_schema,
+            base.graph,
+            selections=(Selection(rel, column, "<", 10.0),),
+            order_by=(order_rel, pred.left_column),
+        )
+        components = fingerprint_components(query)
+        # ORDER BY stays the last component; selections ride just before.
+        assert components[-1] == f"{order_rel}.{pred.left_column}"
+        bucket = selection_bucket(query, query.selections[0])
+        assert components[-2] == ((f"{rel}.{column}", "<", bucket),)
+
+
 # ---------------------------------------------------------------------------
 # PlanCache
 # ---------------------------------------------------------------------------
@@ -211,6 +275,74 @@ class TestOptimizationService:
             with pytest.raises(OptimizationBudgetExceeded):
                 service.optimize(query)
         assert len(service.cache) == 0
+
+
+class TestServiceSql:
+    """SQL text through the service: parse target, provenance, caching."""
+
+    def _sql(self, schema, constant=100_000):
+        names = schema.relation_names
+        return (
+            f"SELECT * FROM {names[0]}, {names[1]} "
+            f"WHERE {names[0]}.c1 = {names[1]}.c2 "
+            f"AND {names[0]}.c1 < {constant}"
+        )
+
+    def test_sql_matches_query_path(self, small_schema):
+        from repro.query import parse_sql
+
+        service = OptimizationService(technique="SDP")
+        service.analyze(small_schema)
+        sql = self._sql(small_schema)
+        from_sql = service.optimize(sql)
+        service.cache.invalidate()
+        from_query = service.optimize(parse_sql(small_schema, sql))
+        assert from_sql.cost == from_query.cost
+        assert from_sql.plans_costed == from_query.plans_costed
+        assert repr(from_sql.plan) == repr(from_query.plan)
+
+    def test_sql_provenance_attached(self, small_schema):
+        service = OptimizationService(technique="SDP")
+        service.analyze(small_schema)
+        sql = self._sql(small_schema)
+        cold = service.optimize(sql)
+        assert cold.sql == sql
+        assert cold.query is not None
+        assert cold.query.selections
+        assert cold.tree() is not None  # no query argument needed
+        warm = service.optimize(sql)
+        assert warm.cache_hit and warm.sql == sql and warm.query is not None
+
+    def test_constants_in_same_bucket_hit_warm_cache(self, small_schema):
+        names = small_schema.relation_names
+        domain = small_schema.relation(names[0]).columns[0].domain_size
+        service = OptimizationService(technique="SDP")
+        service.analyze(small_schema)
+        cold = service.optimize(self._sql(small_schema, domain // 32))
+        warm = service.optimize(self._sql(small_schema, domain // 32 + 1))
+        assert not cold.cache_hit and warm.cache_hit
+        # The hit still reports its own submission, not the cached one's.
+        assert warm.sql != cold.sql
+        assert warm.query.selections[0].value != cold.query.selections[0].value
+
+    def test_sql_without_schema_rejected(self, small_schema, small_stats):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)  # stats, but no schema
+        with pytest.raises(ServiceError, match="schema"):
+            service.optimize(self._sql(small_schema))
+
+    def test_explicit_schema_kwarg_parses_text(self, small_schema, small_stats):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        result = service.optimize(self._sql(small_schema), schema=small_schema)
+        assert result.cost > 0
+
+    def test_schema_kwarg_with_query_rejected(self, small_schema, small_stats):
+        service = OptimizationService(technique="SDP")
+        service.install_statistics(small_stats)
+        query = make_star_query(small_schema, 4)
+        with pytest.raises(ServiceError, match="SQL text"):
+            service.optimize(query, schema=small_schema)
 
 
 # ---------------------------------------------------------------------------
