@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge verification: static analysis, the tier-1 test suite,
 # the parallel-kernel identity smoke, the SQL workload smoke, the
-# hot-path regression guard, and the front-door overload smoke, in
-# fail-fast order (cheapest first).
+# dpconv kernel/hybrid-bound smoke, the hot-path regression guard, and
+# the front-door overload smoke, in fail-fast order (cheapest first).
 #
 #   scripts/verify.sh            # from the repo root
 #
@@ -14,13 +14,13 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/6 static analysis (python -m repro.lint) =="
+echo "== 1/7 static analysis (python -m repro.lint) =="
 python -m repro.lint src/
 
-echo "== 2/6 tier-1 tests (pytest) =="
+echo "== 2/7 tier-1 tests (pytest) =="
 python -m pytest
 
-echo "== 3/6 parallel-kernel smoke (2-worker pool vs serial) =="
+echo "== 3/7 parallel-kernel smoke (2-worker pool vs serial) =="
 python - <<'SMOKE'
 import glob
 
@@ -49,7 +49,7 @@ assert not leftovers, f"shared-memory leak: {leftovers}"
 print("  /dev/shm clean")
 SMOKE
 
-echo "== 4/6 SQL workload smoke (TPC-H-lite through the front door) =="
+echo "== 4/7 SQL workload smoke (TPC-H-lite through the front door) =="
 python - <<'SMOKE'
 import repro
 from repro.plans.validate import validate_plan
@@ -67,10 +67,53 @@ for (label, sql), query in zip(repro.TPCH_LITE_SQL,
           f"(cost={from_sql.cost:.1f}, plans_costed={from_sql.plans_costed})")
 SMOKE
 
-echo "== 5/6 hot-path regression guard (sdp-bench --check) =="
+echo "== 5/7 dpconv smoke (kernel identity under C_out + hybrid-bound SDP) =="
+python - <<'SMOKE'
+from repro.bench.workloads import WorkloadSpec, make_query
+from repro.catalog import SchemaBuilder, analyze
+from repro.core.base import SearchBudget
+from repro.core.registry import make_optimizer
+from repro.cost import COUT_COST_MODEL
+
+schema = SchemaBuilder(seed=7, relation_count=12, column_count=14,
+                       name="verify-dpconv-12").build()
+stats = analyze(schema)
+budget = SearchBudget(max_seconds=60.0)
+
+def serialize(plan):
+    children = tuple(serialize(c) for c in (plan.left, plan.right) if c)
+    return (plan.method, plan.mask, plan.rel, plan.order,
+            plan.rows, plan.cost, children)
+
+# The dpconv kernel must match exhaustive DP bit-for-bit under C_out.
+for spec in (WorkloadSpec("chain", 8), WorkloadSpec("star", 10)):
+    query = make_query(spec, schema, 0)
+    witness = make_optimizer("DP", budget=budget,
+                             cost_model=COUT_COST_MODEL).optimize(query, stats)
+    conv = make_optimizer("DPconv", budget=budget).optimize(query, stats)
+    assert conv.cost == witness.cost, (spec.label, conv.cost, witness.cost)
+    assert serialize(conv.plan) == serialize(witness.plan), spec.label
+    assert conv.plans_costed == witness.plans_costed, spec.label
+    print(f"  DPconv {spec.label}: identical to DP under C_out "
+          f"(cost={conv.cost:.1f}, plans_costed={conv.plans_costed})")
+
+# The convolution bound must be pruning-only: same plan, never more work.
+query = make_query(WorkloadSpec("star", 12), schema, 0)
+plain = make_optimizer("SDP", budget=budget).optimize(query, stats)
+bounded = make_optimizer("SDP", budget=budget,
+                         bound="dpconv").optimize(query, stats)
+assert bounded.cost == plain.cost, (bounded.cost, plain.cost)
+assert serialize(bounded.plan) == serialize(plain.plan)
+assert bounded.plans_costed < plain.plans_costed, (
+    bounded.plans_costed, plain.plans_costed)
+print(f"  SDP star-12 bound=dpconv: identical plan, plans_costed "
+      f"{plain.plans_costed} -> {bounded.plans_costed}")
+SMOKE
+
+echo "== 6/7 hot-path regression guard (sdp-bench --check) =="
 python -m repro.bench --check BENCH_optimize.json
 
-echo "== 6/6 overload smoke (pytest -m stress) =="
+echo "== 7/7 overload smoke (pytest -m stress) =="
 python -m pytest -m stress
 
 echo "verify: all stages passed"

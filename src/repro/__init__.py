@@ -53,6 +53,7 @@ from repro.catalog import (
     paper_schema,
 )
 from repro.core import (
+    DPconvOptimizer,
     DynamicProgrammingOptimizer,
     GeneticConfig,
     GeneticOptimizer,
@@ -74,9 +75,10 @@ from repro.core import (
     make_optimizer,
 )
 from repro.compare import compare_techniques
-from repro.cost import DEFAULT_COST_MODEL, CostModel
+from repro.cost import COUT_COST_MODEL, DEFAULT_COST_MODEL, CostModel
 from repro.errors import (
     AdmissionRejected,
+    DPconvUnsupportedError,
     FaultInjected,
     OptimizationBudgetExceeded,
     OptimizationCancelled,
@@ -156,11 +158,13 @@ __all__ = [
     # cost
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "COUT_COST_MODEL",
     # optimizers
     "Optimizer",
     "OptimizerResult",
     "SearchBudget",
     "DynamicProgrammingOptimizer",
+    "DPconvOptimizer",
     "IDPOptimizer",
     "IDPConfig",
     "IDP2Optimizer",
@@ -206,6 +210,7 @@ __all__ = [
     "OptimizationError",
     "OptimizationBudgetExceeded",
     "OptimizationCancelled",
+    "DPconvUnsupportedError",
     "FaultInjected",
     "AdmissionRejected",
     "TenantBudgetExhausted",

@@ -97,6 +97,7 @@ def optimize(
     cost_model: CostModel | None = None,
     service=None,
     workers: int | None = None,
+    bound: str | None = None,
 ) -> OptimizerResult:
     """Optimize ``query`` and return a plan — the package's front door.
 
@@ -135,6 +136,12 @@ def optimize(
             other techniques ignore it. ``workers=1`` runs the parallel
             driver in-process (bit-identical to serial); None keeps the
             ``REPRO_KERNEL``/``REPRO_WORKERS`` environment defaults.
+        bound: ``"dpconv"`` enables the admissible convolution lower
+            bound as pre-costing pruning in the level-synchronous
+            techniques (DP, the SDP variants, their rungs under
+            ``robust=True``). The final plan and cost are unchanged —
+            only ``plans_costed`` drops. A bound forces the serial
+            fast kernel for the call.
 
     Returns:
         An :class:`~repro.core.base.OptimizerResult` (or subclass)
@@ -165,11 +172,17 @@ def optimize(
         )
 
     if service is not None:
-        if robust or budget is not None or cost_model is not None or workers is not None:
+        if (
+            robust
+            or budget is not None
+            or cost_model is not None
+            or workers is not None
+            or bound is not None
+        ):
             raise OptimizationError(
                 "optimize(service=...) routes through the service's own "
-                "optimizer; robust/budget/cost_model/workers cannot be "
-                "overridden per call"
+                "optimizer; robust/budget/cost_model/workers/bound cannot "
+                "be overridden per call"
             )
         runner = lambda: service.optimize(query, stats)  # noqa: E731
     else:
@@ -191,12 +204,22 @@ def optimize(
             )
             if workers is not None:
                 optimizer.workers = workers
+            if bound is not None:
+                from repro.core.planspace import PLAN_SPACE_BOUNDS
+
+                if bound not in PLAN_SPACE_BOUNDS:
+                    raise OptimizationError(
+                        f"unknown pruning bound {bound!r} "
+                        f"(expected one of {PLAN_SPACE_BOUNDS})"
+                    )
+                optimizer.bound = bound
         else:
             optimizer = make_optimizer(
                 resolved,
                 budget=search_budget,
                 cost_model=cost_model,
                 workers=workers,
+                bound=bound,
             )
         runner = lambda: optimizer.optimize(query, stats)  # noqa: E731
 

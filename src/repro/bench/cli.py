@@ -6,6 +6,7 @@ Usage::
     sdp-bench table-1.1            # one experiment
     sdp-bench all                  # every experiment, in paper order
     sdp-bench table-3.1 --instances 30 --seed 7
+    sdp-bench --list-kernels       # costing kernels (REPRO_KERNEL values)
     sdp-bench --check BENCH_optimize.json   # hot-path regression guard
     sdp-bench lint [...]           # static analysis (see repro.lint)
 
@@ -39,6 +40,12 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="experiment id (e.g. table-1.1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--list-kernels",
+        action="store_true",
+        help="list the costing kernels accepted by REPRO_KERNEL (rendered "
+        "from the repro.core.kernel.KERNELS registry) and exit",
     )
     parser.add_argument(
         "--check",
@@ -182,6 +189,20 @@ def _run_check(baseline_path: str, repeats: int, workers: int | None) -> int:
             f"speedup={arm['speedup']} merge={arm['merge_seconds_total']}s "
             f"identical={arm['identical_outcomes']}{reason}"
         )
+    dpconv = current["benchmarks"].get("dpconv_exact")
+    if dpconv is not None:
+        print(
+            f"{'dpconv_exact':14s} speedup={dpconv['speedup_vs_dp_pg']} "
+            f"plans_ratio={dpconv['plans_costed_ratio_vs_dp_pg']} "
+            f"identical_to_dp_cout={dpconv['identical_to_dp_cout']}"
+        )
+    hybrid = current["benchmarks"].get("sdp_hybrid_bound")
+    if hybrid is not None:
+        print(
+            f"{'sdp_hybrid':14s} speedup={hybrid['speedup']} "
+            f"plans_ratio={hybrid['plans_costed_ratio']} "
+            f"identical_outcomes={hybrid['identical_outcomes']}"
+        )
     print(f"{'plan_cache':14s} speedup={current['benchmarks']['plan_cache']['speedup']}")
     sqlw = current["benchmarks"].get("sql_workload")
     if sqlw is not None:
@@ -215,6 +236,12 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.list_kernels:
+        from repro.core.kernel import KERNELS
+
+        for name, description in KERNELS.items():
+            print(f"{name:10s} {description}")
+        return 0
     if args.check is not None:
         return _run_check(args.check, args.repeats, args.workers)
     if args.experiment is None:

@@ -16,6 +16,13 @@ Times the scenarios this codebase optimizes hardest:
   vs N-worker medians, speedup, merge overhead, bit-identical counters,
   and the per-level span ``plans_costed``-sum contract (validated on a
   traced run);
+* ``dpconv_exact`` — the layered (min,+) convolution kernel
+  (``technique="DPconv"``) against exhaustive DP: default-model DP as the
+  frontier baseline, C_out-model DP as the bit-identity witness, with a
+  speedup floor and a plans_costed-ratio ceiling as the guard pair;
+* ``sdp_hybrid_bound`` — SDP with ``bound="dpconv"`` against plain SDP
+  on the wide 25-relation star: identical final cost and plan tree, a
+  >=20% ``plans_costed`` reduction, and no material slowdown;
 * ``plan_cache`` — cold vs. warm :class:`repro.service.OptimizationService`
   lookups on a repeated query;
 * ``sql_workload`` — the TPC-H-lite SQL suite (:mod:`repro.workloads`)
@@ -62,6 +69,7 @@ from repro.catalog.statistics import analyze
 from repro.core.base import SearchBudget
 from repro.core.kernel import resolve_workers
 from repro.core.registry import make_optimizer
+from repro.cost.model import COUT_COST_MODEL
 from repro.obs.names import SPAN_OPTIMIZE
 from repro.obs.runtime import capture
 from repro.service import OptimizationService
@@ -75,6 +83,22 @@ BUDGET = SearchBudget(max_seconds=120.0)
 #: Scenario medians may regress by at most this factor before the guard
 #: trips. Wall-clock is machine-dependent; counters are exact.
 TIME_REGRESSION_FACTOR = 2.5
+
+#: dpconv_exact guard pair: under C_out the exact frontier itself moves —
+#: one alternative per pair instead of the full join-method fan-out — so
+#: DPconv must beat default-model DP by a wide margin on both axes.
+#: (Seed host: speedup 2.5x, ratio 0.14.)
+DPCONV_MIN_SPEEDUP = 1.5
+DPCONV_MAX_PLANS_RATIO = 0.25
+
+#: sdp_hybrid_bound guard pair: the bound must skip a real share of the
+#: costing work (the issue's >=20% reduction bar) and must not slow the
+#: search down materially — computing floors for pairs it then fails to
+#: skip would show up here. The plans ratio is deterministic; wall-clock
+#: jitters around parity (seed host: 0.89x–1.12x across runs), so the
+#: speedup floor only catches a gross slowdown.
+HYBRID_MIN_SPEEDUP = 0.7
+HYBRID_MAX_PLANS_RATIO = 0.8
 
 
 def _timed(fn, repeats: int):
@@ -225,6 +249,127 @@ def bench_parallel_kernel(
         "plans_costed": serial.plans_costed,
         "span_plans_costed_sum": span_costed,
         "cost": serial.cost,
+        "identical_outcomes": identical,
+    }
+
+
+def _serialize_plan(plan) -> tuple:
+    """Recursive plan identity (shape, methods, numbers) for arm guards."""
+    children = tuple(
+        _serialize_plan(child)
+        for child in (plan.left, plan.right)
+        if child is not None
+    )
+    return (
+        plan.method,
+        plan.mask,
+        plan.rel,
+        plan.eclass,
+        plan.order,
+        plan.rows,
+        plan.cost,
+        children,
+    )
+
+
+def bench_dpconv_exact(schema, stats, repeats: int) -> dict:
+    """The dpconv convolution kernel against exhaustive DP on a star.
+
+    Three arms on the same query:
+
+    * ``dp_pg`` — DP under the default PostgreSQL-style model, the
+      baseline frontier;
+    * ``dp_cout`` — DP under the C_out model, the bit-identity witness
+      (same plan space the convolution searches);
+    * ``dpconv`` — ``technique="DPconv"``, the layered min-plus kernel.
+
+    Under C_out the exact frontier itself moves: a single alternative
+    per pair instead of the full join-method fan-out, so the speedup
+    and plans_costed ratio against ``dp_pg`` quantify what the regime
+    buys, while cost/plan/counter identity against ``dp_cout`` proves
+    the convolution searched the same space exactly.
+    """
+    query = make_query(WorkloadSpec("star", 12), schema, 0)
+
+    dp_pg_opt = make_optimizer("DP", budget=BUDGET)
+    pg_median, pg_samples, dp_pg = _timed(
+        lambda: dp_pg_opt.optimize(query, stats), repeats
+    )
+    dp_cout_opt = make_optimizer("DP", budget=BUDGET, cost_model=COUT_COST_MODEL)
+    _cout_median, _, dp_cout = _timed(
+        lambda: dp_cout_opt.optimize(query, stats), repeats
+    )
+    dpconv_opt = make_optimizer("DPconv", budget=BUDGET)
+    conv_median, conv_samples, dpconv = _timed(
+        lambda: dpconv_opt.optimize(query, stats), repeats
+    )
+
+    exact = (
+        dpconv.cost == dp_cout.cost
+        and _serialize_plan(dpconv.plan) == _serialize_plan(dp_cout.plan)
+        and dpconv.plans_costed == dp_cout.plans_costed
+        and dpconv.jcrs_created == dp_cout.jcrs_created
+    )
+    return {
+        "workload": "star-12",
+        "dp_pg_median_seconds": round(pg_median, 6),
+        "dp_pg_samples_seconds": [round(s, 6) for s in pg_samples],
+        "dp_pg_plans_costed": dp_pg.plans_costed,
+        "dp_pg_cost": dp_pg.cost,
+        "dpconv_median_seconds": round(conv_median, 6),
+        "dpconv_samples_seconds": [round(s, 6) for s in conv_samples],
+        "dpconv_plans_costed": dpconv.plans_costed,
+        "dpconv_cost": dpconv.cost,
+        "speedup_vs_dp_pg": round(pg_median / conv_median, 3)
+        if conv_median
+        else 0.0,
+        "plans_costed_ratio_vs_dp_pg": round(
+            dpconv.plans_costed / dp_pg.plans_costed, 4
+        ),
+        "identical_to_dp_cout": exact,
+    }
+
+
+def bench_sdp_hybrid_bound(schema, stats, repeats: int) -> dict:
+    """Plain SDP vs SDP with the convolution bound on the wide star-25.
+
+    The bound is admissible pruning, not a heuristic: the guard holds
+    the final cost and plan tree bit-identical while requiring a real
+    ``plans_costed`` reduction (the whole point of the hybrid) and no
+    material slowdown from computing the bound itself.
+    """
+    query = make_query(WorkloadSpec("star", 25), schema, 0)
+
+    plain_opt = make_optimizer("SDP", budget=BUDGET)
+    plain_median, plain_samples, plain = _timed(
+        lambda: plain_opt.optimize(query, stats), repeats
+    )
+    hybrid_opt = make_optimizer("SDP", budget=BUDGET, bound="dpconv")
+    hybrid_median, hybrid_samples, hybrid = _timed(
+        lambda: hybrid_opt.optimize(query, stats), repeats
+    )
+
+    identical = (
+        plain.cost == hybrid.cost
+        and _serialize_plan(plain.plan) == _serialize_plan(hybrid.plan)
+        and plain.jcrs_created == hybrid.jcrs_created
+    )
+    return {
+        "workload": "star-25",
+        "technique": "SDP",
+        "plain_median_seconds": round(plain_median, 6),
+        "plain_samples_seconds": [round(s, 6) for s in plain_samples],
+        "plain_plans_costed": plain.plans_costed,
+        "hybrid_median_seconds": round(hybrid_median, 6),
+        "hybrid_samples_seconds": [round(s, 6) for s in hybrid_samples],
+        "hybrid_plans_costed": hybrid.plans_costed,
+        "cost": plain.cost,
+        "speedup": round(plain_median / hybrid_median, 3)
+        if hybrid_median
+        else 0.0,
+        "plans_costed_ratio": round(
+            hybrid.plans_costed / plain.plans_costed, 4
+        ),
         "identical_outcomes": identical,
     }
 
@@ -409,6 +554,10 @@ def run_harness(repeats: int = 5, workers: int | None = None) -> dict:
                 wide50_stats,
                 1,
             ),
+            "dpconv_exact": bench_dpconv_exact(schema, stats, repeats),
+            "sdp_hybrid_bound": bench_sdp_hybrid_bound(
+                wide_schema, wide_stats, min(repeats, 3)
+            ),
             "plan_cache": bench_plan_cache(schema, stats, repeats),
             "sql_workload": bench_sql_workload(min(repeats, 3)),
             "frontdoor_load": bench_frontdoor(schema, stats),
@@ -516,6 +665,69 @@ def compare_reports(
                 f"{name}: in-process parallel driver overhead out of bounds "
                 f"(speedup {arm['speedup']}; partition+merge should be cheap)"
             )
+
+    # The convolution arms. Identity booleans and the speedup/ratio rule
+    # pairs are contracts of the current run; counters and costs are
+    # additionally held bit-exact against baselines that carry the arms
+    # (older baselines may predate them).
+    conv = cur.get("dpconv_exact")
+    if conv is not None:
+        if not conv["identical_to_dp_cout"]:
+            problems.append(
+                "dpconv_exact: DPconv diverged from exhaustive DP under "
+                "C_out (cost/plan/counters not identical)"
+            )
+        if conv["speedup_vs_dp_pg"] < DPCONV_MIN_SPEEDUP:
+            problems.append(
+                f"dpconv_exact: speedup {conv['speedup_vs_dp_pg']} vs "
+                f"default-model DP below {DPCONV_MIN_SPEEDUP}x"
+            )
+        if conv["plans_costed_ratio_vs_dp_pg"] > DPCONV_MAX_PLANS_RATIO:
+            problems.append(
+                f"dpconv_exact: plans_costed ratio "
+                f"{conv['plans_costed_ratio_vs_dp_pg']} above "
+                f"{DPCONV_MAX_PLANS_RATIO}"
+            )
+        conv_b = base.get("dpconv_exact")
+        if conv_b is not None:
+            for field in ("dpconv_plans_costed", "dpconv_cost"):
+                if conv[field] != conv_b[field]:
+                    problems.append(
+                        f"dpconv_exact: {field} drifted "
+                        f"{conv_b[field]!r} -> {conv[field]!r}"
+                    )
+    hybrid = cur.get("sdp_hybrid_bound")
+    if hybrid is not None:
+        if not hybrid["identical_outcomes"]:
+            problems.append(
+                "sdp_hybrid_bound: bounded SDP diverged from plain SDP "
+                "(cost/plan/jcrs not identical)"
+            )
+        if hybrid["hybrid_plans_costed"] >= hybrid["plain_plans_costed"]:
+            problems.append(
+                "sdp_hybrid_bound: the bound skipped nothing "
+                f"({hybrid['plain_plans_costed']} -> "
+                f"{hybrid['hybrid_plans_costed']})"
+            )
+        if hybrid["speedup"] < HYBRID_MIN_SPEEDUP:
+            problems.append(
+                f"sdp_hybrid_bound: speedup {hybrid['speedup']} below "
+                f"{HYBRID_MIN_SPEEDUP}x (bound overhead outweighs skips)"
+            )
+        if hybrid["plans_costed_ratio"] > HYBRID_MAX_PLANS_RATIO:
+            problems.append(
+                f"sdp_hybrid_bound: plans_costed ratio "
+                f"{hybrid['plans_costed_ratio']} above "
+                f"{HYBRID_MAX_PLANS_RATIO} (the >=20% reduction bar)"
+            )
+        hybrid_b = base.get("sdp_hybrid_bound")
+        if hybrid_b is not None:
+            for field in ("plain_plans_costed", "hybrid_plans_costed", "cost"):
+                if hybrid[field] != hybrid_b[field]:
+                    problems.append(
+                        f"sdp_hybrid_bound: {field} drifted "
+                        f"{hybrid_b[field]!r} -> {hybrid[field]!r}"
+                    )
 
     cache_c = cur["plan_cache"]
     if cache_c["speedup"] < 10.0:

@@ -26,6 +26,7 @@ from repro.core.base import (
 )
 from repro.core.dp import DynamicProgrammingOptimizer
 from repro.core.dpccp import connected_subgraphs, csg_cmp_pairs
+from repro.core.dpconv import DPconvOptimizer
 from repro.core.enumeration import level_pairs
 from repro.core.genetic import GeneticConfig, GeneticOptimizer
 from repro.core.greedy import GreedyOptimizer
@@ -48,6 +49,7 @@ __all__ = [
     "SearchBudget",
     "SearchCounters",
     "DynamicProgrammingOptimizer",
+    "DPconvOptimizer",
     "IDPOptimizer",
     "IDPConfig",
     "IDP2Optimizer",

@@ -336,6 +336,13 @@ class Optimizer(ABC):
     #: ``repro.optimize(workers=)``.
     workers: int | None = None
 
+    #: Pre-costing pruning bound; ``"dpconv"`` enables the admissible
+    #: convolution lower bound (identical final plan/cost, fewer plans
+    #: costed). Only the level-synchronous optimizers (DP, SDP) consult
+    #: it. Set via ``make_optimizer(bound=)`` / ``repro.optimize(bound=)``;
+    #: the robust ladder propagates it to every rung.
+    bound: str | None = None
+
     def __init__(
         self,
         budget: SearchBudget | None = None,

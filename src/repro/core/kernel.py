@@ -1,24 +1,19 @@
 """Search-kernel selection.
 
-Three costing kernels implement the same plan-space surface:
-
-* ``fast`` — the mask-native struct-of-arrays kernel
-  (:class:`repro.core.planspace.PlanSpace`), the default;
-* ``parallel`` — the level-synchronous intra-query parallel driver
-  (:class:`repro.core.parallel.ParallelPlanSpace`) over a shared-memory
-  arena, bit-identical to ``fast`` by construction; only the
-  level-synchronous optimizers (DP, SDP) fan out — every other
-  technique runs the fast kernel unchanged;
-* ``reference`` — the preserved eager object-graph kernel
-  (:class:`repro.core.reference.ReferencePlanSpace`), the equivalence
-  oracle.
+Four costing kernels implement the same plan-space surface; the
+:data:`KERNELS` registry below is the single source of truth for their
+names and one-line descriptions (the CLI's ``--list-kernels``, the error
+message of :func:`kernel_name` and ``docs/api.md`` all render from it).
 
 Every optimizer builds its plan space through :func:`make_planspace`, so
 the whole stack (DP/SDP/IDP/IDP2/GOO/II-2PO/GEQO, the robust ladder, the
 service layer, the bench harness) can be flipped to another kernel with
-``REPRO_KERNEL=reference`` / ``REPRO_KERNEL=parallel`` — which is exactly
-what the kernel equivalence tests do to assert identical winning costs,
-plan shapes, and counter values.
+``REPRO_KERNEL=reference`` / ``REPRO_KERNEL=parallel`` /
+``REPRO_KERNEL=dpconv`` — which is exactly what the kernel equivalence
+tests do to assert identical winning costs, plan shapes, and counter
+values. The ``dpconv`` kernel is exact only under a C_out cost model
+(``cost_model.supports_dpconv_exact``) and raises
+:class:`~repro.errors.DPconvUnsupportedError` elsewhere.
 
 This module is the single place the determinism rules allow environment
 reads: kernel and worker-count resolution (``REPRO_KERNEL``,
@@ -34,6 +29,7 @@ from repro.errors import OptimizationError
 
 __all__ = [
     "KERNEL_ENV",
+    "KERNELS",
     "WORKERS_ENV",
     "kernel_name",
     "make_planspace",
@@ -52,16 +48,39 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: speedup on every graph the bench suite covers.
 _MAX_AUTO_WORKERS = 8
 
-_KERNELS = ("fast", "reference", "parallel")
+#: The kernel registry: name -> one-line description. Single source for
+#: ``kernel_name`` validation, ``sdp-bench --list-kernels`` and the
+#: kernel list in ``docs/api.md``.
+KERNELS: dict[str, str] = {
+    "fast": (
+        "mask-native struct-of-arrays kernel "
+        "(repro.core.planspace.PlanSpace), the default"
+    ),
+    "reference": (
+        "preserved eager object-graph kernel "
+        "(repro.core.reference.ReferencePlanSpace), the equivalence oracle"
+    ),
+    "parallel": (
+        "level-synchronous intra-query parallel driver "
+        "(repro.core.parallel.ParallelPlanSpace) over a shared-memory "
+        "arena, bit-identical to fast; only DP/SDP fan out"
+    ),
+    "dpconv": (
+        "cardinality-layered (min,+) convolution kernel "
+        "(repro.core.dpconv.DPconvPlanSpace); exact only under a C_out "
+        "cost model (supports_dpconv_exact)"
+    ),
+}
 
 
 def kernel_name(kernel: str | None = None) -> str:
     """Resolve the kernel to use: explicit arg, else env, else ``fast``."""
     name = kernel if kernel is not None else os.environ.get(KERNEL_ENV, "fast")
     name = name.strip().lower()
-    if name not in _KERNELS:
+    if name not in KERNELS:
         raise OptimizationError(
-            f"unknown search kernel {name!r} (expected one of {_KERNELS})"
+            f"unknown search kernel {name!r} "
+            f"(expected one of {tuple(KERNELS)})"
         )
     return name
 
@@ -110,12 +129,13 @@ def make_planspace(
     kernel: str | None = None,
     workers: int | None = None,
     level_parallel: bool = False,
+    bound: str | None = None,
 ):
     """Build the plan space for the selected kernel.
 
     Args:
-        kernel: ``"fast"``, ``"reference"`` or ``"parallel"``; None reads
-            ``REPRO_KERNEL`` (defaulting to fast).
+        kernel: a :data:`KERNELS` name; None reads ``REPRO_KERNEL``
+            (defaulting to fast).
         workers: explicit worker count for the parallel driver; any
             explicit count (including 1, which runs the in-process
             partition/merge path) selects the parallel driver for
@@ -126,13 +146,27 @@ def make_planspace(
             that drive whole levels through ``join_level``. Only those
             callers can use the parallel driver; everything else gets
             the fast kernel even under ``REPRO_KERNEL=parallel``.
+        bound: ``"dpconv"`` enables the admissible convolution lower
+            bound as a pre-costing pruning threshold (fast and dpconv
+            kernels). A bound forces the serial fast kernel over the
+            parallel driver — the skip bookkeeping is per-space state
+            the fan-out workers do not share — and the reference
+            oracle ignores it by design (the oracle never skips).
     """
     name = kernel_name(kernel)
     if name == "reference":
         from repro.core.reference import ReferencePlanSpace
 
         return ReferencePlanSpace(query, stats, cost_model, counters)
-    if level_parallel and (name == "parallel" or workers is not None):
+    if name == "dpconv":
+        from repro.core.dpconv import DPconvPlanSpace
+
+        return DPconvPlanSpace(query, stats, cost_model, counters, bound=bound)
+    if (
+        bound is None
+        and level_parallel
+        and (name == "parallel" or workers is not None)
+    ):
         from repro.core.parallel import ParallelPlanSpace
 
         count, reason = resolve_workers(workers)
@@ -146,4 +180,4 @@ def make_planspace(
         )
     from repro.core.planspace import PlanSpace
 
-    return PlanSpace(query, stats, cost_model, counters)
+    return PlanSpace(query, stats, cost_model, counters, bound=bound)

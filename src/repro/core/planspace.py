@@ -40,6 +40,22 @@ and integer entry ids:
 Every costed alternative is still charged to the search counters (the
 paper's "Costing (in plans)" overhead) with exactly the same totals as the
 reference kernel in :mod:`repro.core.reference`.
+
+Two orthogonal regimes modify the space:
+
+* **C_out** (``cost_model.supports_dpconv_exact``): base relations cost 0
+  (a single sequential scan, no ordered access paths) and each join has a
+  single alternative costing ``(left + right) + |output|`` — the regime in
+  which the ``dpconv`` kernel's layered min-plus convolution is exact.
+* **hybrid bound** (``bound="dpconv"``): before costing a pair whose
+  output JCR already holds plans, an admissible per-pair lower bound (the
+  min-plus combine of the pair's input best costs plus each join method's
+  non-negative floor terms) is compared against the incumbent slots; when
+  every slot the pair could touch is already at or below the bound, no
+  candidate could be *strictly* better, so the pair is skipped without
+  charging ``plans_costed``. Retained slots, best costs, skyline feature
+  vectors — and therefore the final plan — are bit-identical to the
+  unbounded search.
 """
 
 from __future__ import annotations
@@ -69,9 +85,15 @@ from repro.plans.store import (
     NO_FIELD,
     PlanStore,
 )
+from repro.obs.names import METRIC_DPCONV_BOUND_SKIPS_TOTAL
+from repro.obs.runtime import enabled as _obs_enabled
+from repro.obs.runtime import metrics as _obs_metrics
 from repro.query.query import Query
 
 __all__ = ["PlanSpace"]
+
+#: Pruning-bound names accepted by every kernel (``None`` disables).
+PLAN_SPACE_BOUNDS = ("dpconv",)
 
 
 class PlanSpace:
@@ -82,6 +104,10 @@ class PlanSpace:
         stats: Catalog statistics snapshot.
         cost_model: Cost constants.
         counters: Overhead accounting (plans costed, retained slots, ...).
+        bound: ``"dpconv"`` enables the admissible convolution lower
+            bound as a pre-costing pruning threshold; None searches
+            unbounded. The bound never changes retained plans or the
+            final cost — only how many alternatives are costed.
     """
 
     def __init__(
@@ -90,7 +116,18 @@ class PlanSpace:
         stats: CatalogStatistics,
         cost_model: CostModel,
         counters: SearchCounters,
+        bound: str | None = None,
     ):
+        if bound is not None and bound not in PLAN_SPACE_BOUNDS:
+            raise OptimizationError(
+                f"unknown pruning bound {bound!r} "
+                f"(expected one of {PLAN_SPACE_BOUNDS})"
+            )
+        self._bound = bound
+        #: Pairs skipped whole by the convolution bound (never costed).
+        self.bound_skips = 0
+        #: C_out regime: see the module docstring.
+        self._cout = cost_model.supports_dpconv_exact
         self.query = query
         self.graph = query.graph
         self.cm = cost_model
@@ -210,8 +247,15 @@ class PlanSpace:
 
         The parallel driver overrides this to detach its worker pool and
         unlink shared-memory segments; DP/SDP call it from a ``finally``
-        so every kernel sees the same lifecycle.
+        so every kernel sees the same lifecycle. When the convolution
+        bound skipped pairs, the total is published here — once per
+        search, off the hot path.
         """
+        if self.bound_skips and _obs_enabled():
+            _obs_metrics().counter(
+                METRIC_DPCONV_BOUND_SKIPS_TOTAL,
+                "join pairs skipped whole by the convolution bound",
+            ).inc(self.bound_skips)
 
     def useful(self, mask: int) -> set[int]:
         """Useful order keys for ``mask`` (cached)."""
@@ -245,6 +289,19 @@ class PlanSpace:
         jcr, created = table.get_or_create(mask)
         if created:
             self.counters.note_jcr_created()
+        if self._cout:
+            # C_out regime: base relations are free and carry no
+            # interesting orders — a single zero-cost sequential scan
+            # (rows still reflect any selections via the estimator).
+            self.counters.note_plans_costed()
+            if jcr.improves(None, 0.0):
+                eid = table.store.add(
+                    M_SEQ_SCAN, 0.0, jcr.rows, rel=relation_index
+                )
+                _, new_slot = jcr.put(None, None, 0.0, eid)
+                if new_slot:
+                    self.counters.note_retained()
+            return jcr
         useful = self.useful(mask)
         stats_table = self._tables[relation_index]
         cm = self.cm
@@ -381,6 +438,9 @@ class PlanSpace:
         reference kernel. Pairs that overlap or are not connected are
         skipped (cartesian products are not explored).
         """
+        if self._cout:
+            self._join_batch_cout(table, pairs)
+            return
         graph = self.graph
         connecting = graph.connecting
         by_mask = table._by_mask
@@ -423,6 +483,9 @@ class PlanSpace:
         # batch see exact totals). Budget trips for plans-costed therefore
         # fire within one chunk of the precise crossing point.
         pending_costed = 0
+        use_bound = self._bound is not None
+        bound_skips = 0
+        inf = math.inf
 
         for left, right in pairs:
             lmask = left.mask
@@ -437,6 +500,114 @@ class PlanSpace:
             if jcr is None:
                 jcr, _ = get_or_create(union)
                 note_jcr_created()
+            elif use_bound:
+                # Convolution bound: the (min,+) combine of the pair's
+                # input best costs plus each join method's non-negative
+                # floor, replicating every cost expression below in its
+                # exact association order with the variable terms floored
+                # — so float rounding keeps it an admissible lower bound
+                # on *every* alternative this pair can produce. When each
+                # slot the pair could create or improve already sits at
+                # or below the bound, strict-< retention can keep
+                # nothing: skip the pair without costing it.
+                out_rows = jcr.rows
+                out_tc = out_rows * ctc
+                l_best = left.best_cost
+                r_best = right.best_cost
+                l_rows = left.rows
+                r_rows = right.rows
+                lbound = inf
+                for outer_best, inner_best, o_rows, i_rows, inner_j in (
+                    (l_best, r_best, l_rows, r_rows, right),
+                    (r_best, l_best, r_rows, l_rows, left),
+                ):
+                    # Hash-join floor: the exact no-spill cost.
+                    build = i_rows * oc_tc
+                    probe = o_rows * coc * 1.5
+                    cost = outer_best + inner_best + build + probe + out_tc
+                    if cost < lbound:
+                        lbound = cost
+                    # Nested-loop floor: cheapest outer slot >= best_cost.
+                    rescans = o_rows - 1.0
+                    if rescans < 0.0:
+                        rescans = 0.0
+                    rescan_term = rescans * (i_rows * ctc * rescan_discount)
+                    qual = o_rows * i_rows * coc
+                    cost = outer_best + inner_best + rescan_term + qual + out_tc
+                    if cost < lbound:
+                        lbound = cost
+                    # Index-NL floor: no inner-cost term at all (whether a
+                    # connecting column is indexed is not re-checked — a
+                    # lower floor is still admissible).
+                    if inner_j.level == 1:
+                        inner_index = (
+                            inner_j.mask & -inner_j.mask
+                        ).bit_length() - 1
+                        if indexed_names_all[inner_index]:
+                            per_probe_rows = out_rows / (
+                                o_rows if o_rows > 1.0 else 1.0
+                            )
+                            matches = (
+                                per_probe_rows if per_probe_rows > 1.0 else 1.0
+                            )
+                            probe = (
+                                probe_descent[inner_index]
+                                + matches * probe_per_match
+                            )
+                            probe_filter = filter_per_row[inner_index]
+                            if probe_filter:
+                                probe = probe + matches * probe_filter
+                            cost = outer_best + o_rows * probe + out_tc
+                            if cost < lbound:
+                                lbound = cost
+                # Merge-join floor: sorted inputs cost at least the bests.
+                merge = (left.rows + right.rows) * coc
+                cost = l_best + r_best + merge + out_tc
+                if cost < lbound:
+                    lbound = cost
+
+                useful = useful_cache.get(union)
+                if useful is None:
+                    useful = useful_fn(union)
+                b_slots_get = jcr.slots.get
+                b_slot_costs = jcr.slot_costs
+                index = b_slots_get(None)
+                covered = index is not None and b_slot_costs[index] <= lbound
+                if covered:
+                    # Every order key the pair's candidates could target:
+                    # outer slot orders (NL / index NL, either direction)
+                    # and connecting eclasses (merge); keys outside
+                    # ``useful`` demote to the already-checked None slot.
+                    for order in left.slot_orders:
+                        if order is not None and order in useful:
+                            index = b_slots_get(order)
+                            if index is None or b_slot_costs[index] > lbound:
+                                covered = False
+                                break
+                    if covered:
+                        for order in right.slot_orders:
+                            if order is not None and order in useful:
+                                index = b_slots_get(order)
+                                if (
+                                    index is None
+                                    or b_slot_costs[index] > lbound
+                                ):
+                                    covered = False
+                                    break
+                    if covered:
+                        for pred in preds:
+                            eclass = pred.eclass
+                            if eclass in useful:
+                                index = b_slots_get(eclass)
+                                if (
+                                    index is None
+                                    or b_slot_costs[index] > lbound
+                                ):
+                                    covered = False
+                                    break
+                if covered:
+                    bound_skips += 1
+                    continue
             useful = useful_cache.get(union)
             if useful is None:
                 useful = useful_fn(union)
@@ -742,6 +913,94 @@ class PlanSpace:
 
         if pending_costed:
             note_plans_costed(pending_costed)
+        if bound_skips:
+            self.bound_skips += bound_skips
+
+    def _join_batch_cout(self, table: JCRTable, pairs) -> None:
+        """C_out regime join loop: one alternative per connected pair.
+
+        Cost is ``(left.best + right.best) + |output|`` — the min-plus
+        combine the dpconv kernel convolves over — stored as a hash join
+        of the cheapest inputs. No ordered slots, no merge/sort/index
+        alternatives: interesting orders do not exist under C_out. The
+        convolution bound degenerates to the candidate cost itself, so
+        with ``bound="dpconv"`` a pair is skipped exactly when the
+        incumbent already matches it.
+        """
+        connecting = self.graph.connecting
+        by_mask = table._by_mask
+        get_or_create = table.get_or_create
+        counters = self.counters
+        note_plans_costed = counters.note_plans_costed
+        note_retained = counters.note_retained
+        note_jcr_created = counters.note_jcr_created
+        store = table.store
+        st_method = store.method
+        st_order = store.order
+        st_left = store.left
+        st_right = store.right
+        st_rel = store.rel
+        st_eclass = store.eclass
+        st_rows = store.rows
+        st_cost = store.cost
+        use_bound = self._bound is not None
+        pending_costed = 0
+        bound_skips = 0
+
+        for left, right in pairs:
+            lmask = left.mask
+            rmask = right.mask
+            if lmask & rmask:
+                continue
+            if not connecting(lmask, rmask):
+                continue
+            union = lmask | rmask
+            jcr = by_mask.get(union)
+            if jcr is None:
+                jcr, _ = get_or_create(union)
+                note_jcr_created()
+            elif use_bound:
+                index = jcr.slots.get(None)
+                if index is not None and jcr.slot_costs[index] <= (
+                    (left.best_cost + right.best_cost) + jcr.rows
+                ):
+                    bound_skips += 1
+                    continue
+            out_rows = jcr.rows
+            cost = (left.best_cost + right.best_cost) + out_rows
+            pending_costed += 1
+            slots = jcr.slots
+            index = slots.get(None)
+            if index is None or cost < jcr.slot_costs[index]:
+                entry = len(st_method)
+                st_method.append(M_HASH_JOIN)
+                st_order.append(NO_FIELD)
+                st_left.append(left.best_entry)
+                st_right.append(right.best_entry)
+                st_rel.append(NO_FIELD)
+                st_eclass.append(NO_FIELD)
+                st_rows.append(out_rows)
+                st_cost.append(cost)
+                if index is None:
+                    slots[None] = len(jcr.slot_costs)
+                    jcr.slot_orders.append(None)
+                    jcr.slot_costs.append(cost)
+                    jcr.slot_entries.append(entry)
+                    note_retained()
+                else:
+                    jcr.slot_costs[index] = cost
+                    jcr.slot_entries[index] = entry
+                if cost < jcr.best_cost:
+                    jcr.best_cost = cost
+                    jcr.best_entry = entry
+            if pending_costed >= 1024:
+                note_plans_costed(pending_costed)
+                pending_costed = 0
+
+        if pending_costed:
+            note_plans_costed(pending_costed)
+        if bound_skips:
+            self.bound_skips += bound_skips
 
     # -- finishing --------------------------------------------------------------
 
@@ -790,6 +1049,28 @@ class PlanSpace:
             )
         if self.query.order_by is None:
             return jcr.best
+        if self._cout:
+            # C_out charges only intermediate cardinalities, so the
+            # enforcer sort is free: one costed alternative, same cost.
+            self.counters.note_plans_costed()
+            store = jcr.store
+            eid = store.add(
+                M_SORT,
+                jcr.best_cost,
+                jcr.rows,
+                order=(
+                    self.order_by_key
+                    if self.order_by_key is not None
+                    else NO_FIELD
+                ),
+                left=jcr.best_entry,
+                eclass=(
+                    self.order_by_eclass
+                    if self.order_by_eclass is not None
+                    else NO_FIELD
+                ),
+            )
+            return store.materialize(eid)
         cost, position, wrapped = self._final_slot(jcr)
         entry = jcr.slot_entries[position]
         store = jcr.store
@@ -818,6 +1099,9 @@ class PlanSpace:
                 f"finalize() called on incomplete JCR {jcr.mask:#x}"
             )
         if self.query.order_by is None:
+            return jcr.best_cost
+        if self._cout:
+            self.counters.note_plans_costed()
             return jcr.best_cost
         cost, _, _ = self._final_slot(jcr)
         return cost

@@ -169,6 +169,7 @@ class SDPOptimizer(Optimizer):
             counters,
             workers=self.workers,
             level_parallel=True,
+            bound=self.bound,
         )
         try:
             return self._search_in_space(query, stats, counters, space)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.errors import CatalogError
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "COUT_COST_MODEL", "DEFAULT_COST_MODEL"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,15 @@ class CostModel:
             on nested-loop rescans (models materialization / caching).
         index_cache_factor: Fraction of index-lookup heap fetches assumed to
             hit cache when the same index is probed repeatedly.
+        supports_dpconv_exact: Capability flag for the DPconv kernel.
+            True switches every kernel into the C_out regime — base
+            relations cost 0, each join costs exactly the output
+            cardinality on top of its inputs, and there are no access-path
+            or interesting-order alternatives — which is precisely the
+            cost shape under which layered min-plus convolution is an
+            *exact* search. ``make_planspace`` rejects the ``dpconv``
+            kernel with :class:`repro.errors.DPconvUnsupportedError`
+            when this flag is False.
     """
 
     seq_page_cost: float = 1.0
@@ -42,6 +51,7 @@ class CostModel:
     rescan_discount: float = 0.10
     index_cache_factor: float = 0.5
     page_size: int = 8192
+    supports_dpconv_exact: bool = False
 
     def __post_init__(self) -> None:
         for name in (
@@ -65,3 +75,9 @@ class CostModel:
 
 #: Shared default model; treat as read-only.
 DEFAULT_COST_MODEL = CostModel()
+
+#: The C_out cost model: cost of a plan = sum of intermediate result
+#: cardinalities (base relations are free). The regime in which the
+#: ``dpconv`` kernel's layered min-plus convolution is exact; also the
+#: default model of the ``DPconv`` technique. Treat as read-only.
+COUT_COST_MODEL = CostModel(supports_dpconv_exact=True)

@@ -140,6 +140,22 @@ class PlanStore:
     def __len__(self) -> int:
         return len(self.method)
 
+    def layer_views(self, entries) -> tuple[array, array]:
+        """Column-sliced ``(cost, rows)`` vectors for a set of entry ids.
+
+        The dpconv kernel buckets one search level's subproblems into
+        cardinality layers and convolves per-layer *cost vectors*; this
+        gathers those vectors straight from the struct-of-arrays columns
+        (a retained slot's cost **is** its store entry's cost column
+        value), keeping the layer build a pure SoA scan.
+        """
+        cost_col = self.cost
+        rows_col = self.rows
+        return (
+            array("d", (cost_col[eid] for eid in entries)),
+            array("d", (rows_col[eid] for eid in entries)),
+        )
+
     def materialize(self, eid: int) -> PlanRecord:
         """Reconstruct the :class:`PlanRecord` tree rooted at ``eid``.
 

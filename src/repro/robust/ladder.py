@@ -301,6 +301,7 @@ class RobustOptimizer(Optimizer):
                         budget=stage_budget,
                         cost_model=self.cost_model,
                         workers=self.workers,
+                        bound=self.bound,
                     )
                     optimizer.checkpoint = self.checkpoint
                     try:

@@ -217,6 +217,87 @@ def test_parallel_driver_agrees_on_selections_and_orders(label, technique, tpch)
         assert parallel.plans_costed == serial.plans_costed, tag
 
 
+# The dpconv kernel's layered (min,+) convolution is exact only under a
+# C_out cost model; inside that regime it must reproduce exhaustive DP's
+# search bit-for-bit — cost, plan tree, and counters — across every
+# topology, with the fast and reference kernels (also in their C_out
+# branches) as the second and third witnesses.
+
+
+def run_cout(technique: str, query, stats, kernel: str):
+    from repro.cost import COUT_COST_MODEL
+
+    optimizer = make_optimizer(
+        technique, budget=BUDGET, cost_model=COUT_COST_MODEL
+    )
+    import repro.core.kernel as kernel_mod
+
+    monkey = pytest.MonkeyPatch()
+    monkey.setenv(kernel_mod.KERNEL_ENV, kernel)
+    try:
+        return optimizer.optimize(query, stats)
+    finally:
+        monkey.undo()
+
+
+@pytest.mark.parametrize("topology,size", GRAPHS, ids=[f"{t}-{s}" for t, s in GRAPHS])
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_dpconv_kernel_agrees_under_cout(
+    topology, size, technique, eq_schema, eq_stats
+):
+    spec = WorkloadSpec(topology, size)
+    for instance in INSTANCES:
+        query = make_query(spec, eq_schema, instance)
+        dpconv = run_cout(technique, query, eq_stats, "dpconv")
+        fast = run_cout(technique, query, eq_stats, "fast")
+        reference = run_cout(technique, query, eq_stats, "reference")
+
+        label = f"{technique} {spec.label} instance={instance}"
+        assert dpconv.cost == fast.cost == reference.cost, label
+        assert dpconv.rows == fast.rows, label
+        assert serialize(dpconv.plan) == serialize(fast.plan), label
+        assert serialize(dpconv.plan) == serialize(reference.plan), label
+        assert dpconv.plans_costed == fast.plans_costed, label
+        assert dpconv.plans_costed == reference.plans_costed, label
+        assert dpconv.jcrs_created == fast.jcrs_created, label
+        assert dpconv.jcrs_pruned == fast.jcrs_pruned, label
+        assert dpconv.modeled_memory_mb == fast.modeled_memory_mb, label
+
+
+def test_dpconv_technique_matches_dp_under_cout(eq_schema, eq_stats):
+    # technique="DPconv" (which defaults its model to C_out) against DP
+    # under the same model: the winning cost must be bit-identical.
+    from repro.cost import COUT_COST_MODEL
+
+    for topology, size in GRAPHS:
+        query = make_query(WorkloadSpec(topology, size), eq_schema, 0)
+        dp = make_optimizer(
+            "DP", budget=BUDGET, cost_model=COUT_COST_MODEL
+        ).optimize(query, eq_stats)
+        dpconv = make_optimizer("DPconv", budget=BUDGET).optimize(
+            query, eq_stats
+        )
+        label = f"{topology}-{size}"
+        assert dpconv.cost == dp.cost, label
+        assert serialize(dpconv.plan) == serialize(dp.plan), label
+        assert dpconv.plans_costed == dp.plans_costed, label
+
+
+def test_dpconv_kernel_rejects_non_cout_models(eq_schema, eq_stats):
+    from repro.errors import DPconvUnsupportedError
+
+    query = make_query(WorkloadSpec("chain", 5), eq_schema, 0)
+    # Via the environment seam, with the (non-C_out) default model.
+    with pytest.raises(DPconvUnsupportedError):
+        run("DP", query, eq_stats, "dpconv")
+    # Via the technique registry with an explicit non-C_out model.
+    from repro.cost import DEFAULT_COST_MODEL
+
+    optimizer = make_optimizer("DPconv", cost_model=DEFAULT_COST_MODEL)
+    with pytest.raises(DPconvUnsupportedError):
+        optimizer.optimize(query, eq_stats)
+
+
 def test_kernel_env_selects_reference(monkeypatch):
     monkeypatch.setenv("REPRO_KERNEL", "reference")
     assert kernel_name() == "reference"

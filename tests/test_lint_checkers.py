@@ -84,6 +84,29 @@ class TestLayering:
         }, "RL001")
         assert findings == []
 
+    def test_dpconv_module_is_layer_covered(self, tmp_path):
+        # Layer ranks are keyed by subpackage, so a new core/ module
+        # (core/dpconv.py) is in scope automatically: its real imports
+        # (skyline, cost, errors) point down and are clean, while an
+        # upward edge in the same file fires without any registration.
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/dpconv.py": """\
+                from repro.cost.cout import COUT_COST_MODEL
+                from repro.errors import DPconvUnsupportedError
+                from repro.skyline.dominance import bound_covered
+            """,
+        }, "RL001")
+        assert findings == []
+
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/dpconv.py": """\
+                from repro.skyline.dominance import bound_covered
+                from repro.service.frontdoor import FrontDoor
+            """,
+        }, "RL001")
+        assert len(findings) == 1
+        assert "service" in findings[0].message
+
 
 # ---------------------------------------------------------------- RL002
 
@@ -183,6 +206,19 @@ class TestDeterminism:
             """,
         }, "RL002")
         assert findings == []
+
+    def test_dpconv_module_is_determinism_covered(self, tmp_path):
+        # core/dpconv.py is not the kernel-selection module, so the env
+        # exemption does not extend to it — an env read there fires.
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/dpconv.py": """\
+                import os
+
+                LAYERS = os.environ.get("REPRO_DPCONV_LAYERS")
+            """,
+        }, "RL002")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("dpconv.py")
 
 
 # ---------------------------------------------------------------- RL003
@@ -320,6 +356,52 @@ class TestBudgetCharging:
             ),
         }, "RL004")
         assert [f for f in waived if f.path.endswith("gen2.py")] == []
+
+    def test_chunked_convolution_charge_clean(self, tmp_path):
+        # The dpconv kernel's shape: pair enumeration buckets work into
+        # layers, the (min,+) combine loop charges note_plans_costed in
+        # chunks rather than per pair. The chunked charge is a charge —
+        # the loop must stay clean.
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/conv.py": """\
+                CHUNK = 1024
+
+                def convolve_level(table, level_pairs, counters):
+                    layers = {}
+                    for left, right in level_pairs:
+                        layers.setdefault(left.layer, []).append((left, right))
+                    for layer in sorted(layers):
+                        pairs = layers[layer]
+                        pending = len(pairs)
+                        while pending > CHUNK:
+                            counters.note_plans_costed(CHUNK)
+                            pending -= CHUNK
+                        counters.note_plans_costed(pending)
+                        for left, right in pairs:
+                            table.store_add(left.cost + right.cost)
+            """,
+        }, "RL004")
+        assert findings == []
+
+    def test_uncharged_convolution_loop_fires(self, tmp_path):
+        # The same combine loop with the chunked charge removed must
+        # fire: bucketing pairs without reporting them breaks the 1 GB
+        # feasibility-frontier contract.
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/conv.py": """\
+                def convolve_level(table, jcrs):
+                    best = {}
+                    pairs = []
+                    for left, right in jcrs:
+                        pairs.append((left, right))
+                    for left, right in pairs:
+                        cost = left.cost + right.cost
+                        if cost < best.get(left.mask, cost + 1.0):
+                            best[left.mask] = cost
+                    return best
+            """,
+        }, "RL004")
+        assert findings and all(f.code == "RL004" for f in findings)
 
     def test_non_core_layer_out_of_scope(self, tmp_path):
         findings = lint_tree(tmp_path, {
