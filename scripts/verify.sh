@@ -7,18 +7,29 @@
 #   scripts/verify.sh            # from the repo root
 #
 # Each stage's own output explains any failure; the script stops at the
-# first one. Uses PYTHONPATH so it works without `pip install -e .`.
+# first one and reports per-stage wall time on the way through. Uses
+# PYTHONPATH so it works without `pip install -e .`.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+STAGE_T0=$SECONDS
+stage_done() {
+  echo "   stage time: $((SECONDS - STAGE_T0))s"
+  STAGE_T0=$SECONDS
+}
+
 echo "== 1/7 static analysis (python -m repro.lint) =="
 python -m repro.lint src/
 
+stage_done
+
 echo "== 2/7 tier-1 tests (pytest) =="
 python -m pytest
+
+stage_done
 
 echo "== 3/7 parallel-kernel smoke (2-worker pool vs serial) =="
 python - <<'SMOKE'
@@ -49,6 +60,8 @@ assert not leftovers, f"shared-memory leak: {leftovers}"
 print("  /dev/shm clean")
 SMOKE
 
+stage_done
+
 echo "== 4/7 SQL workload smoke (TPC-H-lite through the front door) =="
 python - <<'SMOKE'
 import repro
@@ -66,6 +79,8 @@ for (label, sql), query in zip(repro.TPCH_LITE_SQL,
     print(f"  {label}: sql==query, plan valid "
           f"(cost={from_sql.cost:.1f}, plans_costed={from_sql.plans_costed})")
 SMOKE
+
+stage_done
 
 echo "== 5/7 dpconv smoke (kernel identity under C_out + hybrid-bound SDP) =="
 python - <<'SMOKE'
@@ -110,10 +125,16 @@ print(f"  SDP star-12 bound=dpconv: identical plan, plans_costed "
       f"{plain.plans_costed} -> {bounded.plans_costed}")
 SMOKE
 
+stage_done
+
 echo "== 6/7 hot-path regression guard (sdp-bench --check) =="
 python -m repro.bench --check BENCH_optimize.json
+
+stage_done
 
 echo "== 7/7 overload smoke (pytest -m stress) =="
 python -m pytest -m stress
 
-echo "verify: all stages passed"
+stage_done
+
+echo "verify: all stages passed (total ${SECONDS}s)"

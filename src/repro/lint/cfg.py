@@ -1,0 +1,346 @@
+"""Intraprocedural control-flow graphs over ``ast`` statements.
+
+Each function body becomes a :class:`CFG` of :class:`BasicBlock` nodes.
+The granularity is deliberately fine — one block per *leaf* statement
+(``Assign``, ``Expr``, ``Return``, ...) and one header block per
+compound statement (``If``, ``While``, ``With``, ``Try``, ...) — because
+the dataflow lattices the checkers run over are tiny and lint-time
+precision matters more than solver throughput.
+
+Edge semantics:
+
+* ``If``/``While``/``For``/``Match`` headers branch to each arm; loop
+  bodies carry a back edge to the header and ``break``/``continue`` jump
+  to the loop exit/header.
+* ``with`` headers fall through into the body; the context manager's
+  ``__exit__`` is *not* modelled as a catch (checkers that care — e.g.
+  resource lifecycle — treat ``with Resource()`` as cleanup at entry,
+  which is sound because ``__exit__`` runs on every path out).
+* Inside a ``try``, every statement gains an exception edge to the
+  nearest handler-dispatch block (or ``finally`` entry). The statement's
+  transfer function applies *before* the edge is taken — an effectful
+  statement like ``flag.unlink()`` inside ``try/except`` counts as
+  having happened on the exception path out of *that* statement, which
+  matches CPython (the call completed or raised; either way the facts
+  from preceding statements hold).
+* ``finally`` bodies are built once; their exit links to the normal
+  continuation *and* to the enclosing exception/return targets. This
+  over-approximates paths (a "must happen" analysis only gets stricter),
+  which is the safe direction for the leak/lock checkers built on top.
+* ``return``/``raise`` route through enclosing ``finally`` entries to
+  the synthetic exit block. Outside any ``try``, ordinary statements get
+  no exception edges — "anything can raise" would make every must
+  property vacuously false.
+
+Nested ``def``/``class`` statements are opaque leaf statements: their
+bodies get their own CFGs via :func:`iter_functions`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+
+__all__ = ["BasicBlock", "CFG", "build_cfg", "iter_functions"]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class BasicBlock:
+    """One CFG node: at most one statement plus its out-edges.
+
+    ``statements`` holds the leaf statement, the compound header node
+    (``ast.If``, ``ast.While``, ``ast.With``, ...), or an
+    ``ast.ExceptHandler``; synthetic join/dispatch/exit blocks are
+    empty.
+    """
+
+    index: int
+    statements: list[ast.AST] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    @property
+    def statement(self) -> ast.AST | None:
+        return self.statements[0] if self.statements else None
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph.
+
+    Attributes:
+        func: The ``ast`` function node this graph was built from.
+        blocks: All blocks, indexed by ``BasicBlock.index``.
+        entry: Index of the entry block (always ``0``, always empty).
+        exit: Index of the synthetic exit block (always ``1``, empty).
+    """
+
+    func: FunctionNode
+    blocks: list[BasicBlock]
+    entry: int = 0
+    exit: int = 1
+
+    def successors(self, index: int) -> list[int]:
+        return self.blocks[index].successors
+
+    def predecessors(self) -> dict[int, list[int]]:
+        """Predecessor map (recomputed; graphs are small)."""
+        preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+    def reverse_postorder(self) -> list[int]:
+        """Blocks reachable from entry, in reverse postorder."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            stack = [(index, iter(self.blocks[index].successors))]
+            seen.add(index)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(
+                            (succ, iter(self.blocks[succ].successors))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where control transfers from the statement being built.
+
+    Attributes:
+        exc: Block an exception propagates to (handler dispatch or
+            ``finally`` entry); ``None`` outside any ``try``.
+        ret: Block a ``return`` routes through (``finally`` entry chain,
+            bottoming out at the exit block).
+        brk: ``break`` target (loop exit), ``None`` outside loops.
+        cont: ``continue`` target (loop header), ``None`` outside loops.
+    """
+
+    exc: int | None
+    ret: int
+    brk: int | None = None
+    cont: int | None = None
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self, statement: ast.AST | None = None) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        if statement is not None:
+            block.statements.append(statement)
+        self.blocks.append(block)
+        return block.index
+
+    def link(self, src: int, dst: int) -> None:
+        succs = self.blocks[src].successors
+        if dst not in succs:
+            succs.append(dst)
+
+    def link_all(self, srcs: list[int], dst: int) -> None:
+        for src in srcs:
+            self.link(src, dst)
+
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=None, ret=self.exit)
+        tail = self.stmts(self.func.body, [self.entry], ctx)
+        self.link_all(tail, self.exit)
+        return CFG(func=self.func, blocks=self.blocks,
+                   entry=self.entry, exit=self.exit)
+
+    def stmts(self, body: list[ast.stmt], preds: list[int],
+              ctx: _Ctx) -> list[int]:
+        for stmt in body:
+            preds = self.stmt(stmt, preds, ctx)
+        return preds
+
+    def stmt(self, node: ast.stmt, preds: list[int],
+             ctx: _Ctx) -> list[int]:
+        if isinstance(node, ast.If):
+            return self._if(node, preds, ctx)
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(node, preds, ctx)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, preds, ctx)
+        if isinstance(node, ast.Try):
+            return self._try(node, preds, ctx)
+        if isinstance(node, ast.Match):
+            return self._match(node, preds, ctx)
+        if isinstance(node, ast.Return):
+            block = self._leaf(node, preds, ctx)
+            self.link(block, ctx.ret)
+            return []
+        if isinstance(node, ast.Raise):
+            block = self.new_block(node)
+            self.link_all(preds, block)
+            self.link(block, ctx.exc if ctx.exc is not None else self.exit)
+            return []
+        if isinstance(node, ast.Break):
+            block = self._leaf(node, preds, ctx)
+            self.link(block, ctx.brk if ctx.brk is not None else self.exit)
+            return []
+        if isinstance(node, ast.Continue):
+            block = self._leaf(node, preds, ctx)
+            self.link(block, ctx.cont if ctx.cont is not None else self.exit)
+            return []
+        # Everything else — Assign, AugAssign, AnnAssign, Expr, Assert,
+        # Delete, Import, Global, Pass, nested def/class — is a leaf.
+        return [self._leaf(node, preds, ctx)]
+
+    def _leaf(self, node: ast.AST, preds: list[int], ctx: _Ctx) -> int:
+        block = self.new_block(node)
+        self.link_all(preds, block)
+        if ctx.exc is not None:
+            self.link(block, ctx.exc)
+        return block
+
+    def _if(self, node: ast.If, preds: list[int], ctx: _Ctx) -> list[int]:
+        header = self._leaf(node, preds, ctx)
+        then_out = self.stmts(node.body, [header], ctx)
+        if node.orelse:
+            else_out = self.stmts(node.orelse, [header], ctx)
+        else:
+            else_out = [header]
+        return then_out + else_out
+
+    def _loop(self, node: ast.While | ast.For | ast.AsyncFor,
+              preds: list[int], ctx: _Ctx) -> list[int]:
+        header = self._leaf(node, preds, ctx)
+        after = self.new_block()
+        body_ctx = replace(ctx, brk=after, cont=header)
+        body_out = self.stmts(node.body, [header], body_ctx)
+        self.link_all(body_out, header)
+        if node.orelse:
+            else_out = self.stmts(node.orelse, [header], ctx)
+            self.link_all(else_out, after)
+        else:
+            self.link(header, after)
+        return [after]
+
+    def _with(self, node: ast.With | ast.AsyncWith, preds: list[int],
+              ctx: _Ctx) -> list[int]:
+        header = self._leaf(node, preds, ctx)
+        return self.stmts(node.body, [header], ctx)
+
+    def _match(self, node: ast.Match, preds: list[int],
+               ctx: _Ctx) -> list[int]:
+        header = self._leaf(node, preds, ctx)
+        outs: list[int] = [header]  # no case may match
+        for case in node.cases:
+            outs.extend(self.stmts(case.body, [header], ctx))
+        return outs
+
+    def _try(self, node: ast.Try, preds: list[int],
+             ctx: _Ctx) -> list[int]:
+        after = self.new_block()
+        fin_entry: int | None = None
+        if node.finalbody:
+            fin_entry = self.new_block()
+            # The finally body's own exceptions go to the *outer* target.
+            fin_out = self.stmts(node.finalbody, [fin_entry], ctx)
+            # Normal completion falls through; a propagating exception or
+            # in-flight return continues outward. Linking all three
+            # over-approximates paths, which only tightens must-analyses.
+            self.link_all(fin_out, after)
+            self.link_all(
+                fin_out, ctx.exc if ctx.exc is not None else self.exit
+            )
+            self.link_all(fin_out, ctx.ret)
+
+        inner_exc = fin_entry if fin_entry is not None else ctx.exc
+        inner_ret = fin_entry if fin_entry is not None else ctx.ret
+
+        handler_outs: list[int] = []
+        if node.handlers:
+            dispatch = self.new_block()
+            handler_ctx = replace(ctx, exc=inner_exc, ret=inner_ret)
+            catches_all = False
+            for handler in node.handlers:
+                h_entry = self.new_block(handler)
+                self.link(dispatch, h_entry)
+                handler_outs.extend(
+                    self.stmts(handler.body, [h_entry], handler_ctx)
+                )
+                catches_all = catches_all or _catches_everything(handler)
+            if not catches_all:
+                self.link(
+                    dispatch,
+                    inner_exc if inner_exc is not None else self.exit,
+                )
+            body_exc: int | None = dispatch
+        else:
+            body_exc = inner_exc
+
+        body_ctx = replace(ctx, exc=body_exc, ret=inner_ret)
+        body_out = self.stmts(node.body, preds, body_ctx)
+        if node.orelse:
+            # ``else`` runs only when no exception fired; its own
+            # exceptions skip the handlers.
+            orelse_ctx = replace(ctx, exc=inner_exc, ret=inner_ret)
+            tail = self.stmts(node.orelse, body_out, orelse_ctx)
+        else:
+            tail = body_out
+
+        landing = fin_entry if fin_entry is not None else after
+        self.link_all(tail, landing)
+        self.link_all(handler_outs, landing)
+        return [after]
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """Does this handler stop any exception (bare / Exception-wide)?"""
+    node = handler.type
+    if node is None:
+        return True
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    for expr in exprs:
+        name = expr.id if isinstance(expr, ast.Name) else (
+            expr.attr if isinstance(expr, ast.Attribute) else None
+        )
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph for one function body."""
+    return _Builder(func).build()
+
+
+def iter_functions(tree: ast.Module) -> list[tuple[str, FunctionNode]]:
+    """``(qualname, node)`` for module-level functions and methods.
+
+    Methods are named ``Class.method``; deeper nesting (functions inside
+    functions) is not enumerated — those bodies appear as opaque leaf
+    statements in the enclosing CFG.
+    """
+    found: list[tuple[str, FunctionNode]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append((node.name, node))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    found.append((f"{node.name}.{item.name}", item))
+    return found

@@ -1,0 +1,225 @@
+"""RL011 — worker-shared instance state must be accessed under a lock.
+
+For every class in the serving layer that spawns worker threads
+(``threading.Thread(target=self.method)``), the attributes *written* by
+the worker side (the entry method plus everything it reaches through
+``self.`` calls) are shared state. Every access to those attributes —
+read or write, from the worker side or from any public method — must
+happen while holding one of the instance's own locks (discovered by the
+RL009 machinery). ``__init__`` is exempt (the object is not shared
+yet), as are attributes holding inherently synchronized objects
+(queues, events, locks themselves, and in-tree classes that carry their
+own lock).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.checkers import concurrency as conc
+from repro.lint.engine import Project
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+#: Types whose instances synchronize internally — accessing the
+#: attribute without the owner's lock is fine.
+_SELF_SYNC_TYPES = frozenset(
+    (
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+        "Event",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "local",
+    )
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    (
+        "append",
+        "appendleft",
+        "extend",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+    )
+)
+
+
+def _thread_entries(info: conc.ClassInfo) -> set[str]:
+    """Methods handed to ``threading.Thread(target=self.X)``."""
+    entries: set[str] = set()
+    for method in info.methods.values():
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            name = conc._tail_name(node.func)
+            if name != "Thread":
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "target"
+                    and isinstance(keyword.value, ast.Attribute)
+                    and isinstance(keyword.value.value, ast.Name)
+                    and keyword.value.value.id == "self"
+                ):
+                    entries.add(keyword.value.attr)
+    return entries
+
+
+def _reachable_methods(info: conc.ClassInfo, entries: set[str]) -> set[str]:
+    """Entries plus every method reached through ``self.m()`` calls."""
+    reached = set()
+    frontier = [name for name in entries if name in info.methods]
+    while frontier:
+        name = frontier.pop()
+        if name in reached:
+            continue
+        reached.add(name)
+        for node in ast.walk(info.methods[name]):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in info.methods
+            ):
+                frontier.append(node.func.attr)
+    return reached
+
+
+class _AccessCollector(conc.LockScopeWalker):
+    """Record every ``self.attr`` touch with the locks held at the time."""
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.accesses: list[tuple[str, ast.AST, bool, frozenset[str]]] = []
+
+    def on_node(self, node, held) -> None:
+        held_ids = frozenset(lock_id for lock_id, _ in held)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self.accesses.append((node.attr, node, write, held_ids))
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            # ``self.attr[key] = ...`` — the Store lands on the
+            # Subscript; the attribute itself reads as Load.
+            self.accesses.append((node.value.attr, node, True, held_ids))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            self.accesses.append(
+                (node.func.value.attr, node, True, held_ids)
+            )
+
+
+@register
+class SharedStateChecker(Checker):
+    code = "RL011"
+    name = "shared-state"
+    description = (
+        "attributes written from worker-thread entry points must be "
+        "read and written under the owning instance lock"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        index = conc.build_index(project)
+        for key in sorted(index.classes):
+            info = index.classes[key]
+            yield from self._check_class(index, info)
+
+    def _check_class(
+        self, index: conc.ConcurrencyIndex, info: conc.ClassInfo
+    ) -> Iterable[Finding]:
+        entries = _thread_entries(info)
+        if not entries or not info.lock_attrs:
+            return
+        own_locks = frozenset(
+            f"{info.key}.{attr}" for attr in info.lock_attrs
+        )
+        worker_methods = _reachable_methods(info, entries)
+
+        accesses: dict[str, list] = {}
+        for name in sorted(info.methods):
+            if name == "__init__":
+                continue
+            collector = _AccessCollector(
+                index, info.module, info, info.methods[name]
+            )
+            collector.run()
+            accesses[name] = collector.accesses
+
+        shared: set[str] = set()
+        for name in worker_methods:
+            for attr, _, write, _ in accesses.get(name, ()):
+                if write:
+                    shared.add(attr)
+        shared -= set(info.lock_attrs)
+        shared = {
+            attr
+            for attr in shared
+            if info.attr_types.get(attr) not in _SELF_SYNC_TYPES
+        }
+        if not shared:
+            return
+
+        public_methods = {
+            name
+            for name in info.methods
+            if not name.startswith("_")
+        }
+        checked = worker_methods | public_methods
+        reported: set[tuple[str, int, int]] = set()
+        for name in sorted(checked):
+            for attr, node, write, held in accesses.get(name, ()):
+                if attr not in shared:
+                    continue
+                if held & own_locks:
+                    continue
+                site = (attr, node.lineno, node.col_offset)
+                if site in reported:
+                    continue
+                reported.add(site)
+                verb = "written" if write else "read"
+                side = "worker-side" if name in worker_methods else "public"
+                yield Finding(
+                    path=info.module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"attribute self.{attr} is written from worker "
+                        f"thread(s) of {info.name} but {verb} here "
+                        f"({side} method {name}) without holding one of "
+                        f"{sorted(info.lock_attrs)}"
+                    ),
+                )

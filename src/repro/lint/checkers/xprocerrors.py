@@ -1,0 +1,404 @@
+"""RL012 — exceptions crossing process boundaries must pickle faithfully.
+
+Two statically-checkable rules generalize the PR 6 pickle round-trip
+tests:
+
+* **Constructor safety** (whole tree): a ``ReproError`` subclass whose
+  ``__init__`` passes anything but its own positional parameters —
+  verbatim, in order — to ``super().__init__`` will unpickle via
+  ``cls(*self.args)`` with the wrong arguments (or crash). Such classes
+  must define ``__reduce__``. Classes without their own ``__init__``
+  inherit a compliant one and are fine.
+
+* **Worker escape discipline**: any project-defined exception type that
+  can propagate out of a pool-worker function (a ``Process(target=...)``
+  or ``pool.submit(f, ...)`` / ``pool.map(f, ...)`` registration) must
+  be part of the ``ReproError`` taxonomy — builtin exceptions pickle
+  fine and are exempt, but an ad-hoc local class will arrive at the
+  parent as a confusing ``PicklingError`` (or worse, silently wrong
+  args). Raises caught inside the worker (matching handler on the path,
+  including base-class matches within the in-tree taxonomy) do not
+  escape; nested ``def`` bodies run elsewhere and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.lint.engine import Module, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class _ClassRec:
+    name: str
+    module: Module
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _project_classes(project: Project) -> dict[str, _ClassRec]:
+    """All class defs in the analyzed tree, by bare name (first wins)."""
+    classes: dict[str, _ClassRec] = {}
+    for module in project.modules:
+        if module.layer is None:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name not in classes:
+                classes[node.name] = _ClassRec(
+                    node.name, module, node, _base_names(node)
+                )
+    return classes
+
+
+def _taxonomy(classes: dict[str, _ClassRec]) -> set[str]:
+    """Names deriving (transitively, by name) from ``ReproError``."""
+    members = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for rec in classes.values():
+            if rec.name not in members and any(
+                base in members for base in rec.bases
+            ):
+                members.add(rec.name)
+                changed = True
+    return members
+
+
+def _is_subtype(
+    classes: dict[str, _ClassRec], name: str, ancestor: str
+) -> bool:
+    seen: set[str] = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current == ancestor:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        rec = classes.get(current)
+        if rec is not None:
+            frontier.extend(rec.bases)
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rule 1: constructor safety
+
+
+def _init_positional_params(init: FunctionNode) -> list[str] | None:
+    """Parameter names after ``self``; None when too dynamic to check."""
+    args = init.args
+    if args.vararg is not None or args.kwarg is not None or args.kwonlyargs:
+        return None
+    names = [a.arg for a in args.posonlyargs + args.args]
+    return names[1:]  # drop self
+
+
+def _super_init_args(init: FunctionNode) -> list[ast.expr] | None:
+    """Arguments of the ``super().__init__(...)`` call, if exactly one."""
+    calls = []
+    for node in ast.walk(init):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            if node.keywords:
+                return None
+            calls.append(node.args)
+    if len(calls) != 1:
+        return None
+    return calls[0]
+
+
+def _ctor_pickle_safe(node: ast.ClassDef) -> bool:
+    body_defs = {
+        item.name
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    if "__reduce__" in body_defs or "__getnewargs__" in body_defs:
+        return True
+    if "__init__" not in body_defs:
+        return True  # inherited __init__; checked at its own class
+    init = next(
+        item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "__init__"
+    )
+    params = _init_positional_params(init)
+    if params is None:
+        return False
+    super_args = _super_init_args(init)
+    if super_args is None:
+        return False
+    if len(super_args) != len(params):
+        return False
+    return all(
+        isinstance(arg, ast.Name) and arg.id == param
+        for arg, param in zip(super_args, params)
+    )
+
+
+# --------------------------------------------------------------------------
+# Rule 2: worker escape discipline
+
+
+def _thread_pool_names(module: Module) -> set[str]:
+    """Variables bound to ThreadPoolExecutor instances (no pickling)."""
+    names: set[str] = set()
+    for node in ast.walk(module.tree):
+        value = None
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.withitem):
+            target, value = node.optional_vars, node.context_expr
+        if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)):
+            continue
+        ctor = value.func
+        tail = (
+            ctor.attr if isinstance(ctor, ast.Attribute)
+            else ctor.id if isinstance(ctor, ast.Name) else None
+        )
+        if tail == "ThreadPoolExecutor":
+            names.add(target.id)
+    return names
+
+
+def _worker_entries(module: Module) -> list[tuple[str, ast.Call]]:
+    """Names of functions registered as process-boundary workers."""
+    entries: list[tuple[str, ast.Call]] = []
+    thread_pools = _thread_pool_names(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        tail = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if tail == "Process":
+            for keyword in node.keywords:
+                if keyword.arg == "target" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    entries.append((keyword.value.id, node))
+        elif (
+            tail in ("submit", "map")
+            and isinstance(func, ast.Attribute)
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            receiver = func.value
+            rname = (
+                receiver.id if isinstance(receiver, ast.Name)
+                else receiver.attr if isinstance(receiver, ast.Attribute)
+                else ""
+            )
+            if rname in thread_pools:
+                continue  # same-process threads: no pickling involved
+            if "pool" in rname.lower() or "executor" in rname.lower():
+                entries.append((node.args[0].id, node))
+    return entries
+
+
+class _EscapeAnalyzer:
+    """Which exception type names can escape a worker function."""
+
+    def __init__(
+        self, module: Module, classes: dict[str, _ClassRec]
+    ) -> None:
+        self.module = module
+        self.classes = classes
+        self.functions = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    def escapes(self, name: str) -> set[str]:
+        func = self.functions.get(name)
+        if func is None:
+            return set()
+        return self._from_function(func, (), frozenset({name}))
+
+    def _from_function(
+        self,
+        func: FunctionNode,
+        handlers: tuple[frozenset[str] | None, ...],
+        visiting: frozenset[str],
+    ) -> set[str]:
+        escaped: set[str] = set()
+        self._walk_body(func.body, handlers, visiting, escaped)
+        return escaped
+
+    def _walk_body(self, body, handlers, visiting, escaped) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, handlers, visiting, escaped)
+
+    def _walk_stmt(self, stmt, handlers, visiting, escaped) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # runs elsewhere
+        if isinstance(stmt, ast.Try):
+            catch_sets = [_handler_catches(h) for h in stmt.handlers]
+            inner = handlers + tuple(catch_sets)
+            self._walk_body(stmt.body, inner, visiting, escaped)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, handlers, visiting, escaped)
+            self._walk_body(stmt.orelse, handlers, visiting, escaped)
+            self._walk_body(stmt.finalbody, handlers, visiting, escaped)
+            return
+        if isinstance(stmt, ast.Raise):
+            name = _raised_name(stmt)
+            if name is not None and not self._caught(name, handlers):
+                escaped.add(name)
+            return
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                callee = node.func.id
+                if callee in self.functions and callee not in visiting:
+                    inner = self._from_function(
+                        self.functions[callee],
+                        (),
+                        visiting | {callee},
+                    )
+                    for name in inner:
+                        if not self._caught(name, handlers):
+                            escaped.add(name)
+        if isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor)):
+            self._walk_body(stmt.body, handlers, visiting, escaped)
+            self._walk_body(stmt.orelse, handlers, visiting, escaped)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_body(stmt.body, handlers, visiting, escaped)
+
+    def _caught(self, name: str, handlers) -> bool:
+        for catches in handlers:
+            if catches is None:  # bare except / Exception-wide
+                return True
+            for caught in catches:
+                if caught in ("Exception", "BaseException"):
+                    return True
+                if name == caught or _is_subtype(
+                    self.classes, name, caught
+                ):
+                    return True
+        return False
+
+
+def _handler_catches(handler: ast.ExceptHandler) -> frozenset[str] | None:
+    if handler.type is None:
+        return None
+    exprs = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = set()
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return frozenset(names)
+
+
+def _raised_name(stmt: ast.Raise) -> str | None:
+    exc = stmt.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+@register
+class CrossProcessErrorChecker(Checker):
+    code = "RL012"
+    name = "xproc-errors"
+    description = (
+        "exceptions escaping process-boundary workers must be picklable "
+        "ReproError subclasses (__reduce__-safe constructors)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        classes = _project_classes(project)
+        if "ReproError" not in classes:
+            return
+        taxonomy = _taxonomy(classes)
+
+        for name in sorted(taxonomy - {"ReproError"}):
+            rec = classes[name]
+            if not _ctor_pickle_safe(rec.node):
+                yield Finding(
+                    path=rec.module.relpath,
+                    line=rec.node.lineno,
+                    col=rec.node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{name}.__init__ does not forward its exact "
+                        f"positional parameters to super().__init__, so "
+                        f"pickling across the worker pool reconstructs "
+                        f"it with wrong arguments; define __reduce__"
+                    ),
+                )
+
+        for module in project.modules:
+            if module.layer is None:
+                continue
+            entries = _worker_entries(module)
+            if not entries:
+                continue
+            analyzer = _EscapeAnalyzer(module, classes)
+            seen: set[tuple[str, str]] = set()
+            for worker_name, site in entries:
+                for exc_name in sorted(analyzer.escapes(worker_name)):
+                    rec = classes.get(exc_name)
+                    if rec is None:
+                        continue  # builtin or out-of-tree: pickles fine
+                    if exc_name in taxonomy:
+                        continue  # ctor safety handled above
+                    key = (worker_name, exc_name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        path=module.relpath,
+                        line=site.lineno,
+                        col=site.col_offset,
+                        code=self.code,
+                        message=(
+                            f"exception {exc_name} can escape process-"
+                            f"boundary worker {worker_name} but is not "
+                            f"a ReproError subclass; it will not cross "
+                            f"the pipe faithfully"
+                        ),
+                    )

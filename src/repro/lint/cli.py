@@ -8,6 +8,8 @@ Usage::
     python -m repro.lint --baseline lint-baseline.json
     python -m repro.lint --write-baseline lint-baseline.json
     python -m repro.lint --list            # registered checkers
+    python -m repro.lint --only RL009,RL010
+    python -m repro.lint --skip RL007 --jobs 4
 
 Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 """
@@ -21,7 +23,7 @@ from pathlib import Path
 
 from repro.lint.baseline import load_baseline, suppress_baseline, write_baseline
 from repro.lint.engine import LintError, load_project, run_checkers
-from repro.lint.registry import all_checkers
+from repro.lint.registry import Checker, all_checkers
 
 __all__ = ["main"]
 
@@ -37,7 +39,7 @@ def _default_paths() -> list[str]:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="Static analysis for the repro invariants (RL001-RL007).",
+        description="Static analysis for the repro invariants (RL001-RL012).",
     )
     parser.add_argument(
         "paths",
@@ -64,11 +66,64 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the current findings as a baseline and exit 0",
     )
     parser.add_argument(
+        "--only",
+        metavar="CODES",
+        default=None,
+        help="run only these comma-separated checker codes (e.g. RL009,RL010)",
+    )
+    parser.add_argument(
+        "--skip",
+        metavar="CODES",
+        default=None,
+        help="run every checker except these comma-separated codes",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files with N threads (default: 1)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list registered checkers and exit",
     )
     return parser
+
+
+def _select_checkers(
+    only: str | None, skip: str | None
+) -> list[Checker]:
+    """Apply ``--only`` / ``--skip`` to the registry.
+
+    Raises:
+        LintError: on an unknown or conflicting code.
+    """
+    checkers = all_checkers()
+    known = {checker.code for checker in checkers}
+
+    def parse(option: str, raw: str) -> set[str]:
+        codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+        unknown = sorted(codes - known)
+        if unknown:
+            raise LintError(
+                f"{option}: unknown checker code(s) {', '.join(unknown)} "
+                f"(see --list)"
+            )
+        if not codes:
+            raise LintError(f"{option}: no checker codes given")
+        return codes
+
+    if only is not None:
+        keep = parse("--only", only)
+        checkers = [c for c in checkers if c.code in keep]
+    if skip is not None:
+        drop = parse("--skip", skip)
+        checkers = [c for c in checkers if c.code not in drop]
+    if not checkers:
+        raise LintError("--only/--skip selected no checkers")
+    return checkers
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,8 +138,11 @@ def main(argv: list[str] | None = None) -> int:
 
     paths = args.paths or _default_paths()
     try:
-        project = load_project(paths)
-        findings = run_checkers(project)
+        if args.jobs < 1:
+            raise LintError(f"--jobs must be >= 1, got {args.jobs}")
+        checkers = _select_checkers(args.only, args.skip)
+        project = load_project(paths, jobs=args.jobs)
+        findings = run_checkers(project, checkers)
     except LintError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2

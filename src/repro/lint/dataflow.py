@@ -1,0 +1,120 @@
+"""Generic forward-dataflow solving over :mod:`repro.lint.cfg` graphs.
+
+A checker defines a :class:`ForwardAnalysis` — an initial fact for the
+entry block, a ``join`` for control-flow confluences, and a per-block
+``transfer`` — and calls :func:`solve_forward` to get a fixpoint
+:class:`Solution`. Facts are ordinary immutable-ish Python values
+(tuples, frozensets, dicts of frozensets) compared with ``==``; the
+lattices checkers use are tiny, so the solver favours clarity (chaotic
+iteration in reverse postorder) over worklist micro-optimisation.
+
+The ``join`` direction decides the analysis flavour:
+
+* union-style joins give *may* facts ("some path reaches exit with an
+  outstanding obligation" — exactly what a leak checker wants);
+* intersection-style joins give *must* facts ("the lock is held along
+  every path to this point").
+
+Blocks unreachable from the entry never get a fact (:data:`UNREACHED`),
+and ``join`` is never called on them — checkers read
+:meth:`Solution.exit_fact` or per-block facts and treat ``UNREACHED``
+as "no paths, nothing to report".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.cfg import CFG, BasicBlock
+
+__all__ = ["ForwardAnalysis", "Solution", "UNREACHED", "solve_forward"]
+
+#: Sentinel fact for blocks no path reaches.
+UNREACHED = object()
+
+#: Chaotic-iteration safety valve; real lattices converge in a few
+#: passes, so hitting this means a transfer function is not monotone.
+_MAX_PASSES = 200
+
+
+class ForwardAnalysis:
+    """Base class for forward analyses; override the three hooks."""
+
+    def initial(self) -> Any:
+        """Fact entering the function (parameters bound, nothing else)."""
+        raise NotImplementedError
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Combine facts where control-flow paths meet."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: Any) -> Any:
+        """Fact after executing ``block``; must not mutate ``fact``."""
+        raise NotImplementedError
+
+
+class Solution:
+    """Fixpoint facts for one CFG."""
+
+    def __init__(self, cfg: CFG, in_facts: dict[int, Any],
+                 out_facts: dict[int, Any]) -> None:
+        self.cfg = cfg
+        self._in = in_facts
+        self._out = out_facts
+
+    def before(self, index: int) -> Any:
+        """Fact on entry to block ``index`` (:data:`UNREACHED` if none)."""
+        return self._in.get(index, UNREACHED)
+
+    def after(self, index: int) -> Any:
+        """Fact on exit from block ``index``."""
+        return self._out.get(index, UNREACHED)
+
+    def exit_fact(self) -> Any:
+        """The fact holding at function exit, along any modelled path."""
+        return self.before(self.cfg.exit)
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis) -> Solution:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint.
+
+    Raises:
+        RuntimeError: when the iteration fails to converge (a transfer
+            function is growing facts without bound).
+    """
+    order = cfg.reverse_postorder()
+    preds = cfg.predecessors()
+    in_facts: dict[int, Any] = {}
+    out_facts: dict[int, Any] = {}
+
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for index in order:
+            incoming = None
+            have = False
+            if index == cfg.entry:
+                incoming = analysis.initial()
+                have = True
+            for pred in preds[index]:
+                if pred not in out_facts:
+                    continue
+                fact = out_facts[pred]
+                if not have:
+                    incoming, have = fact, True
+                else:
+                    incoming = analysis.join(incoming, fact)
+            if not have:
+                continue
+            out = analysis.transfer(cfg.blocks[index], incoming)
+            if index not in in_facts or in_facts[index] != incoming:
+                in_facts[index] = incoming
+                changed = True
+            if index not in out_facts or out_facts[index] != out:
+                out_facts[index] = out
+                changed = True
+        if not changed:
+            return Solution(cfg, in_facts, out_facts)
+    raise RuntimeError(
+        f"dataflow failed to converge in {_MAX_PASSES} passes "
+        f"({getattr(cfg.func, 'name', '?')})"
+    )

@@ -14,9 +14,13 @@ import re
 import symtable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.lint.findings import Finding
 from repro.lint.registry import Checker, all_checkers
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.lint.cfg import CFG
 
 
 class LintError(Exception):
@@ -58,6 +62,7 @@ class Module:
     line_waivers: dict[int, set[str]] = field(default_factory=dict)
     file_waivers: set[str] = field(default_factory=set)
     _symtable: symtable.SymbolTable | None = None
+    _cfgs: dict[str, "CFG"] | None = None
 
     @property
     def layer(self) -> str | None:
@@ -90,6 +95,22 @@ class Module:
         except KeyError:
             return False
         return symbol.is_imported()
+
+    def cfgs(self) -> dict[str, "CFG"]:
+        """Control-flow graphs for every function, keyed by qualname.
+
+        Built lazily and shared across checkers — the dataflow checkers
+        (RL009–RL012) all query the same graphs, so one build per module
+        keeps full-tree lint time flat.
+        """
+        if self._cfgs is None:
+            from repro.lint.cfg import build_cfg, iter_functions
+
+            self._cfgs = {
+                qualname: build_cfg(node)
+                for qualname, node in iter_functions(self.tree)
+            }
+        return self._cfgs
 
     def waived(self, code: str, line: int) -> bool:
         """Is ``code`` waived at ``line`` (same line, line above, or file)?"""
@@ -153,6 +174,12 @@ def _package_parts(path: Path) -> tuple[str, ...]:
     return ()
 
 
+def _one_line(exc: BaseException) -> str:
+    """First line of an exception message — diagnostics stay one-line."""
+    text = str(exc) or exc.__class__.__name__
+    return text.splitlines()[0]
+
+
 def parse_module(path: Path, relpath: str) -> Module:
     """Parse one file into a :class:`Module`.
 
@@ -161,12 +188,12 @@ def parse_module(path: Path, relpath: str) -> Module:
     """
     try:
         source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise LintError(f"cannot read {path}: {exc}") from exc
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {path}: {_one_line(exc)}") from exc
     try:
         tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        raise LintError(f"cannot parse {path}: {exc}") from exc
+    except (SyntaxError, ValueError) as exc:
+        raise LintError(f"cannot parse {path}: {_one_line(exc)}") from exc
     lines = source.splitlines()
     line_waivers, file_waivers = _parse_waivers(lines)
     return Module(
@@ -181,13 +208,16 @@ def parse_module(path: Path, relpath: str) -> Module:
     )
 
 
-def load_project(paths: list[str | Path]) -> Project:
+def load_project(paths: list[str | Path], jobs: int = 1) -> Project:
     """Collect and parse every ``.py`` file under ``paths``.
 
     Args:
         paths: Files and/or directories. A single directory named
             ``src`` (or containing one ``repro`` package) is the normal
-            whole-tree invocation.
+            whole-tree invocation. Duplicate paths (or files reached
+            through more than one argument) are parsed once.
+        jobs: Parse files with this many threads when > 1. Modules are
+            independent, so the result is identical to the serial order.
 
     Raises:
         LintError: on missing paths or unparseable files.
@@ -206,20 +236,31 @@ def load_project(paths: list[str | Path]) -> Project:
     files: list[Path] = []
     seen: set[Path] = set()
     for path in resolved:
-        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        try:
+            candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        except OSError as exc:
+            raise LintError(f"cannot scan {path}: {_one_line(exc)}") from exc
         for candidate in candidates:
             if "__pycache__" in candidate.parts or candidate in seen:
                 continue
             seen.add(candidate)
             files.append(candidate)
 
-    modules = []
-    for path in files:
+    def relpath_of(path: Path) -> str:
         try:
-            relpath = str(path.relative_to(root))
+            return str(path.relative_to(root))
         except ValueError:
-            relpath = str(path)
-        modules.append(parse_module(path, relpath))
+            return str(path)
+
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            modules = list(
+                pool.map(parse_module, files, [relpath_of(p) for p in files])
+            )
+    else:
+        modules = [parse_module(path, relpath_of(path)) for path in files]
     modules.sort(key=lambda m: m.relpath)
     return Project(root=root, repo_root=repo_root, modules=modules)
 

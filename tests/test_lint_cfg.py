@@ -1,0 +1,335 @@
+"""Unit tests for the lint CFG builder and the forward-dataflow solver.
+
+These pin down the graph shapes the RL009–RL012 checkers rely on:
+branch joins, loop back edges, ``try``/``finally`` exception paths, and
+``return``-through-``finally`` routing. The dataflow half is exercised
+with a tiny reaching-assignments analysis — enough to prove the solver
+iterates to a fixpoint in reverse postorder and that may-facts union at
+joins.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    UNREACHED,
+    ForwardAnalysis,
+    build_cfg,
+    iter_functions,
+    solve_forward,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def cfg_of(source: str, name: str | None = None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = dict(iter_functions(tree))
+    if name is None:
+        assert len(funcs) == 1, sorted(funcs)
+        return build_cfg(next(iter(funcs.values())))
+    return build_cfg(funcs[name])
+
+
+def block_of(cfg, node_type, lineno: int | None = None):
+    """The unique block holding a statement of ``node_type``."""
+    hits = [
+        b for b in cfg.blocks
+        if b.statement is not None
+        and isinstance(b.statement, node_type)
+        and (lineno is None or b.statement.lineno == lineno)
+    ]
+    assert len(hits) == 1, [b.index for b in hits]
+    return hits[0]
+
+
+def reachable_from(cfg, start: int) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        for succ in cfg.blocks[stack.pop()].successors:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+class TestCfgShapes:
+    def test_straight_line_chains_to_exit(self):
+        cfg = cfg_of("""\
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+        """)
+        assert cfg.entry == 0 and cfg.exit == 1
+        # entry -> a -> b -> return -> exit, single successor each
+        path = [cfg.entry]
+        while path[-1] != cfg.exit:
+            succs = cfg.blocks[path[-1]].successors
+            assert len(succs) == 1
+            path.append(succs[0])
+        assert len(path) == 5  # entry + three statements + exit
+
+    def test_if_else_branches_rejoin(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        header = block_of(cfg, ast.If)
+        assert len(header.successors) == 2
+        ret = block_of(cfg, ast.Return)
+        # both arms flow into the return
+        assert len(cfg.predecessors()[ret.index]) == 2
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of("""\
+            def f(n):
+                while n:
+                    n = n - 1
+                return n
+        """)
+        header = block_of(cfg, ast.While)
+        body = block_of(cfg, ast.Assign)
+        assert header.index in body.successors  # the back edge
+        assert len(header.successors) == 2  # body + fall-through
+
+    def test_break_and_continue_route_to_loop_edges(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    continue
+                return 0
+        """)
+        header = block_of(cfg, ast.For)
+        brk = block_of(cfg, ast.Break)
+        cont = block_of(cfg, ast.Continue)
+        ret = block_of(cfg, ast.Return)
+        # continue jumps straight back to the loop header
+        assert cont.successors == [header.index]
+        # break leaves the loop: the return is reachable from it, the
+        # loop header is not re-entered on that path
+        assert ret.index in reachable_from(cfg, brk.index)
+        assert header.index not in brk.successors
+
+    def test_raise_with_no_handler_exits(self):
+        cfg = cfg_of("""\
+            def f():
+                raise ValueError("boom")
+        """)
+        raiser = block_of(cfg, ast.Raise)
+        assert raiser.successors == [cfg.exit]
+
+    def test_try_statement_edges_into_handler(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    y = x()
+                except ValueError:
+                    y = 0
+                return y
+        """)
+        tried = block_of(cfg, ast.Assign, lineno=3)
+        handler_body = block_of(cfg, ast.Assign, lineno=5)
+        # the tried statement reaches the handler body via its
+        # exception edge (through the dispatch block)
+        assert handler_body.index in reachable_from(cfg, tried.index)
+        # and the dispatched exception does NOT fall off the function:
+        # ValueError-only handlers keep an unhandled edge to exit
+        dispatch = cfg.blocks[
+            next(s for s in tried.successors
+                 if cfg.blocks[s].statement is None)
+        ]
+        assert cfg.exit in dispatch.successors
+
+    def test_catch_all_handler_has_no_unhandled_edge(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    y = x()
+                except Exception:
+                    y = 0
+                return y
+        """)
+        tried = block_of(cfg, ast.Assign, lineno=3)
+        dispatch = cfg.blocks[
+            next(s for s in tried.successors
+                 if cfg.blocks[s].statement is None)
+        ]
+        assert cfg.exit not in dispatch.successors
+
+    def test_finally_runs_on_exception_path(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    y = x()
+                finally:
+                    cleanup()
+                return y
+        """)
+        fin = block_of(cfg, ast.Expr, lineno=5)
+        ret = block_of(cfg, ast.Return)
+        # a propagating exception re-raises out of the finally...
+        assert cfg.exit in fin.successors
+        # ...and normal completion continues to the return
+        assert ret.index in reachable_from(cfg, fin.index)
+
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    return x
+                finally:
+                    cleanup()
+        """)
+        ret = block_of(cfg, ast.Return)
+        fin = block_of(cfg, ast.Expr)
+        # the return may not skip the finally body on its way out
+        assert len(ret.successors) == 1
+        assert fin.index in reachable_from(cfg, ret.successors[0])
+        assert cfg.exit in fin.successors
+
+    def test_with_body_is_linked(self):
+        cfg = cfg_of("""\
+            def f(lock):
+                with lock:
+                    x = 1
+                return x
+        """)
+        header = block_of(cfg, ast.With)
+        body = block_of(cfg, ast.Assign)
+        ret = block_of(cfg, ast.Return)
+        assert body.index in header.successors
+        assert ret.index in body.successors
+
+    def test_reverse_postorder_starts_at_entry_covers_graph(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                while a:
+                    a = a - 1
+                return a
+        """)
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert len(order) == len(set(order))
+        assert set(order) == reachable_from(cfg, cfg.entry)
+        assert cfg.exit in order
+
+
+class TestIterFunctions:
+    def test_module_functions_and_methods_qualified(self):
+        tree = ast.parse(textwrap.dedent("""\
+            def top():
+                pass
+
+            class Box:
+                def get(self):
+                    pass
+
+                def put(self, v):
+                    pass
+        """))
+        names = [qualname for qualname, _ in iter_functions(tree)]
+        assert names == ["top", "Box.get", "Box.put"]
+
+
+class _ReachingAssigns(ForwardAnalysis):
+    """Which variable names may have been assigned on some path."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, block, fact):
+        stmt = block.statement
+        if isinstance(stmt, ast.Assign):
+            names = frozenset(
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            )
+            return fact | names
+        return fact
+
+
+class TestForwardSolver:
+    def test_branch_join_unions_facts(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                return 0
+        """)
+        solution = solve_forward(cfg, _ReachingAssigns())
+        assert solution.exit_fact() == frozenset({"a", "b"})
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = cfg_of("""\
+            def f(n):
+                while n:
+                    a = 1
+                    n = n - 1
+                return n
+        """)
+        solution = solve_forward(cfg, _ReachingAssigns())
+        assert solution.exit_fact() == frozenset({"a", "n"})
+        # the back edge feeds the body's facts into the header
+        header = block_of(cfg, ast.While)
+        assert "a" in solution.before(header.index)
+
+    def test_exception_path_fact_reaches_exit(self):
+        cfg = cfg_of("""\
+            def f(x):
+                a = 1
+                if x:
+                    raise ValueError("no")
+                b = 2
+                return b
+        """)
+        solution = solve_forward(cfg, _ReachingAssigns())
+        # "a" reaches the exit along the raise edge even though "b"
+        # only reaches along the normal path; may-union keeps both.
+        assert solution.exit_fact() == frozenset({"a", "b"})
+
+    def test_unreachable_code_stays_unreached(self):
+        cfg = cfg_of("""\
+            def f():
+                return 1
+                a = 2
+        """)
+        solution = solve_forward(cfg, _ReachingAssigns())
+        dead = block_of(cfg, ast.Assign)
+        assert solution.before(dead.index) is UNREACHED
+        assert solution.after(dead.index) is UNREACHED
+
+    def test_finally_sees_both_paths(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    a = x()
+                finally:
+                    done = 1
+                return a
+        """)
+        solution = solve_forward(cfg, _ReachingAssigns())
+        fin = block_of(cfg, ast.Assign, lineno=5)
+        assert "done" in solution.after(fin.index)
+        # the re-raise edge carries "done" (but not necessarily "b"-
+        # style normal-path facts) straight to exit
+        assert solution.exit_fact() >= frozenset({"done"})

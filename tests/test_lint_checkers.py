@@ -777,3 +777,795 @@ class TestServiceOps:
             """,
         }, "RL008")
         assert findings == []
+
+
+# ---------------------------------------------------------------- RL009
+
+
+class TestLockOrder:
+    def test_opposite_nesting_orders_fire_cycle(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/locks.py": """\
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def one():
+                    with A:
+                        with B:
+                            pass
+
+                def two():
+                    with B:
+                        with A:
+                            pass
+            """,
+        }, "RL009")
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+
+    def test_consistent_order_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/locks.py": """\
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def one():
+                    with A:
+                        with B:
+                            pass
+
+                def two():
+                    with A:
+                        with B:
+                            pass
+            """,
+        }, "RL009")
+        assert findings == []
+
+    def test_interprocedural_cycle_through_methods(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/pair.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._svc = Service(self)
+
+                    def evict(self):
+                        with self._lock:
+                            self._svc.note_eviction()
+
+                class Service:
+                    def __init__(self, cache):
+                        self._lock = threading.Lock()
+                        self._cache = Cache()
+
+                    def note_eviction(self):
+                        with self._lock:
+                            pass
+
+                    def refresh(self):
+                        with self._lock:
+                            self._cache.invalidate()
+            """,
+            "src/repro/service/more.py": """\
+                import threading
+
+                class Extra:
+                    pass
+            """,
+        }, "RL009")
+        # Cache._lock -> Service._lock (evict) and Service._lock ->
+        # Cache._lock would need Cache.invalidate to acquire; it does
+        # not exist, so only the one-directional edges — no cycle.
+        assert findings == []
+
+    def test_transitive_cycle_via_call_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/pair.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._svc = Service(self)
+
+                    def evict(self):
+                        with self._lock:
+                            self._svc.note_eviction()
+
+                    def invalidate(self):
+                        with self._lock:
+                            pass
+
+                class Service:
+                    def __init__(self, cache):
+                        self._lock = threading.Lock()
+                        self._cache = Cache()
+
+                    def note_eviction(self):
+                        with self._lock:
+                            pass
+
+                    def refresh(self):
+                        with self._lock:
+                            self._cache.invalidate()
+            """,
+        }, "RL009")
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+        assert "Cache._lock" in findings[0].message
+        assert "Service._lock" in findings[0].message
+
+    def test_plain_lock_self_reacquire_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/self_deadlock.py": """\
+                import threading
+
+                class Registry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def outer(self):
+                        with self._lock:
+                            self.inner()
+
+                    def inner(self):
+                        with self._lock:
+                            pass
+            """,
+        }, "RL009")
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+    def test_rlock_reentrancy_is_sanctioned(self, tmp_path):
+        # The epoch-swap pattern: optimize() holds the RLock and calls
+        # install_statistics(), which re-acquires it.
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/epoch.py": """\
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def optimize(self):
+                        with self._lock:
+                            self.install_statistics()
+
+                    def install_statistics(self):
+                        with self._lock:
+                            pass
+            """,
+        }, "RL009")
+        assert findings == []
+
+    def test_acquire_release_calls_count_as_scopes(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/manual.py": """\
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def one():
+                    A.acquire()
+                    with B:
+                        pass
+                    A.release()
+
+                def two():
+                    with B:
+                        A.acquire()
+                        A.release()
+            """,
+        }, "RL009")
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+
+    def test_out_of_scope_layers_ignored(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/core/dp.py": """\
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def one():
+                    with A:
+                        with B:
+                            pass
+
+                def two():
+                    with B:
+                        with A:
+                            pass
+            """,
+        }, "RL009")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL010
+
+
+class TestResourceLifecycle:
+    def test_early_return_leaks_segment(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def grab(name, fast):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=8)
+                    if fast:
+                        return None
+                    seg.close()
+                    seg.unlink()
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+        assert "close, unlink" in findings[0].message
+
+    def test_close_without_unlink_on_owner_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def grab(name):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=8)
+                    seg.close()
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+        assert "unlink" in findings[0].message
+
+    def test_exception_path_leak_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def grab(name, size):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=8)
+                    if size < 0:
+                        raise ValueError(str(size))
+                    seg.close()
+                    seg.unlink()
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+
+    def test_try_finally_cleanup_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def grab(name, fill):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=8)
+                    try:
+                        fill(seg)
+                    finally:
+                        seg.close()
+                        seg.unlink()
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_escape_to_attribute_transfers_ownership(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                class Store:
+                    def _grow(self, name):
+                        segment = shared_memory.SharedMemory(
+                            name=name, create=True, size=8)
+                        self._segments.append(segment)
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_attach_handle_needs_close_only(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def peek(name):
+                    seg = shared_memory.SharedMemory(name=name)
+                    value = bytes(seg.buf[:1])
+                    seg.close()
+                    return value
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_view_alive_when_buffer_closes_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                def snapshot(seg):
+                    view = memoryview(seg.buf)
+                    seg.close()
+                    view.release()
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+        assert "release() first" in findings[0].message
+
+    def test_view_released_before_close_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                def snapshot(seg):
+                    view = memoryview(seg.buf)
+                    view.release()
+                    seg.close()
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_pool_without_shutdown_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/runner.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def run(tasks):
+                    pool = ProcessPoolExecutor(max_workers=2)
+                    for task in tasks:
+                        pool.submit(task)
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+        assert "shutdown" in findings[0].message
+
+    def test_with_statement_cleanup_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/runner.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def run(task):
+                    with ProcessPoolExecutor(max_workers=2) as pool:
+                        return pool.submit(task).result(timeout=30.0)
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_global_publication_is_an_escape(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/runner.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                _POOL = None
+
+                def get_pool():
+                    global _POOL
+                    if _POOL is None:
+                        _POOL = ProcessPoolExecutor(max_workers=2)
+                    return _POOL
+            """,
+        }, "RL010")
+        assert findings == []
+
+    def test_rebind_while_obligated_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/plans/store.py": """\
+                from multiprocessing import shared_memory
+
+                def churn(name):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=8)
+                    seg = shared_memory.SharedMemory(
+                        name=name + "b", create=True, size=8)
+                    seg.close()
+                    seg.unlink()
+            """,
+        }, "RL010")
+        assert len(findings) == 1
+
+
+# ---------------------------------------------------------------- RL011
+
+
+class TestSharedState:
+    DOOR = """\
+        import threading
+
+        class Door:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._counts = {{}}
+                self._stop = threading.Event()
+
+            def start(self):
+                worker = threading.Thread(target=self._run, daemon=True)
+                worker.start()
+
+            def _run(self):
+                while not self._stop.is_set():
+                    {worker_write}
+
+            def stop(self):
+                self._stop.set()
+
+            def stats(self):
+                {public_read}
+    """
+
+    def test_unlocked_worker_write_and_public_read_fire(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": self.DOOR.format(
+                worker_write='self._counts["x"] = 1',
+                public_read="return dict(self._counts)",
+            ),
+        }, "RL011")
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "worker-side method _run" in messages
+        assert "public method stats" in messages
+
+    def test_locked_accesses_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": self.DOOR.format(
+                worker_write=(
+                    "with self._lock:\n"
+                    + " " * 24 + "self._counts['x'] = 1"
+                ),
+                public_read=(
+                    "with self._lock:\n"
+                    + " " * 20 + "return dict(self._counts)"
+                ),
+            ),
+        }, "RL011")
+        assert findings == []
+
+    def test_event_attribute_is_exempt(self, tmp_path):
+        # self._stop is a threading.Event — self-synchronizing, so the
+        # unlocked set()/is_set() calls above must not fire on it.
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/door.py": self.DOOR.format(
+                worker_write="pass",
+                public_read="return None",
+            ),
+        }, "RL011")
+        assert findings == []
+
+    def test_non_worker_class_ignored(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/service/plain.py": """\
+                import threading
+
+                class Plain:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._counts = {}
+
+                    def bump(self):
+                        self._counts["x"] = 1
+            """,
+        }, "RL011")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- RL012
+
+
+class TestCrossProcessErrors:
+    def test_computed_super_message_without_reduce_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+
+                class BudgetBlown(ReproError):
+                    def __init__(self, limit, used):
+                        super().__init__(f"{used} > {limit}")
+                        self.limit = limit
+                        self.used = used
+            """,
+        }, "RL012")
+        assert len(findings) == 1
+        assert "__reduce__" in findings[0].message
+
+    def test_reduce_makes_computed_message_safe(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+
+                class BudgetBlown(ReproError):
+                    def __init__(self, limit, used):
+                        super().__init__(f"{used} > {limit}")
+                        self.limit = limit
+                        self.used = used
+
+                    def __reduce__(self):
+                        return (type(self), (self.limit, self.used))
+            """,
+        }, "RL012")
+        assert findings == []
+
+    def test_exact_positional_forwarding_is_safe(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+
+                class Cancelled(ReproError):
+                    def __init__(self, reason):
+                        super().__init__(reason)
+                        self.reason = reason
+            """,
+        }, "RL012")
+        assert findings == []
+
+    def test_adhoc_exception_escaping_worker_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+            """,
+            "src/repro/core/parallel.py": """\
+                from multiprocessing import Process
+
+                class Boom(Exception):
+                    pass
+
+                def _worker(inbox):
+                    raise Boom("bad cell")
+
+                def start(inbox):
+                    proc = Process(target=_worker, args=(inbox,))
+                    proc.start()
+                    return proc
+            """,
+        }, "RL012")
+        assert len(findings) == 1
+        assert "Boom" in findings[0].message
+        assert "_worker" in findings[0].message
+
+    def test_caught_in_worker_does_not_escape(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+            """,
+            "src/repro/core/parallel.py": """\
+                from multiprocessing import Process
+
+                class Boom(Exception):
+                    pass
+
+                def _worker(inbox):
+                    try:
+                        raise Boom("bad cell")
+                    except Boom:
+                        inbox.put(("error", "bad cell"), timeout=5.0)
+
+                def start(inbox):
+                    proc = Process(target=_worker, args=(inbox,))
+                    proc.start()
+                    return proc
+            """,
+        }, "RL012")
+        assert findings == []
+
+    def test_taxonomy_exception_may_escape_worker(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+
+                class WorkerFault(ReproError):
+                    def __init__(self, index):
+                        super().__init__(index)
+                        self.index = index
+            """,
+            "src/repro/core/parallel.py": """\
+                from multiprocessing import Process
+
+                from repro.errors import WorkerFault
+
+                def _worker(index):
+                    raise WorkerFault(index)
+
+                def start(index):
+                    proc = Process(target=_worker, args=(index,))
+                    proc.start()
+                    return proc
+            """,
+        }, "RL012")
+        assert findings == []
+
+    def test_escape_through_helper_call_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+            """,
+            "src/repro/core/parallel.py": """\
+                from multiprocessing import Process
+
+                class Boom(Exception):
+                    pass
+
+                def _cost_cell(cell):
+                    if cell is None:
+                        raise Boom("empty")
+                    return cell
+
+                def _worker(inbox):
+                    _cost_cell(inbox.get(timeout=5.0))
+
+                def start(inbox):
+                    proc = Process(target=_worker, args=(inbox,))
+                    proc.start()
+                    return proc
+            """,
+        }, "RL012")
+        assert len(findings) == 1
+        assert "Boom" in findings[0].message
+
+
+# ------------------------------------------------- negative sweep (RL009-12)
+
+
+class TestConcurrencyNegativeSweep:
+    """Property-style false-positive guard for the dataflow checkers.
+
+    Generates structurally varied *correct* modules — consistently
+    ordered locks, resources cleaned through every supported pattern,
+    locked shared state, taxonomy-safe worker errors — and asserts all
+    four checkers stay silent on every permutation.
+    """
+
+    CLEANUP_PATTERNS = [
+        # try/finally
+        """\
+            def use_{i}(name, fill):
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=8)
+                try:
+                    fill(seg)
+                finally:
+                    seg.close()
+                    seg.unlink()
+        """,
+        # straight-line cleanup
+        """\
+            def use_{i}(name):
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=8)
+                seg.close()
+                seg.unlink()
+        """,
+        # ownership handoff via return
+        """\
+            def use_{i}(name):
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=8)
+                return seg
+        """,
+        # ownership handoff via call argument
+        """\
+            def use_{i}(name, registry):
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=8)
+                registry.adopt(seg)
+        """,
+        # view released before close, then full cleanup
+        """\
+            def use_{i}(name):
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=8)
+                view = memoryview(seg.buf)
+                view.release()
+                seg.close()
+                seg.unlink()
+        """,
+    ]
+
+    @pytest.mark.parametrize("ordering", [
+        ("alpha", "beta", "gamma"),
+        ("gamma", "alpha", "beta"),
+        ("beta", "gamma", "alpha"),
+    ])
+    def test_consistent_lock_orderings_stay_clean(self, tmp_path, ordering):
+        # Every function nests the same global order (possibly skipping
+        # locks), which can never produce a cycle.
+        first, second, third = ordering
+        decls = "\n".join(
+            f"{name.upper()} = threading.Lock()" for name in ordering
+        )
+        chains = []
+        order = sorted(ordering)
+        for i, chain in enumerate((order, order[:2], order[1:], order[::2])):
+            body = "pass"
+            for name in reversed(chain):
+                body = f"with {name.upper()}:\n" + textwrap.indent(
+                    body, "    ")
+            chains.append(
+                f"def chain_{i}():\n" + textwrap.indent(body, "    "))
+        source = "import threading\n\n" + decls + "\n\n" + "\n\n".join(chains)
+        findings = lint_tree(
+            tmp_path, {"src/repro/service/ordered.py": source}, "RL009")
+        assert findings == [], [f.render() for f in findings]
+
+    @pytest.mark.parametrize("index", range(len(CLEANUP_PATTERNS)))
+    def test_correctly_released_resources_stay_clean(self, tmp_path, index):
+        pattern = textwrap.dedent(self.CLEANUP_PATTERNS[index]).format(i=index)
+        source = "from multiprocessing import shared_memory\n\n" + pattern
+        findings = lint_tree(
+            tmp_path, {"src/repro/plans/store.py": source}, "RL010")
+        assert findings == [], [f.render() for f in findings]
+
+    def test_all_checkers_silent_on_correct_concurrent_module(self, tmp_path):
+        files = {
+            "src/repro/errors.py": """\
+                class ReproError(Exception):
+                    pass
+
+                class WorkerFault(ReproError):
+                    def __init__(self, index):
+                        super().__init__(index)
+                        self.index = index
+            """,
+            "src/repro/service/correct.py": """\
+                import threading
+
+                REGISTRY_LOCK = threading.Lock()
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._counts = {}
+                        self._stop = threading.Event()
+
+                    def start(self):
+                        worker = threading.Thread(
+                            target=self._drain, daemon=True)
+                        worker.start()
+
+                    def _drain(self):
+                        while not self._stop.is_set():
+                            with self._lock:
+                                self._counts["tick"] = 1
+
+                    def stats(self):
+                        with self._lock:
+                            return dict(self._counts)
+
+                    def stop(self):
+                        self._stop.set()
+            """,
+            "src/repro/core/parallel.py": """\
+                from multiprocessing import Process, shared_memory
+
+                from repro.errors import WorkerFault
+
+                def _worker(index, inbox):
+                    cell = inbox.get(timeout=5.0)
+                    if cell is None:
+                        raise WorkerFault(index)
+
+                def start(index, inbox):
+                    flag = shared_memory.SharedMemory(
+                        name=f"flag-{index}", create=True, size=1)
+                    try:
+                        proc = Process(target=_worker, args=(index, inbox))
+                        proc.start()
+                        return proc
+                    finally:
+                        flag.close()
+                        flag.unlink()
+            """,
+        }
+        src = make_tree(tmp_path, files)
+        new = [c for c in all_checkers()
+               if c.code in ("RL009", "RL010", "RL011", "RL012")]
+        findings = run_checkers(load_project([src]), new)
+        assert findings == [], [f.render() for f in findings]

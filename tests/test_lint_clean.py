@@ -28,10 +28,45 @@ def test_src_tree_lints_clean():
 
 
 def test_every_checker_registered():
-    # The gate above only means something if all eight checkers ran.
+    # The gate above only means something if all twelve checkers ran.
     from repro.lint import CHECKER_CODES
 
     assert CHECKER_CODES() == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008",
+        "RL008", "RL009", "RL010", "RL011", "RL012",
     ]
+
+
+@pytest.mark.perf
+def test_lint_wall_time_within_2x_of_legacy():
+    """The dataflow checkers must not double full-repo lint time.
+
+    Compares a full run (RL001–RL012) against the pre-PR checker set
+    (RL001–RL008) on this repository's ``src/`` tree — each timed as
+    best-of-two with a fresh project load, so the CFG cache cannot
+    flatter the new checkers.
+    """
+    import time
+
+    from repro.lint import all_checkers, load_project, run_checkers
+
+    legacy = [c for c in all_checkers() if c.code <= "RL008"]
+    every = all_checkers()
+
+    def best_of_two(checkers) -> float:
+        best = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            project = load_project([REPO_ROOT / "src"])
+            run_checkers(project, checkers)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    legacy_time = best_of_two(legacy)
+    full_time = best_of_two(every)
+    # A small floor keeps the ratio meaningful on very fast machines.
+    budget = 2.0 * max(legacy_time, 0.05)
+    assert full_time <= budget, (
+        f"full lint {full_time:.3f}s exceeds 2x legacy "
+        f"{legacy_time:.3f}s"
+    )

@@ -89,14 +89,81 @@ def test_bad_baseline_is_usage_error(dirty_tree, tmp_path, capsys):
 
 def test_missing_path_is_usage_error(tmp_path, capsys):
     assert lint_main([str(tmp_path / "nope")]) == 2
-    assert "no such path" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "no such path" in err
+    assert len(err.strip().splitlines()) == 1  # diagnostic, not a traceback
+
+
+def test_duplicate_paths_scan_each_file_once(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree), str(dirty_tree)]) == 1
+    once = capsys.readouterr().out
+    assert "1 file(s)" in once
+    assert once.count("RL003") == 1
+
+
+def test_syntax_error_is_single_line_diagnostic(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    assert lint_main([str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot parse" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_undecodable_file_is_single_line_diagnostic(tmp_path, capsys):
+    binary = tmp_path / "binary.py"
+    binary.write_bytes(b"\xff\xfe\x00junk\x80")
+    assert lint_main([str(binary)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert len(err.strip().splitlines()) == 1
 
 
 def test_list_prints_all_codes(capsys):
     assert lint_main(["--list"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+    for code in (
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008", "RL009", "RL010", "RL011", "RL012",
+    ):
         assert code in out
+
+
+def test_only_restricts_to_selected_checkers(dirty_tree, capsys):
+    # The fixture violates RL001 and RL003; --only RL003 hides RL001.
+    assert lint_main([str(dirty_tree), "--only", "RL003"]) == 1
+    out = capsys.readouterr().out
+    assert "RL003" in out and "RL001" not in out
+
+    assert lint_main([str(dirty_tree), "--only", "RL009,RL010"]) == 0
+
+
+def test_skip_drops_selected_checkers(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree), "--skip", "RL001,RL003"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(dirty_tree), "--skip", "RL001"]) == 1
+    out = capsys.readouterr().out
+    assert "RL003" in out and "RL001" not in out
+
+
+def test_unknown_checker_code_is_usage_error(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree), "--only", "RL999"]) == 2
+    assert "unknown checker code" in capsys.readouterr().err
+    assert lint_main([str(dirty_tree), "--skip", "nope"]) == 2
+    assert "unknown checker code" in capsys.readouterr().err
+
+
+def test_jobs_parallel_parse_matches_serial(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree)]) == 1
+    serial = capsys.readouterr().out
+    assert lint_main([str(dirty_tree), "--jobs", "4"]) == 1
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_bad_jobs_value_is_usage_error(dirty_tree, capsys):
+    assert lint_main([str(dirty_tree), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
 
 
 def test_sdp_bench_lint_delegates(dirty_tree, clean_tree, capsys):
